@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` file regenerates one paper table/figure (see the experiment
+index in DESIGN.md).  The regenerated artifact is
+
+* printed (visible with ``pytest benchmarks/ --benchmark-only -s``),
+* written to ``benchmarks/results/<id>.txt`` and ``<id>.csv`` so
+  EXPERIMENTS.md can reference stable outputs.
+
+Simulations are deterministic, so a single benchmark round measures the
+harness cost honestly without statistical noise from the model itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Shared run cache so overlapping sweep points are simulated once per
+#: pytest session.
+_RUN_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def run_cache() -> dict:
+    return _RUN_CACHE
+
+
+@pytest.fixture()
+def save_table():
+    """Writer: persists a Table under benchmarks/results and prints it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(table, artifact_id: str) -> None:
+        text = table.render()
+        (RESULTS_DIR / f"{artifact_id}.txt").write_text(text)
+        (RESULTS_DIR / f"{artifact_id}.csv").write_text(table.to_csv())
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,24 @@
+"""A1 — SVE vector-length ablation (VL 128/256/512 on the same core).
+
+Companion-study finding: VL scaling helps compute-bound kernels, not
+memory-bound ones.
+"""
+
+from repro.core import ablations
+
+
+def test_a1_vector_length(benchmark, save_table, run_cache):
+    table, data = benchmark.pedantic(
+        ablations.a1_vector_length, kwargs={"_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "a1_vector_length")
+
+    # compute-bound: near-linear VL scaling
+    ntchem = data["ntchem"]
+    assert ntchem[128] / ntchem[512] > 2.2
+    # memory-bound: VL barely matters
+    ffvc = data["ffvc"]
+    assert ffvc[128] / ffvc[512] < 1.4
+    # monotone for everyone (wider vectors never hurt in this model)
+    for app, times in data.items():
+        assert times[512] <= times[256] <= times[128] * 1.001, app

@@ -1,0 +1,30 @@
+"""A2 — A64FX power-control modes (normal / eco / boost).
+
+Companion-study findings ("Evaluation of Power Management Control on the
+Supercomputer Fugaku"): eco mode saves power without hurting memory-bound
+codes; boost buys ~10% speed for ~10-17% more power.
+"""
+
+from repro.core import ablations
+
+
+def test_a2_power_modes(benchmark, save_table):
+    table, data = benchmark.pedantic(ablations.a2_power_modes,
+                                     rounds=1, iterations=1)
+    save_table(table, "a2_power_modes")
+
+    # memory-bound: eco costs <5% performance and saves >10% power
+    ffvc = data["ffvc"]
+    assert ffvc["eco"].elapsed_s < 1.05 * ffvc["normal"].elapsed_s
+    assert ffvc["eco"].average_watts < 0.9 * ffvc["normal"].average_watts
+    assert ffvc["eco"].gflops_per_watt > ffvc["normal"].gflops_per_watt
+
+    # compute-bound: eco roughly halves throughput -> worse energy
+    ntchem = data["ntchem"]
+    assert ntchem["eco"].elapsed_s > 1.6 * ntchem["normal"].elapsed_s
+    assert ntchem["eco"].flops_per_joule < ntchem["normal"].flops_per_joule
+
+    # boost: ~10% faster on compute-bound at higher power
+    speedup = ntchem["normal"].elapsed_s / ntchem["boost"].elapsed_s
+    assert 1.05 < speedup < 1.12
+    assert ntchem["boost"].average_watts > ntchem["normal"].average_watts

@@ -1,0 +1,25 @@
+"""A4 — SSSP projection of miniapp performance from microbenchmarks.
+
+Methodology of the companion paper "A Performance Projection of
+Mini-Applications onto Benchmarks" (Tsuji, Kramer & Sato): fit
+non-negative weights over a machine pool, project onto a held-out
+machine.  The companion paper reports this class of projection is useful
+but approximate — the assertions below encode that calibrated expectation.
+"""
+
+from repro.core import projection
+
+
+def test_a4_sssp_projection(benchmark, save_table):
+    table, data = benchmark.pedantic(projection.a4_sssp_projection,
+                                     rounds=1, iterations=1)
+    save_table(table, "a4_sssp_projection")
+
+    for app, (predicted, actual, model) in data.items():
+        # projection is order-of-magnitude-and-better, not exact
+        assert 0.4 < predicted / actual < 2.5, app
+        # weights are a valid non-negative decomposition
+        assert min(model.weights) >= 0
+
+    # the memory-bound app must be attributed to the stream benchmark
+    assert data["ffvc"][2].dominant_benchmark() == "stream"

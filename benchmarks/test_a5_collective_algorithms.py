@@ -1,0 +1,27 @@
+"""A5 — collective-algorithm crossovers on the Tofu-D model.
+
+The MPI layer selects between latency-optimal (binomial / recursive
+doubling) and bandwidth-optimal (van de Geijn / Rabenseifner) collective
+algorithms by message size.  This artifact tables the allreduce times
+across sizes and rank counts and checks the crossover exists — the
+behaviour every production MPI exhibits and the miniapps' collective
+costs depend on.
+"""
+
+from repro.core.ablations import a5_collective_algorithms
+
+
+def test_a5_collective_algorithms(benchmark, save_table):
+    table, data = benchmark.pedantic(a5_collective_algorithms,
+                                     rounds=1, iterations=1)
+    save_table(table, "a5_collective_algorithms")
+
+    # latency regime: time grows with rank count, not with small payloads
+    assert data[(8, 64)] > data[(8, 4)]
+    assert data[(1 << 10, 64)] < 2 * data[(8, 64)]
+    # bandwidth regime: the selected algorithm beats forced recursive
+    # doubling by a clear margin at 16 MiB
+    speedups = [float(s.replace(",", "")) for s in table.column("speedup")]
+    assert speedups[-1] > 2.0
+    # and selection never loses
+    assert all(s >= 0.999 for s in speedups)

@@ -1,0 +1,22 @@
+"""F10 — per-miniapp time-breakdown attribution (4x12, as-is)."""
+
+from repro.core import figures
+
+
+def test_f10_time_breakdown(benchmark, save_table):
+    table, data = benchmark.pedantic(figures.f10_time_breakdown,
+                                     rounds=1, iterations=1)
+    save_table(table, "f10_time_breakdown")
+
+    # the documented dominant kernel carries the plurality of each app
+    assert data["ffvc"]["ffvc-sor"] > 25.0
+    assert data["ntchem"]["ntchem-gemm"] > 60.0
+    assert data["ccs-qcd"]["qcd-dirac"] > 30.0
+    assert data["ngsa"]["ngsa-align"] > 40.0
+    # MD: near-field pair forces dominate the FMM far field
+    assert data["modylas"]["modylas-pair"] > data["modylas"]["modylas-m2l"]
+    # the embarrassingly parallel sampler spends almost nothing on p2p
+    assert data["mvmc"]["p2p"] < 5.0
+    # NGSA is the only app with a visible I/O share
+    assert data["ngsa"]["io"] > 2.0
+    assert data["ffvc"]["io"] == 0.0

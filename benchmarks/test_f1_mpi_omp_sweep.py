@@ -1,0 +1,45 @@
+"""F1 — performance vs MPI processes x OpenMP threads (single A64FX node).
+
+The paper's central sweep: every factorization of the 48 cores, every
+miniapp, on the as-is data sets.  T3 (the best configuration per app) is
+derived from the same data and checked here too.
+"""
+
+import pytest
+
+from repro.core import figures
+
+
+@pytest.fixture(scope="module")
+def f1_data(run_cache):
+    return figures.f1_mpi_omp_sweep(_cache=run_cache)
+
+
+def test_f1_mpi_omp_sweep(benchmark, save_table, run_cache):
+    table, sweeps = benchmark.pedantic(
+        figures.f1_mpi_omp_sweep, kwargs={"_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f1_mpi_omp_sweep")
+
+    assert len(table.rows) == 8
+    # Expected shape: flat MPI (48x1) never wins for the
+    # communication-sensitive QCD (comm overlap narrows but does not
+    # erase the gap), and the best configuration differs across apps.
+    qcd = sweeps["ccs-qcd"]
+    t_48x1 = qcd.by(n_ranks=48)[0].elapsed
+    t_best = qcd.fastest().elapsed
+    assert t_48x1 > 1.05 * t_best
+    winners = {
+        (s.fastest().config.n_ranks, s.fastest().config.n_threads)
+        for s in sweeps.values()
+    }
+    assert len(winners) >= 2
+
+
+def test_t3_best_config(benchmark, save_table, run_cache):
+    _, sweeps = figures.f1_mpi_omp_sweep(_cache=run_cache)
+    table = benchmark.pedantic(figures.t3_best_config, args=(sweeps,),
+                               rounds=1, iterations=1)
+    save_table(table, "t3_best_config")
+    # the abstract: the best configuration differs across miniapps
+    assert len(set(table.column("best config"))) >= 2

@@ -1,0 +1,24 @@
+"""F2 — OpenMP thread-stride comparison.
+
+Paper finding: "shorter OpenMP thread strides perform better in most mini
+applications."
+"""
+
+from repro.core import figures
+
+
+def test_f2_thread_stride(benchmark, save_table, run_cache):
+    table, sweeps = benchmark.pedantic(
+        figures.f2_thread_stride, kwargs={"_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f2_thread_stride")
+
+    wins = table.column("stride-1 wins?")
+    # "most" = a clear majority of the eight miniapps
+    assert wins.count("yes") >= 6
+
+    # and for the memory-bound apps the stride penalty is substantial
+    ffvc = sweeps["ffvc"]
+    stride1 = ffvc.rows[0].elapsed
+    stride12 = ffvc.rows[-1].elapsed
+    assert stride12 > 1.2 * stride1

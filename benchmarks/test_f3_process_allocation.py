@@ -1,0 +1,31 @@
+"""F3 — MPI process-allocation methods across nodes.
+
+Paper finding: "MPI process allocation methods have not had a large impact
+on the performance."
+"""
+
+from repro.core import figures
+from repro.core.metrics import spread
+
+
+def test_f3_process_allocation(benchmark, save_table, run_cache):
+    table, sweeps = benchmark.pedantic(
+        figures.f3_process_allocation,
+        kwargs={"apps": ["ccs-qcd", "ffvc", "nicam-dc", "modylas"],
+                "_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f3_process_allocation")
+
+    # Allocation spread stays modest for most apps (well under the
+    # 2x-class effects of the MPI x OMP and compiler axes).  The exception
+    # the model exposes: a deliberately locality-breaking cyclic map can
+    # cost the largest-halo app (ccs-qcd) up to ~40% at multi-node scale.
+    spreads = sorted(spread(s.rows) for s in sweeps.values())
+    median = spreads[len(spreads) // 2]
+    assert median < 0.2
+    for app, sweep in sweeps.items():
+        assert spread(sweep.rows) < 0.5, app
+    # the topology-aware default (block) is never the bad map
+    for app, sweep in sweeps.items():
+        block = sweep.by(allocation=sweep.rows[0].config.allocation)[0]
+        assert block.elapsed <= min(r.elapsed for r in sweep.rows) * 1.05, app

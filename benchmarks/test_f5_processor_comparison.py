@@ -1,0 +1,45 @@
+"""F5 — node-vs-node comparison across processors.
+
+Paper finding: "The performance of the A64FX is better or comparable with
+other processors for other applications and data sets" (with NGSA-class
+integer work the exception).
+"""
+
+from repro.core import figures
+
+
+def test_f5_processor_comparison_as_is(benchmark, save_table, run_cache):
+    table = benchmark.pedantic(
+        figures.f5_processor_comparison, kwargs={"_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f5_processor_comparison_as_is")
+
+    apps = table.column("miniapp")
+    xeon = [float(v) for v in table.column("Xeon-Skylake")]
+    rel = dict(zip(apps, xeon))
+
+    # memory-bound apps: A64FX clearly wins (Xeon at < 0.8x)
+    for app in ("ffvc", "nicam-dc", "ffb"):
+        assert rel[app] < 0.8, app
+    # integer app: Xeon wins as-is (the paper's 'poor performance' case)
+    assert rel["ngsa"] > 1.0
+    # compute-bound: comparable (within ~35%)
+    assert 0.65 < rel["ntchem"] < 1.35
+
+    # the K-computer generation is an order of magnitude behind everywhere
+    k = [float(v) for v in table.column("SPARC64-VIIIfx")]
+    assert max(k) < 0.35
+
+
+def test_f5_large_datasets(benchmark, save_table, run_cache):
+    table = benchmark.pedantic(
+        figures.f5_processor_comparison,
+        kwargs={"dataset": "large",
+                "apps": ["ccs-qcd", "ffvc", "nicam-dc", "ntchem"],
+                "processors": ["A64FX", "Xeon-Skylake", "ThunderX2"],
+                "_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f5_processor_comparison_large")
+    xeon = [float(v) for v in table.column("Xeon-Skylake")]
+    # on production-size data the A64FX is better or comparable everywhere
+    assert all(v < 1.1 for v in xeon)

@@ -1,0 +1,21 @@
+"""F6 — roofline placement / bottleneck attribution of the suite."""
+
+from repro.core import figures
+
+
+def test_f6_roofline(benchmark, save_table):
+    table = benchmark.pedantic(figures.f6_roofline, rounds=1, iterations=1)
+    save_table(table, "f6_roofline")
+
+    bounds = table.column("bound")
+    kernels = table.column("kernel")
+    by_kernel = dict(zip(kernels, bounds))
+
+    # anchors of the analysis: SOR is DRAM bound, the RI-MP2 GEMM is
+    # compute bound, the alignment DP is scalar-compute bound
+    assert by_kernel["ffvc-sor"] == "dram"
+    assert by_kernel["dgemm-b96"] == "compute"
+    assert by_kernel["ngsa-align"] == "compute"
+
+    # both regimes are populated — the suite spans the roofline
+    assert "dram" in bounds and "compute" in bounds

@@ -1,0 +1,32 @@
+"""F7 — STREAM-triad bandwidth scaling within and across CMGs."""
+
+import pytest
+
+from repro.core import figures
+
+
+def test_f7_stream_scaling_a64fx(benchmark, save_table):
+    table, data = benchmark.pedantic(figures.f7_stream_scaling,
+                                     rounds=1, iterations=1)
+    save_table(table, "f7_stream_scaling_a64fx")
+
+    compact, scatter = data["compact"], data["scatter"]
+    # one CMG saturates near 200 GB/s with compact binding
+    assert compact[12] == pytest.approx(200, rel=0.1)
+    # scatter over 4 CMGs at 12 threads: ~3x the compact figure
+    assert scatter[12] > 2.5 * compact[12]
+    # the full chip lands near the STREAM figure (~790-840 GB/s)
+    assert 700 < compact[48] < 900
+    # single-core demand stream ~ 45-50 GB/s (HBM2 + prefetcher)
+    assert 40 < compact[1] < 55
+
+
+def test_f7_stream_scaling_xeon(benchmark, save_table):
+    table, data = benchmark.pedantic(
+        figures.f7_stream_scaling,
+        kwargs={"processor": "Xeon-Skylake",
+                "thread_counts": [1, 2, 4, 8, 10, 20, 40]},
+        rounds=1, iterations=1)
+    save_table(table, "f7_stream_scaling_xeon")
+    # dual-socket DDR4: full node well under a quarter of the A64FX
+    assert data["compact"][40] < 250

@@ -1,0 +1,17 @@
+"""F8 — multi-node strong scaling over Tofu-D."""
+
+from repro.core import figures
+
+
+def test_f8_multinode_scaling(benchmark, save_table, run_cache):
+    table, sweeps = benchmark.pedantic(
+        figures.f8_multinode_scaling, kwargs={"_cache": run_cache},
+        rounds=1, iterations=1)
+    save_table(table, "f8_multinode_scaling")
+
+    for app, sweep in sweeps.items():
+        times = [row.elapsed for row in sweep.rows]
+        # monotone improvement with nodes on the large data sets
+        assert all(b < a for a, b in zip(times, times[1:])), app
+        # but sub-linear (communication + surface effects are real)
+        assert times[0] / times[-1] < 8.0

@@ -1,0 +1,16 @@
+"""F9 — weak scaling over Tofu-D (problem grows with the node count)."""
+
+from repro.core import figures
+
+
+def test_f9_weak_scaling(benchmark, save_table):
+    table, data = benchmark.pedantic(figures.f9_weak_scaling,
+                                     rounds=1, iterations=1)
+    save_table(table, "f9_weak_scaling")
+
+    for app, times in data.items():
+        # near-flat rows: per-node work is constant, only halo/collective
+        # costs grow — within 25% of ideal at 8 nodes
+        assert times[-1] < 1.25 * times[0], app
+        # and never *faster* than the single-node point by much
+        assert times[-1] > 0.9 * times[0], app

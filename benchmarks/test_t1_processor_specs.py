@@ -1,0 +1,12 @@
+"""T1 — evaluated processor specifications."""
+
+from repro.core import figures
+
+
+def test_t1_processor_specs(benchmark, save_table):
+    table = benchmark.pedantic(figures.t1_processor_specs,
+                               rounds=1, iterations=1)
+    save_table(table, "t1_processor_specs")
+    # the A64FX row must lead the comparison with the bandwidth advantage
+    assert table.column("processor")[0] == "A64FX"
+    assert "1024" in table.column("mem BW")[0]

@@ -1,0 +1,13 @@
+"""T2 — the Fiber miniapp suite and its data sets."""
+
+from repro.core import figures
+
+
+def test_t2_miniapp_table(benchmark, save_table):
+    table = benchmark.pedantic(figures.t2_miniapp_table,
+                               rounds=1, iterations=1)
+    save_table(table, "t2_miniapp_table")
+    assert len(table.rows) == 8
+    characters = set(table.column("character"))
+    # the suite spans the performance spectrum by design
+    assert {"memory", "compute", "integer"} <= characters

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compiler-tuning walk-through: recovering the A64FX's "as-is" deficit.
+
+The paper's headline tuning result: on small "as-is" data sets, some
+miniapps run poorly on the A64FX out of the box, and enabling SIMD
+vectorization plus instruction scheduling (software pipelining) at compile
+time recovers most of the gap.  This example walks the option progression
+for the two affected apps and shows the A64FX-vs-Xeon ratio closing.
+
+Run:  python examples/compiler_tuning.py
+"""
+
+from repro.compile.options import PRESETS
+from repro.core.experiment import COMPILER_SWEEP, ExperimentConfig
+from repro.core.runner import run_config
+from repro.units import fmt_time
+
+
+def tune(app: str) -> None:
+    print(f"--- {app} (as-is data set, 4x12) ---")
+    print(f"  {'options':<14} {'A64FX':>12} {'Xeon':>12} {'A64FX/Xeon':>11}")
+    baseline = None
+    for preset in COMPILER_SWEEP:
+        a64 = run_config(ExperimentConfig(
+            app=app, n_ranks=4, n_threads=12, options_preset=preset))
+        xeon = run_config(ExperimentConfig(
+            app=app, processor="Xeon-Skylake", n_ranks=4, n_threads=10,
+            options_preset=preset))
+        if baseline is None:
+            baseline = a64.elapsed
+        ratio = a64.elapsed / xeon.elapsed
+        print(f"  {preset:<14} {fmt_time(a64.elapsed):>12} "
+              f"{fmt_time(xeon.elapsed):>12} {ratio:>10.2f}x")
+    final = run_config(ExperimentConfig(
+        app=app, n_ranks=4, n_threads=12, options_preset="tuned"))
+    print(f"  total A64FX gain from tuning: {baseline / final.elapsed:.2f}x\n")
+
+
+def explain_mechanism() -> None:
+    """Show the mechanism at the kernel level: pipeline fill."""
+    from repro.machine import catalog
+    core = catalog.a64fx().node.chips[0].domains[0].core
+    skx = catalog.xeon_skylake().node.chips[0].domains[0].core
+    print("Pipeline fill for a low-ILP loop (ilp = 3):")
+    print(f"  {'':<24} {'A64FX':>8} {'Skylake':>8}")
+    for label, boost in (("no scheduling", 1.0), ("software pipelining", 1.9)):
+        print(f"  {label:<24} {core.pipeline_fill(3.0, boost):>8.2f} "
+              f"{skx.pipeline_fill(3.0, boost):>8.2f}")
+    print("  -> the A64FX's 9-cycle FP latency + small OoO window leave its")
+    print("     pipes idle until the compiler pipelines the loop; Skylake's")
+    print("     big window hides the latency in hardware.\n")
+
+
+if __name__ == "__main__":
+    explain_mechanism()
+    for app in ("ngsa", "mvmc"):
+        tune(app)
+    print("option presets:",
+          {k: v.label() for k, v in PRESETS.items()})

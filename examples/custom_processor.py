@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""What-if study: design-space exploration with a custom processor model.
+
+The machine model is fully parameterized, so the same evaluation framework
+answers design questions the paper's analysis raises: what if the A64FX
+had a larger out-of-order window?  What if the HBM2 were replaced with
+DDR4?  What about a hypothetical 1024-bit-SVE variant?
+
+This is the downstream use case for adopting the library: plug a processor
+description in, run the Fiber suite over it.
+
+Run:  python examples/custom_processor.py
+"""
+
+import dataclasses
+
+from repro.machine import catalog
+from repro.machine.memory import MemorySpec
+from repro.miniapps import by_name
+from repro.runtime import JobPlacement, run_job
+from repro.units import GB_S, GIB, NS, fmt_time
+
+
+def variant(name: str, **core_changes) -> "catalog.Cluster":
+    """An A64FX with modified core parameters."""
+    base = catalog.a64fx()
+    chip = base.node.chips[0]
+    dom = chip.domains[0]
+    core = dataclasses.replace(dom.core, name=f"{name}-core", **core_changes)
+    dom = dataclasses.replace(dom, name=name, core=core)
+    chip = dataclasses.replace(chip, name=name, domains=(dom,) * 4)
+    node = dataclasses.replace(base.node, name=f"{name}-node", chips=(chip,))
+    return dataclasses.replace(base, name=name, node=node)
+
+
+def memory_variant(name: str, memory: MemorySpec) -> "catalog.Cluster":
+    """An A64FX with a different memory system per CMG."""
+    base = catalog.a64fx()
+    chip = base.node.chips[0]
+    dom = dataclasses.replace(chip.domains[0], name=name, memory=memory)
+    chip = dataclasses.replace(chip, name=name, domains=(dom,) * 4)
+    node = dataclasses.replace(base.node, name=f"{name}-node", chips=(chip,))
+    return dataclasses.replace(base, name=name, node=node)
+
+
+def evaluate(cluster, apps=("ccs-qcd", "ffvc", "mvmc", "ntchem")) -> dict:
+    out = {}
+    for app_name in apps:
+        app = by_name(app_name)
+        placement = JobPlacement(cluster, 4, 12)
+        res = run_job(app.build_job(cluster, placement, "as-is"))
+        out[app_name] = res.elapsed
+    return out
+
+
+def main() -> None:
+    machines = {
+        "A64FX (baseline)": catalog.a64fx(),
+        "A64FX + big OoO window (224)": variant("a64fx-bigooo",
+                                                ooo_window=224),
+        "A64FX + short FP latency (4 cyc)": variant("a64fx-fastfp",
+                                                    fp_latency_cycles=4.0),
+        "A64FX with DDR4 instead of HBM2": memory_variant(
+            "a64fx-ddr4",
+            MemorySpec(kind="DDR4-2666x2", capacity_bytes=32 * GIB,
+                       peak_bandwidth=42.6 * GB_S, sustained_fraction=0.8,
+                       single_stream_bandwidth=13 * GB_S, latency_s=90 * NS),
+        ),
+    }
+
+    baseline = evaluate(machines["A64FX (baseline)"])
+    apps = list(baseline)
+    width = max(len(n) for n in machines) + 2
+    print(f"{'machine':<{width}}" + "".join(f"{a:>12}" for a in apps))
+    for name, cluster in machines.items():
+        times = evaluate(cluster)
+        cells = "".join(
+            f"{baseline[a] / times[a]:>11.2f}x" for a in apps
+        )
+        print(f"{name:<{width}}{cells}")
+    print("\n(values = speedup over the baseline A64FX; <1 = slower)")
+    print("The OoO/latency variants lift the low-ILP apps (mvmc), while "
+          "the DDR4 variant collapses the memory-bound apps — the paper's "
+          "bandwidth advantage quantified.")
+
+    # Show one raw number for scale
+    res_time = evaluate(machines["A64FX (baseline)"], apps=("ffvc",))["ffvc"]
+    print(f"\nbaseline ffvc as-is 4x12: {fmt_time(res_time)}")
+
+
+if __name__ == "__main__":
+    main()

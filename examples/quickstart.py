@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one Fiber miniapp on an A64FX node.
+
+Builds the A64FX machine model, places 4 MPI ranks x 12 OpenMP threads
+(one rank per CMG), runs the FFVC pressure-solver miniapp on its "as-is"
+data set, and prints the performance report — then sweeps the MPI x OpenMP
+grid to find the best configuration, exactly like the paper's F1 sweep.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import JobPlacement, run_job
+from repro.units import fmt_bw, fmt_rate, fmt_time
+
+
+def main() -> None:
+    cluster = catalog.a64fx()
+    print(cluster.describe())
+
+    app = by_name("ffvc")
+    print(f"\nminiapp: {app.full_name} — {app.description}")
+
+    # --- one configuration -------------------------------------------
+    placement = JobPlacement(cluster, n_ranks=4, threads_per_rank=12)
+    job = app.build_job(cluster, placement, dataset="as-is")
+    result = run_job(job)
+
+    print(f"\n4x12 (one rank per CMG):")
+    print(f"  elapsed            {fmt_time(result.elapsed)}")
+    print(f"  achieved           {fmt_rate(result.achieved_flops_per_s)}")
+    print(f"  DRAM bandwidth     {fmt_bw(result.dram_bandwidth)}")
+    print(f"  communication      {result.communication_fraction():.1%}")
+    print(f"  messages           {result.messages_sent}")
+
+    breakdown = result.breakdown()
+    print("  mean per-rank time by phase:")
+    for cat in ("compute", "serial", "p2p", "collective"):
+        print(f"    {cat:<12} {fmt_time(breakdown.get(cat, 0.0))}")
+
+    # --- the F1-style sweep -------------------------------------------
+    print("\nMPI x OpenMP sweep (48 cores):")
+    best = None
+    for n_ranks, n_threads in [(1, 48), (2, 24), (4, 12), (8, 6),
+                               (12, 4), (24, 2), (48, 1)]:
+        placement = JobPlacement(cluster, n_ranks, n_threads)
+        res = run_job(app.build_job(cluster, placement, dataset="as-is"))
+        marker = ""
+        if best is None or res.elapsed < best[1]:
+            best = ((n_ranks, n_threads), res.elapsed)
+        print(f"  {n_ranks:2d} x {n_threads:2d}   {fmt_time(res.elapsed)}")
+    (bn, bt), bel = best
+    print(f"\nbest configuration: {bn}x{bt} at {fmt_time(bel)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Straggler / failure-injection study.
+
+Large BSP jobs move at the pace of their slowest node: one thermally
+throttled or OS-jittered node drags every allreduce.  The executor's
+``node_slowdown`` injection quantifies this on the machine model and shows
+how the dynamic-schedule/imbalance machinery responds.
+
+Run:  python examples/resilience_study.py
+"""
+
+from repro.compile import PRESETS
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import Job, JobPlacement, run_job
+from repro.runtime.affinity import ProcessAllocation
+from repro.units import fmt_time
+
+
+def run_with_straggler(app_name: str, slow_node: int | None,
+                       factor: float = 1.5):
+    cluster = catalog.a64fx(n_nodes=4)
+    app = by_name(app_name)
+    placement = JobPlacement(cluster, 16, 12,
+                             allocation=ProcessAllocation("block"))
+    job = app.build_job(cluster, placement, dataset="large")
+    if slow_node is not None:
+        job = Job(
+            cluster=job.cluster, placement=job.placement,
+            kernels=job.kernels, program=job.program, options=job.options,
+            data_policy=job.data_policy, communicators=job.communicators,
+            name=job.name, node_slowdown={slow_node: factor},
+        )
+    return run_job(job)
+
+
+def main() -> None:
+    print("One 1.5x-slowed node in a 4-node, 16x12 run (large datasets):\n")
+    print(f"  {'miniapp':<10} {'clean':>12} {'with straggler':>15} "
+          f"{'slowdown':>9} {'extra wait':>11}")
+    for app in ("ccs-qcd", "ffvc", "ntchem"):
+        clean = run_with_straggler(app, None)
+        hurt = run_with_straggler(app, 2)
+        extra_wait = (hurt.breakdown().get("collective", 0.0)
+                      + hurt.breakdown().get("p2p", 0.0)
+                      - clean.breakdown().get("collective", 0.0)
+                      - clean.breakdown().get("p2p", 0.0))
+        print(f"  {app:<10} {fmt_time(clean.elapsed):>12} "
+              f"{fmt_time(hurt.elapsed):>15} "
+              f"{hurt.elapsed / clean.elapsed:>8.2f}x "
+              f"{fmt_time(max(0.0, extra_wait)):>11}")
+    print(
+        "\n-> apps whose critical path is one long compute region (the\n"
+        "   RI-MP2 pair loop, statically partitioned) inherit the full\n"
+        "   1.5x; apps that synchronize every sweep (ffvc) already carry\n"
+        "   link-contention jitter slack at their allreduces, so part of\n"
+        "   the straggler hides in waits the other ranks were paying\n"
+        "   anyway.  The healthy ranks' extra time shows up as collective\n"
+        "   wait — exactly how stragglers look in real MPI profiles."
+    )
+
+
+if __name__ == "__main__":
+    main()

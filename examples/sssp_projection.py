@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""SSSP-style performance projection from microbenchmarks.
+
+The companion methodology ("A Performance Projection of Mini-Applications
+onto Benchmarks", Tsuji, Kramer & Sato): instead of porting and running a
+full application on a candidate machine, measure four cheap
+microbenchmarks (stream, dgemm, gather, scalar-int), fit per-app
+non-negative weights on machines you *do* have, and project.
+
+This example fits the weights over the model's machine pool (catalog
+processors + A64FX design variants), projects every miniapp onto a
+held-out ThunderX2, and prints the projection error and the per-app
+benchmark attribution.
+
+Run:  python examples/sssp_projection.py
+"""
+
+from repro.core import projection
+
+
+def main() -> None:
+    print("microbenchmark vectors (full node, seconds):")
+    pool = projection.machine_pool()
+    names = list(projection.MICROBENCHMARKS)
+    print(f"  {'machine':<16}" + "".join(f"{b:>12}" for b in names))
+    for mname, cluster in pool.items():
+        times = projection.microbenchmark_times(cluster)
+        print(f"  {mname:<16}"
+              + "".join(f"{times[b] * 1e3:>10.2f}ms" for b in names))
+
+    print("\nleave-one-out projection onto ThunderX2 (as-is datasets):")
+    print(f"  {'miniapp':<10} {'predicted':>11} {'actual':>11} "
+          f"{'error':>7}  attribution")
+    for app in ("ffvc", "ccs-qcd", "ntchem", "ngsa", "mvmc"):
+        predicted, actual, model = projection.leave_one_out(app, "ThunderX2")
+        err = abs(predicted - actual) / actual
+        contrib = model.contributions()
+        attribution = ", ".join(
+            f"{b}:{share:.0%}" for b, share in
+            sorted(contrib.items(), key=lambda kv: -kv[1]) if share > 0.05
+        )
+        print(f"  {app:<10} {predicted * 1e3:>9.2f}ms {actual * 1e3:>9.2f}ms "
+              f"{err:>6.1%}  {attribution}")
+
+    print("\n-> the projection attributes each app to the resource that "
+          "bounds it\n   (stream for the CFD codes, dgemm for RI-MP2, "
+          "scalar-int for NGSA),\n   with errors in the tens of percent — "
+          "the fidelity the SSSP paper reports.")
+
+
+if __name__ == "__main__":
+    main()

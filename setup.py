@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs in offline environments.
+
+``pip install -e .`` uses PEP 517 and needs the ``wheel`` package; where
+that is unavailable (air-gapped machines), ``python setup.py develop``
+or ``pip install -e . --no-use-pep517`` installs from this shim instead.
+"""
+
+from setuptools import setup
+
+setup()

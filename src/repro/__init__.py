@@ -1,0 +1,19 @@
+"""repro — A64FX / Fiber Miniapp Suite performance evaluation framework.
+
+A reproduction of "Performance Evaluation and Analysis of A64FX many-core
+Processor for the Fiber Miniapp Suite" (Sato & Tsuji, CLUSTER 2021) with
+simulated hardware/runtime/compiler substrates and executable miniapp
+numerics.  See README.md for the tour and DESIGN.md for the substitution
+table.
+
+Public entry points::
+
+    from repro.machine import catalog        # processor models
+    from repro.miniapps import by_name       # the eight miniapps
+    from repro.runtime import JobPlacement, run_job
+    from repro.core import figures           # regenerate paper artifacts
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

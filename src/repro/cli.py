@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror what a user of the original study's scripts would run:
+
+* ``list-apps`` / ``list-processors`` — inventory;
+* ``run`` — simulate one configuration and print the report;
+* ``sweep`` — the MPI x OpenMP grid for one app;
+* ``figure`` — regenerate one paper artifact (t1..t2, f1..f10, a1..a5);
+* ``roofline`` — per-kernel roofline placement for one app;
+* ``energy`` — the power-mode study for one app.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.units import fmt_bw, fmt_rate, fmt_time
+
+
+def _cmd_list_apps(_args) -> int:
+    from repro.core.figures import t2_miniapp_table
+
+    print(t2_miniapp_table().render())
+    return 0
+
+
+def _cmd_list_processors(_args) -> int:
+    from repro.core.figures import t1_processor_specs
+
+    print(t1_processor_specs().render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.compile.options import PRESETS
+    from repro.runtime.affinity import ProcessAllocation, ThreadBinding
+    from repro.runtime.executor import run_job
+    from repro.runtime.placement import JobPlacement
+
+    cluster = catalog.by_name(args.processor, n_nodes=args.nodes)
+    app = by_name(args.app)
+    binding = (ThreadBinding("compact") if args.stride == 1
+               else ThreadBinding("stride", stride=args.stride))
+    placement = JobPlacement(
+        cluster, args.ranks, args.threads,
+        allocation=ProcessAllocation(args.allocation),
+        binding=binding,
+    )
+    job = app.build_job(cluster, placement, dataset=args.dataset,
+                        options=PRESETS[args.options],
+                        data_policy=args.data_policy)
+    result = run_job(job)
+    print(f"{app.name}/{args.dataset} on {cluster.name}: "
+          f"{placement.describe()}")
+    print(f"  elapsed        {fmt_time(result.elapsed)}")
+    print(f"  performance    {fmt_rate(result.achieved_flops_per_s)}")
+    print(f"  DRAM traffic   {fmt_bw(result.dram_bandwidth)}")
+    print(f"  communication  {result.communication_fraction():.1%}")
+    if args.breakdown:
+        for cat, t in sorted(result.breakdown().items()):
+            print(f"    {cat:<12} {fmt_time(t)}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.figures import f1_mpi_omp_sweep, t3_best_config
+
+    table, sweeps = f1_mpi_omp_sweep(
+        apps=[args.app], dataset=args.dataset, processor=args.processor)
+    print(table.render())
+    print(t3_best_config(sweeps).render())
+    return 0
+
+
+_FIGURES = {
+    "t1": ("t1_processor_specs", {}),
+    "t2": ("t2_miniapp_table", {}),
+    "f1": ("f1_mpi_omp_sweep", {}),
+    "f2": ("f2_thread_stride", {}),
+    "f3": ("f3_process_allocation", {}),
+    "f4": ("f4_compiler_tuning", {}),
+    "f5": ("f5_processor_comparison", {}),
+    "f6": ("f6_roofline", {}),
+    "f7": ("f7_stream_scaling", {}),
+    "f8": ("f8_multinode_scaling", {}),
+    "f9": ("f9_weak_scaling", {}),
+    "f10": ("f10_time_breakdown", {}),
+}
+
+_ABLATIONS = {
+    "a1": "a1_vector_length",
+    "a2": "a2_power_modes",
+    "a3": "a3_microarchitecture",
+    "a5": "a5_collective_algorithms",
+    "a6": "a6_mixed_precision",
+}
+
+
+def _cmd_figure(args) -> int:
+    from repro.core import ablations, figures, projection
+
+    fid = args.id.lower()
+    if fid in _FIGURES:
+        name, kwargs = _FIGURES[fid]
+        out = getattr(figures, name)(**kwargs)
+    elif fid == "a4":
+        out = projection.a4_sssp_projection()
+    elif fid in _ABLATIONS:
+        out = getattr(ablations, _ABLATIONS[fid])()
+    else:
+        print(f"unknown figure id {args.id!r}; "
+              f"available: {sorted(_FIGURES) + sorted(_ABLATIONS) + ['a4']}",
+              file=sys.stderr)
+        return 2
+    table = out[0] if isinstance(out, tuple) else out
+    print(table.render())
+    if args.csv:
+        print(table.to_csv())
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.core.figures import f6_roofline
+
+    print(f6_roofline(apps=[args.app], dataset=args.dataset,
+                      processor=args.processor).render())
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from repro.core.energy import mode_study
+
+    reports = mode_study(args.app, args.dataset,
+                         n_ranks=args.ranks, n_threads=args.threads)
+    print(f"power-control modes for {args.app}/{args.dataset}:")
+    for mode, rep in reports.items():
+        print(f"  {mode:<7} {fmt_time(rep.elapsed_s):>12}  "
+              f"{rep.average_watts:7.1f} W  "
+              f"{rep.energy_joules:10.3f} J  "
+              f"{rep.gflops_per_watt:7.2f} GF/W")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.validate import validate_all
+
+    issues = validate_all()
+    if not issues:
+        print("all consistency checks passed")
+        return 0
+    for issue in issues:
+        print(issue, file=sys.stderr)
+    return 1
+
+
+def _cmd_report(args) -> int:
+    from repro.core.reportgen import write_report
+
+    path = write_report(
+        args.output,
+        include_sweeps=not args.quick,
+        include_ablations=not args.quick,
+        progress=lambda aid: print(f"  {aid} done"),
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A64FX / Fiber Miniapp Suite performance evaluation "
+                    "framework (CLUSTER 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="show the miniapp suite") \
+        .set_defaults(func=_cmd_list_apps)
+    sub.add_parser("list-processors", help="show the processor catalog") \
+        .set_defaults(func=_cmd_list_processors)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--app", required=True, choices=sorted(SUITE))
+    run.add_argument("--dataset", default="as-is")
+    run.add_argument("--processor", default="A64FX",
+                     choices=sorted(catalog.PROCESSORS))
+    run.add_argument("--nodes", type=int, default=1)
+    run.add_argument("--ranks", type=int, default=4)
+    run.add_argument("--threads", type=int, default=12)
+    run.add_argument("--stride", type=int, default=1,
+                     help="thread-binding stride (1 = compact)")
+    run.add_argument("--allocation", default="block",
+                     choices=["block", "cyclic", "domain-pack", "spread"])
+    run.add_argument("--options", default="kfast",
+                     choices=["as-is", "+simd", "+simd+sched", "tuned",
+                              "kfast"])
+    run.add_argument("--data-policy", default="first-touch",
+                     choices=["first-touch", "serial-init"])
+    run.add_argument("--breakdown", action="store_true",
+                     help="print the per-phase time breakdown")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="MPI x OpenMP grid for one app")
+    sweep.add_argument("--app", required=True, choices=sorted(SUITE))
+    sweep.add_argument("--dataset", default="as-is")
+    sweep.add_argument("--processor", default="A64FX",
+                       choices=sorted(catalog.PROCESSORS))
+    sweep.set_defaults(func=_cmd_sweep)
+
+    fig = sub.add_parser("figure", help="regenerate one paper artifact")
+    fig.add_argument("id", help="t1..t2, f1..f10, a1..a5")
+    fig.add_argument("--csv", action="store_true", help="also print CSV")
+    fig.set_defaults(func=_cmd_figure)
+
+    roof = sub.add_parser("roofline", help="roofline placement for one app")
+    roof.add_argument("--app", required=True, choices=sorted(SUITE))
+    roof.add_argument("--dataset", default="as-is")
+    roof.add_argument("--processor", default="A64FX",
+                      choices=sorted(catalog.PROCESSORS))
+    roof.set_defaults(func=_cmd_roofline)
+
+    energy = sub.add_parser("energy", help="power-mode study for one app")
+    energy.add_argument("--app", required=True, choices=sorted(SUITE))
+    energy.add_argument("--dataset", default="as-is")
+    energy.add_argument("--ranks", type=int, default=4)
+    energy.add_argument("--threads", type=int, default=12)
+    energy.set_defaults(func=_cmd_energy)
+
+    sub.add_parser(
+        "validate",
+        help="run the model's internal consistency checks",
+    ).set_defaults(func=_cmd_validate)
+
+    report = sub.add_parser(
+        "report", help="regenerate every artifact into one Markdown file")
+    report.add_argument("-o", "--output", default="REPORT.md")
+    report.add_argument("--quick", action="store_true",
+                        help="skip the slow sweep artifacts")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Compiler model: what the Fujitsu/GNU/Intel compilers make of a loop.
+
+The paper's tuning result is that the poor "as-is" A64FX performance of some
+miniapps is recovered by *enhancing SIMD vectorization* and *changing
+instruction scheduling* at compile time (plus the Fujitsu compiler's loop
+fission).  This package models exactly those levers:
+
+* :class:`~repro.compile.options.CompilerOptions` — the option vector
+  (SIMD on/off and width cap, scheduling level, unrolling, loop fission,
+  prefetch), with the named presets used in the experiments.
+* :mod:`~repro.compile.vectorizer` — how much of a kernel's vectorizable
+  work the compiler actually vectorizes (gathers need wide-SIMD gather
+  instructions; NEON has none).
+* :mod:`~repro.compile.scheduler` — software pipelining / instruction
+  scheduling as an ILP multiplier, plus fission and unrolling effects.
+* :class:`~repro.compile.compiler.Compiler` — lowers a
+  :class:`~repro.kernels.kernel.LoopKernel` to a
+  :class:`~repro.compile.compiler.CompiledKernel` for a target core.
+"""
+
+from repro.compile.options import CompilerOptions, PRESETS
+from repro.compile.compiler import CompiledKernel, Compiler
+
+__all__ = ["CompilerOptions", "PRESETS", "CompiledKernel", "Compiler"]

@@ -1,0 +1,81 @@
+"""The compiler front door: lower loop kernels to compiled kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compile import scheduler, vectorizer
+from repro.compile.options import CompilerOptions
+from repro.errors import CompileError
+from repro.kernels.kernel import LoopKernel
+from repro.machine.core import CoreSpec
+from repro.units import FP64_BYTES
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """A loop kernel lowered for one target core with one option set.
+
+    The timing model (:func:`repro.kernels.timing.phase_time`) consumes
+    exactly these fields.
+    """
+
+    kernel: LoopKernel
+    options: CompilerOptions
+    target: CoreSpec
+    vec_fraction_achieved: float
+    ilp_effective: float
+    scheduling_boost: float
+    prefetch_quality: float
+    int_vectorized: bool
+    simd_bits_used: int
+
+    @property
+    def simd_lanes_used(self) -> int:
+        return self.simd_bits_used // (FP64_BYTES * 8)
+
+
+class Compiler:
+    """Lowers :class:`LoopKernel` objects for a target core.
+
+    Stateless apart from the option set; a single instance is typically
+    shared across all phases of a job.
+    """
+
+    def __init__(self, options: CompilerOptions | None = None) -> None:
+        self.options = options or CompilerOptions()
+
+    def compile(self, kernel: LoopKernel, target: CoreSpec) -> CompiledKernel:
+        """Lower one kernel.
+
+        Raises
+        ------
+        CompileError
+            If the requested vector-length cap exceeds the target's SIMD
+            width in a way that cannot be honoured (wider-than-native is
+            silently clamped; a cap below 128 bits is rejected upstream by
+            option validation, so this only fires on inconsistent targets).
+        """
+        opts = self.options
+        simd_bits = vectorizer.effective_simd_bits(target, opts)
+        if simd_bits < 64:
+            raise CompileError(
+                f"target {target.name} cannot execute {simd_bits}-bit vectors"
+            )
+        vec = vectorizer.vectorized_fraction(kernel, opts, target)
+        return CompiledKernel(
+            kernel=kernel,
+            options=opts,
+            target=target,
+            vec_fraction_achieved=vec,
+            ilp_effective=scheduler.effective_ilp(kernel, opts),
+            scheduling_boost=scheduler.scheduling_boost(kernel, opts),
+            prefetch_quality=scheduler.prefetch_quality(kernel, opts),
+            int_vectorized=vectorizer.int_vectorized(kernel, opts, target),
+            simd_bits_used=simd_bits,
+        )
+
+    def compile_many(self, kernels: dict[str, LoopKernel],
+                     target: CoreSpec) -> dict[str, CompiledKernel]:
+        """Lower a named kernel set (one miniapp's phases) for one target."""
+        return {name: self.compile(k, target) for name, k in kernels.items()}

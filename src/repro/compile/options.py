@@ -1,0 +1,101 @@
+"""Compiler option vectors and the named presets used in the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Valid instruction-scheduling levels, in increasing aggressiveness.
+SCHEDULING_LEVELS = ("none", "default", "aggressive")
+
+#: Valid software-prefetch settings.
+PREFETCH_LEVELS = ("off", "auto", "aggressive")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """One compiler configuration.
+
+    Parameters
+    ----------
+    simd:
+        Auto-vectorization enabled (``-Ksimd`` / ``-xHost``).
+    simd_width_bits:
+        Optional cap on the vector length used (SVE is vector-length
+        agnostic: the same binary can run at 128/256/512).  ``None`` means
+        the target's native width.
+    scheduling:
+        Instruction-scheduling / software-pipelining level
+        (``-Kswp`` family): ``"none"``, ``"default"``, ``"aggressive"``.
+    unroll:
+        Loop unroll factor requested.
+    loop_fission:
+        The Fujitsu compiler's loop-fission transformation (splits fat
+        loops to relieve register pressure and OoO-resource exhaustion).
+    prefetch:
+        Software prefetch insertion: ``"off"``, ``"auto"``, ``"aggressive"``.
+    """
+
+    simd: bool = True
+    simd_width_bits: int | None = None
+    scheduling: str = "default"
+    unroll: int = 1
+    loop_fission: bool = False
+    prefetch: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.scheduling not in SCHEDULING_LEVELS:
+            raise ConfigurationError(
+                f"scheduling must be one of {SCHEDULING_LEVELS}, got {self.scheduling!r}"
+            )
+        if self.prefetch not in PREFETCH_LEVELS:
+            raise ConfigurationError(
+                f"prefetch must be one of {PREFETCH_LEVELS}, got {self.prefetch!r}"
+            )
+        if self.unroll < 1:
+            raise ConfigurationError("unroll must be >= 1")
+        if self.simd_width_bits is not None:
+            if self.simd_width_bits % 128 != 0 or self.simd_width_bits < 128:
+                raise ConfigurationError("simd_width_bits must be a multiple of 128")
+
+    def with_(self, **kwargs) -> "CompilerOptions":
+        """Functional update (``opts.with_(loop_fission=True)``)."""
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        """Short label for report columns."""
+        parts = []
+        parts.append("simd" if self.simd else "nosimd")
+        if self.simd_width_bits is not None:
+            parts.append(f"vl{self.simd_width_bits}")
+        parts.append(f"sched-{self.scheduling}")
+        if self.unroll > 1:
+            parts.append(f"u{self.unroll}")
+        if self.loop_fission:
+            parts.append("fission")
+        if self.prefetch != "auto":
+            parts.append(f"pf-{self.prefetch}")
+        return ",".join(parts)
+
+
+#: Presets mirroring the option sets swept in the compiler-tuning experiment
+#: (F4): the shipped "as-is" build, progressively tuned builds, and the
+#: fully tuned Fujitsu-style `-Kfast` build.
+PRESETS: dict[str, CompilerOptions] = {
+    # As shipped: conservative build (what the suite's default makefiles do
+    # before any A64FX-specific tuning).
+    "as-is": CompilerOptions(simd=False, scheduling="none", prefetch="off"),
+    # Turn the auto-vectorizer on.
+    "+simd": CompilerOptions(simd=True, scheduling="none", prefetch="off"),
+    # Additionally let the scheduler software-pipeline the loops.
+    "+simd+sched": CompilerOptions(simd=True, scheduling="aggressive", prefetch="auto"),
+    # Full tuned build: scheduling, fission, unrolling and prefetch.
+    "tuned": CompilerOptions(
+        simd=True, scheduling="aggressive", unroll=4, loop_fission=True,
+        prefetch="aggressive",
+    ),
+    # The default used for the placement experiments (a typical -Kfast).
+    "kfast": CompilerOptions(simd=True, scheduling="aggressive", unroll=2,
+                             prefetch="auto"),
+}

@@ -1,0 +1,63 @@
+"""Instruction-scheduling / software-pipelining model.
+
+The A64FX's long FP latency (9 cycles) and small effective out-of-order
+window mean the hardware alone cannot keep its two FMA pipes filled on
+low-ILP loops; the Fujitsu compiler's software pipelining and instruction
+scheduling expose cross-iteration parallelism statically.  This module
+converts the scheduling-related options into
+
+* a ``scheduling_boost`` multiplier consumed by
+  :meth:`repro.machine.core.CoreSpec.pipeline_fill`, and
+* an ``ilp_effective`` (unrolling and loop fission genuinely increase the
+  independent operations available per window).
+"""
+
+from __future__ import annotations
+
+from repro.compile.options import CompilerOptions
+from repro.kernels.kernel import LoopKernel
+
+#: Multipliers for each scheduling level.  "default" is ordinary list
+#: scheduling; "aggressive" is software pipelining (-Kswp).
+_SCHED_BOOST = {"none": 1.0, "default": 1.3, "aggressive": 1.9}
+
+#: Fission relieves register pressure / OoO-resource exhaustion on fat
+#: loops, letting the scheduler realize more of its boost.
+_FISSION_BOOST = 1.25
+
+#: Fission also shortens the live working set of each split loop a little
+#: at the cost of re-streaming intermediates; net traffic effect is small
+#: and we deliberately leave traffic untouched.
+
+#: Unrolling grows the independent-op pool sub-linearly (register limits).
+_UNROLL_EXPONENT = 0.5
+
+
+def scheduling_boost(kernel: LoopKernel, options: CompilerOptions) -> float:
+    """Static-scheduling multiplier on the pipeline-fill parallelism."""
+    boost = _SCHED_BOOST[options.scheduling]
+    if options.loop_fission:
+        boost *= _FISSION_BOOST
+    # Scheduling can't conjure parallelism out of a strict recurrence:
+    # kernels with ilp ~ 1 (dependent chains) barely benefit.
+    dependence_limit = min(1.0, kernel.ilp / 2.0)
+    return 1.0 + (boost - 1.0) * dependence_limit
+
+
+def effective_ilp(kernel: LoopKernel, options: CompilerOptions) -> float:
+    """Independent FP operations per window after unrolling."""
+    ilp = kernel.ilp
+    if options.unroll > 1:
+        ilp *= options.unroll ** _UNROLL_EXPONENT
+    return ilp
+
+
+def prefetch_quality(kernel: LoopKernel, options: CompilerOptions) -> float:
+    """How completely streaming-latency is hidden, in [0, 1].
+
+    Hardware prefetchers handle unit-stride streams well even at
+    ``prefetch="off"``; software prefetch mainly helps the strided part.
+    """
+    base = {"off": 0.7, "auto": 0.9, "aggressive": 1.0}[options.prefetch]
+    # Indirect access defeats prefetching; weight by contiguity.
+    return base * (0.5 + 0.5 * kernel.contiguous_fraction)

@@ -1,0 +1,82 @@
+"""Auto-vectorization model.
+
+Decides which fraction of a kernel's vectorizable FLOPs the compiler
+actually turns into SIMD instructions on a given target.  The structural
+limits:
+
+* the kernel's own ``vec_fraction`` is a hard ceiling (data dependences);
+* contiguous accesses vectorize almost perfectly;
+* indirect accesses need hardware gather/scatter instructions — SVE and
+  AVX-512 have them (at reduced efficiency), 128-bit NEON does not, so the
+  compiler falls back to scalar code for those loops;
+* a vector-length cap (:attr:`CompilerOptions.simd_width_bits`) reduces the
+  effective lanes, modeled downstream by
+  :meth:`effective_simd_bits`.
+"""
+
+from __future__ import annotations
+
+from repro.compile.options import CompilerOptions
+from repro.kernels.kernel import LoopKernel
+from repro.machine.core import CoreSpec
+
+#: Vectorization efficiency of unit-stride loops (loop remainders,
+#: alignment peeling).
+_CONTIGUOUS_EFFICIENCY = 0.95
+
+#: Efficiency of vectorized gather loops on ISAs with gather support.
+_GATHER_EFFICIENCY_WIDE = 0.65
+
+#: ISAs without gather support (128-bit NEON/HPC-ACE): indirect loops stay
+#: scalar apart from occasional manual packing.
+_GATHER_EFFICIENCY_NARROW = 0.15
+
+
+def has_gather_support(core: CoreSpec) -> bool:
+    """Whether the target ISA provides gather/scatter vector loads.
+
+    SVE (A64FX) and AVX-512 (Skylake) do; 128-bit NEON (ThunderX2) and
+    HPC-ACE (SPARC64 VIIIfx) do not.  SIMD width is a faithful proxy for
+    the processors in this study.
+    """
+    return core.simd_bits >= 256
+
+
+def effective_simd_bits(core: CoreSpec, options: CompilerOptions) -> int:
+    """Vector width the compiled code uses (respecting the VL cap)."""
+    if options.simd_width_bits is None:
+        return core.simd_bits
+    return min(core.simd_bits, options.simd_width_bits)
+
+
+def vectorized_fraction(kernel: LoopKernel, options: CompilerOptions,
+                        core: CoreSpec) -> float:
+    """Fraction of the kernel's FLOPs executed as SIMD instructions."""
+    if not options.simd:
+        return 0.0
+    gather_eff = (
+        _GATHER_EFFICIENCY_WIDE if has_gather_support(core)
+        else _GATHER_EFFICIENCY_NARROW
+    )
+    access_eff = (
+        kernel.contiguous_fraction * _CONTIGUOUS_EFFICIENCY
+        + (1.0 - kernel.contiguous_fraction) * gather_eff
+    )
+    return kernel.vec_fraction * access_eff
+
+
+def int_vectorized(kernel: LoopKernel, options: CompilerOptions,
+                   core: CoreSpec) -> bool:
+    """Whether the integer work is vectorized (byte-SIMD).
+
+    Requires the kernel to be amenable, SIMD enabled, and an aggressive
+    scheduling level (the Fujitsu compiler only SIMD-izes these loops with
+    tuning directives, which is the `+simd+sched` / `tuned` scenario of the
+    paper's compiler experiment).
+    """
+    return (
+        kernel.int_vectorizable
+        and options.simd
+        and options.scheduling == "aggressive"
+        and core.simd_bits >= 128
+    )

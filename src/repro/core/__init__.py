@@ -1,0 +1,41 @@
+"""The evaluation framework — the paper's deliverable.
+
+Everything the paper's evaluation section does is a function here:
+
+* :mod:`~repro.core.experiment` — configuration spaces (MPI x OpenMP
+  grids, binding/allocation policies, compiler option sets, processors);
+* :mod:`~repro.core.runner` — executes sweeps into result tables;
+* :mod:`~repro.core.metrics` — speedup / efficiency / best-config helpers;
+* :mod:`~repro.core.analysis` — roofline placement and bottleneck
+  attribution;
+* :mod:`~repro.core.compare` — cross-processor normalization;
+* :mod:`~repro.core.report` — ASCII tables and CSV series;
+* :mod:`~repro.core.figures` — one entry point per paper table/figure
+  (T1-T3, F1-F10; ablations A1-A6 live in sibling modules), used by
+  ``benchmarks/`` and the examples.
+"""
+
+from repro.core.experiment import (
+    MPI_OMP_CONFIGS,
+    STRIDE_SWEEP,
+    ExperimentConfig,
+    single_node_configs,
+)
+from repro.core.metrics import best_config, parallel_efficiency, speedup
+from repro.core.runner import Row, SweepResult, run_config, run_sweep
+from repro.core.report import Table
+
+__all__ = [
+    "ExperimentConfig",
+    "MPI_OMP_CONFIGS",
+    "STRIDE_SWEEP",
+    "single_node_configs",
+    "Row",
+    "SweepResult",
+    "run_config",
+    "run_sweep",
+    "speedup",
+    "parallel_efficiency",
+    "best_config",
+    "Table",
+]

@@ -1,0 +1,109 @@
+"""Energy-to-solution estimation on top of simulation results.
+
+Combines a :class:`~repro.runtime.executor.RunResult` with the node
+:class:`~repro.machine.power.PowerSpec` to produce the energy metrics the
+Fugaku power-management study reports: average power, energy to solution,
+and energy efficiency (FLOP/J), under the normal / eco / boost modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.power import PowerSpec, power_spec
+from repro.machine.topology import Cluster
+from repro.runtime.executor import RunResult
+from repro.runtime.placement import JobPlacement
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy metrics of one simulated run."""
+
+    mode: str
+    elapsed_s: float
+    average_watts: float
+    energy_joules: float
+    flops_per_joule: float
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.flops_per_joule / 1e9
+
+
+def utilization_from_result(result: RunResult) -> float:
+    """Mean pipeline utilization proxy: fraction of rank time computing."""
+    b = result.breakdown()
+    if result.elapsed <= 0:
+        return 0.0
+    busy = b.get("compute", 0.0) + b.get("serial", 0.0)
+    return max(0.0, min(1.0, busy / result.elapsed))
+
+
+def estimate_energy(
+    result: RunResult,
+    cluster: Cluster,
+    placement: JobPlacement,
+    mode: str = "normal",
+    spec: PowerSpec | None = None,
+) -> EnergyReport:
+    """Energy to solution for one run.
+
+    ``spec`` overrides the catalog lookup (for custom machines); ``mode``
+    applies the A64FX power-control semantics to the spec.  Note that the
+    *performance* side of a mode (eco's halved FMA pipes, boost's +10%
+    clock) must already be in the ``result`` — build the job against
+    ``catalog.a64fx(eco=True)`` / ``(boost=True)``; this function prices
+    the power side.
+    """
+    if result.elapsed <= 0:
+        raise ConfigurationError("cannot price a run with no elapsed time")
+    base = spec if spec is not None else power_spec(cluster.name.split("-eco")[0]
+                                                    .split("-boost")[0], "normal")
+    priced = base.with_mode(mode)
+
+    n_nodes_used = len({placement.node_of(r) for r in range(placement.n_ranks)})
+    active_per_node = (placement.n_ranks * placement.threads_per_rank
+                       / max(1, n_nodes_used))
+    total_cores = cluster.cores_per_node
+    util = utilization_from_result(result)
+    dram_per_node = result.dram_bandwidth / max(1, n_nodes_used)
+
+    watts_per_node = priced.node_power(
+        active_cores=min(total_cores, round(active_per_node)),
+        total_cores=total_cores,
+        utilization=util,
+        dram_bytes_per_s=dram_per_node,
+    )
+    watts = watts_per_node * n_nodes_used
+    energy = watts * result.elapsed
+    return EnergyReport(
+        mode=mode,
+        elapsed_s=result.elapsed,
+        average_watts=watts,
+        energy_joules=energy,
+        flops_per_joule=result.total_flops / energy if energy > 0 else 0.0,
+    )
+
+
+def mode_study(app_name: str, dataset: str = "as-is",
+               n_ranks: int = 4, n_threads: int = 12) -> dict[str, EnergyReport]:
+    """Run one miniapp under normal / eco / boost and price each mode.
+
+    This is the A2 ablation: eco saves energy on memory-bound apps at no
+    performance cost; boost buys ~10% speed for ~17% more core power on
+    compute-bound apps.
+    """
+    from repro.machine import catalog
+    from repro.miniapps import by_name
+    from repro.runtime.executor import run_job
+
+    app = by_name(app_name)
+    out: dict[str, EnergyReport] = {}
+    for mode in ("normal", "eco", "boost"):
+        cluster = catalog.a64fx(eco=(mode == "eco"), boost=(mode == "boost"))
+        placement = JobPlacement(cluster, n_ranks, n_threads)
+        result = run_job(app.build_job(cluster, placement, dataset))
+        out[mode] = estimate_energy(result, cluster, placement, mode)
+    return out

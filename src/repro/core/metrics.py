@@ -1,0 +1,54 @@
+"""Derived performance metrics."""
+
+from __future__ import annotations
+
+from repro.core.runner import Row, SweepResult
+from repro.errors import ConfigurationError
+
+
+def speedup(baseline: Row, candidate: Row) -> float:
+    """How much faster ``candidate`` is than ``baseline`` (>1 = faster)."""
+    if candidate.elapsed <= 0:
+        raise ConfigurationError("candidate has non-positive elapsed time")
+    return baseline.elapsed / candidate.elapsed
+
+
+def parallel_efficiency(serial: Row, parallel: Row, resources: int) -> float:
+    """Classic strong-scaling efficiency against a serial baseline."""
+    if resources < 1:
+        raise ConfigurationError("resources must be positive")
+    return speedup(serial, parallel) / resources
+
+
+def best_config(sweep: SweepResult, **filters) -> Row:
+    """Fastest row of a sweep, optionally filtered by config attributes."""
+    rows = sweep.by(**filters) if filters else sweep.rows
+    if not rows:
+        raise ConfigurationError(
+            f"no rows in sweep {sweep.name!r} match {filters}"
+        )
+    return min(rows, key=lambda r: r.elapsed)
+
+
+def spread(rows: list[Row]) -> float:
+    """(max - min) / min of elapsed times — the 'does this axis matter'
+    statistic used for the process-allocation finding."""
+    if not rows:
+        raise ConfigurationError("spread of an empty row set")
+    times = [r.elapsed for r in rows]
+    lo = min(times)
+    if lo <= 0:
+        raise ConfigurationError("non-positive elapsed time")
+    return (max(times) - lo) / lo
+
+
+def relative_performance(rows: list[Row], reference_label: str) -> dict[str, float]:
+    """Per-row performance relative to the row whose processor matches
+    ``reference_label`` (reference = 1.0; higher is faster)."""
+    ref = next((r for r in rows if r.config.processor == reference_label), None)
+    if ref is None:
+        raise ConfigurationError(f"no row for reference {reference_label!r}")
+    return {
+        r.config.processor: ref.elapsed / r.elapsed
+        for r in rows
+    }

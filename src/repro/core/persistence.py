@@ -1,0 +1,108 @@
+"""JSON persistence for sweep results.
+
+Long experiment campaigns want durable run records: :func:`save_sweep` /
+:func:`load_sweep` round-trip a :class:`~repro.core.runner.SweepResult`
+(including the full configuration of every row) through a stable JSON
+schema, so results can be archived, diffed between model versions, and
+re-plotted without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.runner import Row, SweepResult
+from repro.errors import ConfigurationError
+from repro.runtime.affinity import ProcessAllocation, ThreadBinding
+
+#: Schema version written into every file; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    return {
+        "app": config.app,
+        "dataset": config.dataset,
+        "processor": config.processor,
+        "n_nodes": config.n_nodes,
+        "n_ranks": config.n_ranks,
+        "n_threads": config.n_threads,
+        "binding": {"policy": config.binding.policy,
+                    "stride": config.binding.stride},
+        "allocation": config.allocation.method,
+        "options_preset": config.options_preset,
+        "data_policy": config.data_policy,
+    }
+
+
+def config_from_dict(d: dict) -> ExperimentConfig:
+    try:
+        return ExperimentConfig(
+            app=d["app"],
+            dataset=d["dataset"],
+            processor=d["processor"],
+            n_nodes=d["n_nodes"],
+            n_ranks=d["n_ranks"],
+            n_threads=d["n_threads"],
+            binding=ThreadBinding(d["binding"]["policy"],
+                                  d["binding"]["stride"]),
+            allocation=ProcessAllocation(d["allocation"]),
+            options_preset=d["options_preset"],
+            data_policy=d["data_policy"],
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"malformed config record: missing {exc}") \
+            from None
+
+
+def row_to_dict(row: Row) -> dict:
+    return {
+        "config": config_to_dict(row.config),
+        "elapsed": row.elapsed,
+        "gflops": row.gflops,
+        "dram_gbytes_per_s": row.dram_gbytes_per_s,
+        "comm_fraction": row.comm_fraction,
+    }
+
+
+def row_from_dict(d: dict) -> Row:
+    return Row(
+        config=config_from_dict(d["config"]),
+        elapsed=d["elapsed"],
+        gflops=d["gflops"],
+        dram_gbytes_per_s=d["dram_gbytes_per_s"],
+        comm_fraction=d["comm_fraction"],
+    )
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> Path:
+    """Write a sweep to JSON; returns the path."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": sweep.name,
+        "rows": [row_to_dict(r) for r in sweep.rows],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Load a sweep written by :func:`save_sweep`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read sweep file {path}: {exc}") \
+            from None
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: schema {payload.get('schema')!r} is not "
+            f"{SCHEMA_VERSION} (regenerate the file)"
+        )
+    sweep = SweepResult(payload["name"])
+    for rd in payload["rows"]:
+        sweep.add(row_from_dict(rd))
+    return sweep

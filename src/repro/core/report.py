@@ -1,0 +1,85 @@
+"""ASCII tables and CSV series — the report output layer.
+
+The benchmark harness prints every paper table/figure as both a
+fixed-width table (for eyes) and CSV (for replotting).  No plotting
+libraries are used; series are data.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A fixed-width text table with CSV export."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    note: str = ""
+
+    def add(self, *cells) -> None:
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 10:
+                return f"{cell:.1f}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write(line(self.headers) + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            out.write(line(row) + "\n")
+        if self.note:
+            out.write(f"note: {self.note}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        def esc(c: str) -> str:
+            if "," in c or '"' in c:
+                return '"' + c.replace('"', '""') + '"'
+            return c
+
+        lines = [",".join(esc(h) for h in self.headers)]
+        lines.extend(",".join(esc(c) for c in row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def column(self, header: str) -> list[str]:
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise ConfigurationError(
+                f"table has no column {header!r}; columns: {self.headers}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

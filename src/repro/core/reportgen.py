@@ -1,0 +1,114 @@
+"""Full-report generation: every artifact into one Markdown document.
+
+``python -m repro report -o REPORT.md`` (or :func:`generate_report`)
+regenerates the complete artifact set — T1-T3, F1-F10, A1-A6 — and writes
+them as a single Markdown file with fenced tables, ready to diff against
+``benchmarks/results/`` or paste into an evaluation write-up.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core import ablations, figures, projection
+
+#: (artifact id, title, callable returning a Table or (Table, data)).
+_FAST_ARTIFACTS = [
+    ("T1", "Evaluated processors", lambda cache: figures.t1_processor_specs()),
+    ("T2", "The Fiber Miniapp Suite", lambda cache: figures.t2_miniapp_table()),
+    ("F6", "Roofline placement", lambda cache: figures.f6_roofline()),
+    ("F7", "STREAM bandwidth scaling",
+     lambda cache: figures.f7_stream_scaling()),
+]
+
+_SWEEP_ARTIFACTS = [
+    ("F1", "MPI x OpenMP sweep",
+     lambda cache: figures.f1_mpi_omp_sweep(_cache=cache)),
+    ("F2", "Thread-stride comparison",
+     lambda cache: figures.f2_thread_stride(_cache=cache)),
+    ("F3", "Process-allocation methods",
+     lambda cache: figures.f3_process_allocation(_cache=cache)),
+    ("F4", "Compiler tuning on as-is data",
+     lambda cache: figures.f4_compiler_tuning(_cache=cache)),
+    ("F5", "Cross-processor comparison",
+     lambda cache: figures.f5_processor_comparison(_cache=cache)),
+    ("F8", "Multi-node strong scaling",
+     lambda cache: figures.f8_multinode_scaling(_cache=cache)),
+    ("F9", "Weak scaling", lambda cache: figures.f9_weak_scaling()),
+    ("F10", "Time-breakdown attribution",
+     lambda cache: figures.f10_time_breakdown()),
+]
+
+_ABLATION_ARTIFACTS = [
+    ("A1", "SVE vector-length study",
+     lambda cache: ablations.a1_vector_length(_cache=cache)),
+    ("A2", "Power-control modes", lambda cache: ablations.a2_power_modes()),
+    ("A3", "Micro-architecture sensitivity",
+     lambda cache: ablations.a3_microarchitecture()),
+    ("A4", "SSSP projection",
+     lambda cache: projection.a4_sssp_projection()),
+    ("A5", "Collective-algorithm crossovers",
+     lambda cache: ablations.a5_collective_algorithms()),
+    ("A6", "Mixed-precision lattice solve",
+     lambda cache: ablations.a6_mixed_precision()),
+]
+
+
+def _unwrap(result):
+    return result[0] if isinstance(result, tuple) else result
+
+
+def generate_report(
+    include_sweeps: bool = True,
+    include_ablations: bool = True,
+    progress=None,
+) -> str:
+    """Build the Markdown report text.
+
+    ``progress`` is an optional callable receiving each artifact id as it
+    completes (the CLI uses it for console feedback).
+    """
+    cache: dict = {}
+    sections = []
+    artifacts = list(_FAST_ARTIFACTS)
+    if include_sweeps:
+        artifacts += _SWEEP_ARTIFACTS
+    if include_ablations:
+        artifacts += _ABLATION_ARTIFACTS
+    # natural ordering: T1, T2, F1..F10, A1..A6 (not lexicographic)
+    _letter_rank = {"T": 0, "F": 1, "A": 2}
+    artifacts.sort(key=lambda a: (_letter_rank[a[0][0]], int(a[0][1:])))
+
+    for artifact_id, title, builder in artifacts:
+        table = _unwrap(builder(cache))
+        body = table.render()
+        sections.append(f"## {artifact_id} — {title}\n\n```\n{body}```\n")
+        if progress is not None:
+            progress(artifact_id)
+
+    t3_note = ""
+    if include_sweeps:
+        _, sweeps = figures.f1_mpi_omp_sweep(_cache=cache)
+        t3 = figures.t3_best_config(sweeps)
+        t3_note = f"## T3 — Best configuration per miniapp\n\n```\n{t3.render()}```\n"
+
+    header = (
+        "# Reproduction report — A64FX / Fiber Miniapp Suite "
+        "(CLUSTER 2021)\n\n"
+        f"Generated {time.strftime('%Y-%m-%d %H:%M:%S')} by "
+        "`repro.core.reportgen`.  All times are simulated seconds from the "
+        "machine model; shapes, not absolute values, are the reproduction "
+        "targets (see EXPERIMENTS.md).\n"
+    )
+    parts = [header] + sections
+    if t3_note:
+        parts.append(t3_note)
+    return "\n".join(parts)
+
+
+def write_report(path: str | Path, **kwargs) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(generate_report(**kwargs))
+    return path

@@ -1,0 +1,97 @@
+"""Sweep execution: configurations in, result rows out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime.executor import RunResult, run_job
+from repro.runtime.placement import JobPlacement
+
+
+@dataclass(frozen=True)
+class Row:
+    """One sweep result."""
+
+    config: ExperimentConfig
+    elapsed: float
+    gflops: float
+    dram_gbytes_per_s: float
+    comm_fraction: float
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+
+@dataclass
+class SweepResult:
+    """An ordered collection of sweep rows with lookup helpers."""
+
+    name: str
+    rows: list[Row] = field(default_factory=list)
+
+    def add(self, row: Row) -> None:
+        self.rows.append(row)
+
+    def by(self, **attrs) -> list[Row]:
+        """Rows whose config matches all given attributes."""
+        out = []
+        for row in self.rows:
+            if all(getattr(row.config, k) == v for k, v in attrs.items()):
+                out.append(row)
+        return out
+
+    def fastest(self) -> Row:
+        if not self.rows:
+            raise ValueError(f"sweep {self.name!r} is empty")
+        return min(self.rows, key=lambda r: r.elapsed)
+
+
+def run_config(config: ExperimentConfig,
+               _cache: dict | None = None) -> Row:
+    """Simulate one configuration.
+
+    ``_cache`` (optional dict) memoizes identical configs across sweeps —
+    experiments share baseline points.
+    """
+    if _cache is not None and config in _cache:
+        return _cache[config]
+    cluster = catalog.by_name(config.processor, n_nodes=config.n_nodes)
+    app = by_name(config.app)
+    placement = JobPlacement(
+        cluster,
+        config.n_ranks,
+        config.n_threads,
+        allocation=config.allocation,
+        binding=config.binding,
+    )
+    job = app.build_job(
+        cluster,
+        placement,
+        dataset=config.dataset,
+        options=config.options,
+        data_policy=config.data_policy,
+    )
+    result: RunResult = run_job(job)
+    row = Row(
+        config=config,
+        elapsed=result.elapsed,
+        gflops=result.achieved_flops_per_s / 1e9,
+        dram_gbytes_per_s=result.dram_bandwidth / 1e9,
+        comm_fraction=result.communication_fraction(),
+    )
+    if _cache is not None:
+        _cache[config] = row
+    return row
+
+
+def run_sweep(name: str, configs: list[ExperimentConfig],
+              _cache: dict | None = None) -> SweepResult:
+    """Simulate every configuration of a sweep, preserving order."""
+    sweep = SweepResult(name)
+    for config in configs:
+        sweep.add(run_config(config, _cache))
+    return sweep

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can guard a whole experiment sweep with a
+single ``except ReproError`` without swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment / machine / placement configuration is inconsistent."""
+
+
+class PlacementError(ConfigurationError):
+    """Ranks or threads cannot be mapped onto the requested hardware."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """All ranks are blocked and no event can make progress."""
+
+
+class CommunicatorError(SimulationError):
+    """Misuse of the simulated MPI API (bad rank, tag, or buffer)."""
+
+
+class CompileError(ReproError):
+    """The compiler model cannot lower a kernel with the given options."""
+
+
+class DatasetError(ReproError):
+    """A miniapp dataset descriptor is unknown or malformed."""

@@ -1,0 +1,21 @@
+"""Kernel descriptor IR and the per-core analytic timing model.
+
+A :class:`~repro.kernels.kernel.LoopKernel` describes one inner loop of a
+miniapp — FLOPs, memory traffic, reuse footprint, vectorizability, and
+instruction-level parallelism per iteration.  The compiler model
+(:mod:`repro.compile`) lowers it to a
+:class:`~repro.compile.compiler.CompiledKernel`, and
+:func:`~repro.kernels.timing.phase_time` turns (compiled kernel x iteration
+count x hardware shares) into seconds with a bottleneck attribution.
+
+:mod:`repro.kernels.presets` provides the recurring kernel classes of the
+Fiber suite (stream, stencil, DGEMM, SpMV, gather-update, integer compare),
+which the miniapp skeletons parameterize.
+"""
+
+from repro.kernels.kernel import LoopKernel
+from repro.kernels.timing import PhaseTiming, phase_time
+from repro.kernels.workingset import level_traffic
+from repro.kernels import presets
+
+__all__ = ["LoopKernel", "PhaseTiming", "phase_time", "level_traffic", "presets"]

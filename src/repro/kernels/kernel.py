@@ -1,0 +1,136 @@
+"""The loop-kernel descriptor.
+
+One :class:`LoopKernel` characterizes one inner loop *per iteration* (an
+iteration is the natural work unit: a lattice site, a grid cell, a particle
+pair, a matrix-block multiply-add...).  The descriptor is deliberately
+architecture-free: everything architecture-specific happens in
+:mod:`repro.compile` (what the compiler makes of the loop) and
+:mod:`repro.kernels.timing` (what the hardware makes of the compiled loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoopKernel:
+    """Per-iteration characterization of an inner loop.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and reports (``"qcd-mult-hopping"``).
+    flops:
+        fp64-equivalent floating-point operations per iteration.
+    fma_fraction:
+        Fraction of ``flops`` expressed as fused multiply-adds.
+    bytes_load / bytes_store:
+        Data touched per iteration (load / store side), before any cache
+        filtering.  This is the L1-level traffic.
+    working_set_bytes:
+        Reuse footprint per thread — the data that must stay resident for
+        the loop's temporal reuse to materialize (stencil planes, a matrix
+        block, the lookup tables).  Compared against cache capacities by
+        :func:`repro.kernels.workingset.level_traffic`.
+    streaming_fraction:
+        Fraction of the traffic that is pure streaming (no temporal reuse —
+        always misses to memory regardless of cache size).  STREAM triad is
+        1.0; a blocked DGEMM is close to 0.
+    vec_fraction:
+        Fraction of the FLOPs that *can* be vectorized (data-dependence
+        limited; the compiler may achieve less, never more).
+    ilp:
+        Average number of independent FP operations available per dependency
+        window in the source loop (before software pipelining).  A
+        reduction has ilp ~ 1-2; an unrolled stencil 4-8; DGEMM micro-kernels
+        16+.
+    contiguous_fraction:
+        Fraction of memory accesses that are unit-stride.  The remainder is
+        treated as gather/scatter (partial cache-line use + latency
+        exposure).
+    int_ops:
+        Integer/logical/compare operations per iteration that are *not* mere
+        address arithmetic (e.g. the NGS Analyzer's string comparisons).
+        These execute on the scalar side unless ``int_vectorizable``.
+    int_vectorizable:
+        Whether the integer work can be vectorized (byte-compare SIMD, as
+        the Fujitsu compiler eventually does for alignment kernels).
+    element_bytes:
+        Floating-point element size: 8 (fp64, default) or 4 (fp32 — twice
+        the SIMD lanes per instruction on every modeled ISA; NICAM and
+        FFVC run parts of their stencils in single precision).
+    """
+
+    name: str
+    flops: float
+    fma_fraction: float = 0.5
+    bytes_load: float = 0.0
+    bytes_store: float = 0.0
+    working_set_bytes: float = 0.0
+    streaming_fraction: float = 1.0
+    vec_fraction: float = 1.0
+    ilp: float = 4.0
+    contiguous_fraction: float = 1.0
+    int_ops: float = 0.0
+    int_vectorizable: bool = False
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.int_ops < 0:
+            raise ConfigurationError(f"{self.name}: op counts must be non-negative")
+        if self.flops == 0 and self.int_ops == 0:
+            raise ConfigurationError(f"{self.name}: kernel does no work")
+        if self.bytes_load < 0 or self.bytes_store < 0:
+            raise ConfigurationError(f"{self.name}: byte counts must be non-negative")
+        for field_name in ("fma_fraction", "streaming_fraction", "vec_fraction",
+                           "contiguous_fraction"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"{self.name}: {field_name} must be in [0, 1]")
+        if self.working_set_bytes < 0:
+            raise ConfigurationError(f"{self.name}: working set must be non-negative")
+        if self.ilp <= 0:
+            raise ConfigurationError(f"{self.name}: ilp must be positive")
+        if self.element_bytes not in (4, 8):
+            raise ConfigurationError(
+                f"{self.name}: element_bytes must be 4 (fp32) or 8 (fp64)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_total(self) -> float:
+        """Data touched per iteration (both directions)."""
+        return self.bytes_load + self.bytes_store
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of touched data (L1-level AI)."""
+        if self.bytes_total == 0:
+            return float("inf")
+        return self.flops / self.bytes_total
+
+    def dram_arithmetic_intensity(self, dram_bytes_per_iter: float) -> float:
+        """FLOPs per byte of *memory* traffic (roofline x-coordinate)."""
+        if dram_bytes_per_iter <= 0:
+            return float("inf")
+        return self.flops / dram_bytes_per_iter
+
+    def scaled(self, factor: float, name: str | None = None) -> "LoopKernel":
+        """A copy with all per-iteration op/byte counts multiplied.
+
+        Used when the natural iteration unit changes (e.g. fusing a site
+        loop into a plane loop).
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or self.name,
+            flops=self.flops * factor,
+            bytes_load=self.bytes_load * factor,
+            bytes_store=self.bytes_store * factor,
+            int_ops=self.int_ops * factor,
+        )

@@ -1,0 +1,220 @@
+"""Recurring kernel classes of the Fiber suite.
+
+The eight miniapps are built from a small set of inner-loop archetypes; each
+factory returns a fully characterized :class:`~repro.kernels.kernel.LoopKernel`
+that the miniapp skeletons parameterize with their problem sizes.  Having
+them in one place also gives the microbenchmark experiments (F7 STREAM
+scaling, roofline corners) canonical kernels to run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.kernel import LoopKernel
+from repro.units import FP64_BYTES
+
+
+def stream_triad() -> LoopKernel:
+    """STREAM triad ``a[i] = b[i] + s * c[i]`` — the bandwidth yardstick.
+
+    Per element: 2 FLOPs (one FMA), 2 loads + 1 store (+ write-allocate on
+    the store stream counted as a load), no reuse.
+    """
+    return LoopKernel(
+        name="stream-triad",
+        flops=2.0,
+        fma_fraction=1.0,
+        bytes_load=3 * FP64_BYTES,   # b, c, write-allocate of a
+        bytes_store=FP64_BYTES,
+        working_set_bytes=0.0,
+        streaming_fraction=1.0,
+        vec_fraction=1.0,
+        ilp=8.0,
+        contiguous_fraction=1.0,
+    )
+
+
+def stencil_star(points: int, planes_bytes: float, *, fields: int = 1) -> LoopKernel:
+    """A star stencil of ``points`` neighbours over ``fields`` coupled fields.
+
+    ``planes_bytes`` is the per-thread reuse footprint (the stencil planes
+    that must stay resident for neighbour reuse).  Per grid cell:
+    ``points`` multiply-adds per field; streaming traffic of one read +
+    one write per field (neighbour reuse absorbs the rest when the planes
+    fit).
+    """
+    if points < 3:
+        raise ConfigurationError("a stencil needs at least 3 points")
+    if fields < 1:
+        raise ConfigurationError("fields must be >= 1")
+    return LoopKernel(
+        name=f"stencil-{points}pt",
+        flops=2.0 * points * fields,
+        fma_fraction=0.9,
+        bytes_load=(points / 2.0) * FP64_BYTES * fields,
+        bytes_store=FP64_BYTES * fields,
+        working_set_bytes=planes_bytes,
+        streaming_fraction=0.35,
+        vec_fraction=1.0,
+        ilp=6.0,
+        contiguous_fraction=0.95,
+    )
+
+
+def dgemm_blocked(block: int = 96) -> LoopKernel:
+    """Blocked DGEMM micro-kernel (per multiply-add on one element pair).
+
+    An iteration is one scalar FMA of the k-loop; traffic per FLOP is tiny
+    because the ``block x block`` tiles live in cache.
+    """
+    if block < 8:
+        raise ConfigurationError("block must be >= 8")
+    ws = 3 * block * block * FP64_BYTES
+    # Per FMA: 2 flops; streaming traffic amortized over the block reuse:
+    # each A/B element is reused `block` times.
+    bytes_per_fma = 2.0 * FP64_BYTES / block
+    return LoopKernel(
+        name=f"dgemm-b{block}",
+        flops=2.0,
+        fma_fraction=1.0,
+        bytes_load=bytes_per_fma,
+        bytes_store=bytes_per_fma / 4.0,
+        working_set_bytes=ws,
+        streaming_fraction=0.02,
+        vec_fraction=1.0,
+        ilp=24.0,
+        contiguous_fraction=1.0,
+    )
+
+
+def spmv_csr(nnz_per_row: float, row_bytes: float) -> LoopKernel:
+    """Sparse matrix-vector product, CSR, per non-zero.
+
+    Per nnz: one FMA (2 FLOPs); loads the value (8 B) + column index (4 B)
+    streams plus an indirect read of x (gather).  ``row_bytes`` is the
+    per-thread x-vector footprint that can be reused.
+    """
+    if nnz_per_row <= 0 or row_bytes < 0:
+        raise ConfigurationError("bad SpMV parameters")
+    return LoopKernel(
+        name="spmv-csr",
+        flops=2.0,
+        fma_fraction=1.0,
+        bytes_load=8.0 + 4.0 + 8.0,   # A value, col index, x gather
+        bytes_store=8.0 / nnz_per_row,
+        working_set_bytes=row_bytes,
+        streaming_fraction=0.6,
+        vec_fraction=0.8,
+        ilp=4.0,
+        contiguous_fraction=0.6,
+    )
+
+
+def particle_pair_force(cutoff_pairs: float = 1.0) -> LoopKernel:
+    """Short-range MD pair force (Lennard-Jones-like), per pair.
+
+    ~30 FLOPs per pair (distances, r^-6, force accumulation), gathers of
+    neighbour coordinates through the cell list.
+    """
+    if cutoff_pairs <= 0:
+        raise ConfigurationError("cutoff_pairs must be positive")
+    return LoopKernel(
+        name="md-pair-force",
+        flops=30.0,
+        fma_fraction=0.6,
+        bytes_load=6 * FP64_BYTES,    # xj(3) gathered + xi(3) cached
+        bytes_store=3 * FP64_BYTES / 8.0,
+        working_set_bytes=256 * 1024,  # cell-list neighbourhood
+        streaming_fraction=0.3,
+        vec_fraction=0.85,
+        ilp=8.0,
+        contiguous_fraction=0.5,
+    )
+
+
+def complex_matvec_su3() -> LoopKernel:
+    """SU(3) matrix x spinor multiply (lattice QCD hopping term), per site
+    and direction: 3x3 complex matrix times 2 projected spinors.
+
+    66 complex FMAs ~ 264 real FLOPs per site-direction (projection +
+    reconstruction folded in).  Gauge links stream; spinors have
+    neighbour reuse.
+    """
+    return LoopKernel(
+        name="qcd-su3-matvec",
+        flops=264.0,
+        fma_fraction=0.85,
+        bytes_load=(18 + 24) * FP64_BYTES,  # link (3x3 cplx) + spinor (12 cplx / 2)
+        bytes_store=12 * FP64_BYTES,
+        working_set_bytes=2 * 1024 * 1024,
+        streaming_fraction=0.55,
+        vec_fraction=0.95,
+        ilp=12.0,
+        contiguous_fraction=0.9,
+    )
+
+
+def integer_compare_scan(table_bytes: float) -> LoopKernel:
+    """Sequence-alignment style integer kernel (NGS Analyzer), per base.
+
+    Dominated by byte compares, table lookups and branches; essentially no
+    floating point; vectorizable only by an aggressive byte-SIMD compiler.
+    """
+    if table_bytes < 0:
+        raise ConfigurationError("table_bytes must be non-negative")
+    return LoopKernel(
+        name="int-compare-scan",
+        flops=0.5,                      # occasional score arithmetic
+        fma_fraction=0.0,
+        bytes_load=12.0,
+        bytes_store=2.0,
+        working_set_bytes=table_bytes,
+        streaming_fraction=0.5,
+        vec_fraction=0.1,
+        ilp=2.0,
+        contiguous_fraction=0.7,
+        int_ops=24.0,
+        int_vectorizable=True,
+    )
+
+
+def dense_update_pfaffian(n: int) -> LoopKernel:
+    """mVMC Pfaffian/Slater-matrix rank-1 update, per matrix element.
+
+    BLAS-2-like: one FMA per element, row/column streams with the matrix
+    resident when it fits.
+    """
+    if n < 2:
+        raise ConfigurationError("matrix dimension must be >= 2")
+    return LoopKernel(
+        name=f"pfaffian-update-n{n}",
+        flops=2.0,
+        fma_fraction=1.0,
+        bytes_load=2 * FP64_BYTES,
+        bytes_store=FP64_BYTES,
+        working_set_bytes=float(n * n * FP64_BYTES),
+        streaming_fraction=0.2,
+        vec_fraction=0.9,
+        ilp=3.0,                      # short dependent updates
+        contiguous_fraction=0.85,
+    )
+
+
+def fem_element_assembly(nodes_per_elem: int = 8) -> LoopKernel:
+    """FEM element-matrix computation + scatter-add (FFB), per element node
+    pair: dense small-matrix work plus indirect accumulation.
+    """
+    if nodes_per_elem < 2:
+        raise ConfigurationError("nodes_per_elem must be >= 2")
+    return LoopKernel(
+        name="fem-element-assembly",
+        flops=40.0,
+        fma_fraction=0.7,
+        bytes_load=10 * FP64_BYTES,
+        bytes_store=3 * FP64_BYTES,
+        working_set_bytes=1 * 1024 * 1024,
+        streaming_fraction=0.45,
+        vec_fraction=0.7,
+        ilp=5.0,
+        contiguous_fraction=0.55,
+    )

@@ -1,0 +1,105 @@
+"""Cache-level traffic estimation.
+
+Splits a kernel's touched bytes into the traffic each memory-hierarchy level
+must carry.  Two components:
+
+* **streaming traffic** (``streaming_fraction``) passes through every level
+  untouched — it always goes to DRAM;
+* **reuse traffic** is filtered by each level according to whether the
+  kernel's per-thread ``working_set_bytes`` fits
+  (:meth:`repro.machine.cache.CacheSpec.hit_fraction`).
+
+Gather/scatter access additionally inflates the traffic below L1 by the
+inverse line utilization — fetching a 256-byte A64FX line to use 8 bytes of
+it costs the full line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheSpec
+from repro.kernels.kernel import LoopKernel
+
+
+@dataclass(frozen=True)
+class LevelTraffic:
+    """Bytes per iteration each level must move for one kernel iteration.
+
+    ``l1_miss_fraction`` / ``l2_miss_fraction`` are the fractions of
+    *accesses* that fall through each level — used by the latency model for
+    gather exposure (distinct from the byte ratios, which include the
+    line-utilization inflation).
+    """
+
+    l1_bytes: float
+    l2_bytes: float
+    dram_bytes: float
+    l1_miss_fraction: float = 0.0
+    l2_miss_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.l1_bytes, self.l2_bytes, self.dram_bytes) < 0:
+            raise ConfigurationError("traffic must be non-negative")
+        for f in (self.l1_miss_fraction, self.l2_miss_fraction):
+            if not 0.0 <= f <= 1.0:
+                raise ConfigurationError("miss fractions must be in [0, 1]")
+
+
+def level_traffic(
+    kernel: LoopKernel,
+    l1: CacheSpec,
+    l2: CacheSpec,
+    working_set_scale: float = 1.0,
+) -> LevelTraffic:
+    """Traffic per iteration at L1, L2 and DRAM for ``kernel``.
+
+    Parameters
+    ----------
+    kernel:
+        The loop descriptor.
+    l1, l2:
+        The cache levels of the executing core's domain.
+    working_set_scale:
+        Multiplier on the kernel's per-thread working set.  The OpenMP layer
+        uses this to model *constructive sharing* in a shared L2: threads of
+        the same rank working on adjacent chunks share stencil halos and
+        tables, so the per-thread footprint in the shared level shrinks
+        (scale < 1) — while threads of distinct MPI ranks sharing a CMG each
+        bring their own copy (scale = 1).
+    """
+    if working_set_scale <= 0:
+        raise ConfigurationError("working_set_scale must be positive")
+
+    touched = kernel.bytes_total
+    if touched == 0:
+        return LevelTraffic(0.0, 0.0, 0.0)
+
+    ws = kernel.working_set_bytes * working_set_scale
+    streaming = touched * kernel.streaming_fraction
+    reuse = touched - streaming
+
+    # All touched data moves through L1 by definition.
+    l1_bytes = touched
+
+    # Reuse traffic is absorbed by L1 to the extent the footprint fits;
+    # what misses L1 inflates by the L2 line utilization for gathers.
+    l1_hit = l1.hit_fraction(ws)
+    below_l1 = streaming + reuse * (1.0 - l1_hit)
+    l2_util = l2.effective_line_utilization(kernel.contiguous_fraction)
+    l2_bytes = below_l1 / l2_util
+
+    # Of the reuse traffic that missed L1, L2 absorbs its share.
+    l2_hit = l2.hit_fraction(ws)
+    reuse_below_l1 = reuse * (1.0 - l1_hit)
+    below_l2 = streaming + reuse_below_l1 * (1.0 - l2_hit)
+    dram_bytes = below_l2 / l2_util
+
+    return LevelTraffic(
+        l1_bytes=l1_bytes,
+        l2_bytes=l2_bytes,
+        dram_bytes=dram_bytes,
+        l1_miss_fraction=below_l1 / touched,
+        l2_miss_fraction=(below_l2 / below_l1) if below_l1 > 0 else 0.0,
+    )

@@ -1,0 +1,46 @@
+"""Hardware substrate: processor, memory-hierarchy, and interconnect models.
+
+The paper measures real silicon (A64FX, Xeon Skylake-SP, ThunderX2).  This
+package replaces the silicon with parameterized analytic models that expose
+the same performance-relevant structure:
+
+* :class:`~repro.machine.core.CoreSpec` — per-core execution resources
+  (frequency, SIMD width, FMA pipes, out-of-order window, scalar issue).
+* :class:`~repro.machine.cache.CacheSpec` — capacities, line sizes,
+  latencies, and per-level bandwidths.
+* :class:`~repro.machine.memory.MemorySpec` — HBM2 / DDR4 channel models
+  with a shared-bandwidth contention curve.
+* :class:`~repro.machine.numa.NumaDomain` — the A64FX CMG (and the Xeon
+  socket/sub-NUMA domain): cores + shared L2 + local memory.
+* :class:`~repro.machine.numa.Chip` / :class:`~repro.machine.numa.Node` —
+  aggregation with inter-domain links.
+* :class:`~repro.machine.interconnect.InterconnectSpec` — Tofu-D and
+  InfiniBand models used for multi-node runs.
+* :class:`~repro.machine.topology.Cluster` — nodes + interconnect, global
+  core addressing used by the placement machinery.
+* :mod:`~repro.machine.catalog` — the concrete processor parameter sets
+  evaluated in the paper.
+"""
+
+from repro.machine.cache import CacheSpec
+from repro.machine.core import CoreSpec
+from repro.machine.interconnect import InterconnectSpec, infiniband_edr, tofu_d
+from repro.machine.memory import MemorySpec
+from repro.machine.numa import Chip, Node, NumaDomain
+from repro.machine.topology import Cluster, CoreAddress
+from repro.machine import catalog
+
+__all__ = [
+    "CacheSpec",
+    "CoreSpec",
+    "MemorySpec",
+    "NumaDomain",
+    "Chip",
+    "Node",
+    "Cluster",
+    "CoreAddress",
+    "InterconnectSpec",
+    "tofu_d",
+    "infiniband_edr",
+    "catalog",
+]

@@ -1,0 +1,93 @@
+"""Cache-level model.
+
+Caches enter the performance model in two ways:
+
+1. **Traffic filtering** — a kernel whose per-thread working set fits in a
+   level absorbs (most of) its traffic there instead of the level below
+   (:func:`hit_fraction` provides a smooth capacity transition, avoiding the
+   unphysical cliff of an exact step function).
+2. **Bandwidth ceilings** — each level sustains a finite number of bytes per
+   cycle; the ECM-style per-core timing in :mod:`repro.kernels.timing` takes
+   the max over levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One level of the cache hierarchy.
+
+    Parameters
+    ----------
+    level:
+        1 for L1, 2 for L2, ...
+    capacity_bytes:
+        Total capacity of this cache instance.
+    line_bytes:
+        Cache-line size (64 B on Xeon, 256 B on A64FX L2 — the large line
+        matters for gather-heavy kernels, which waste most of each line).
+    latency_cycles:
+        Load-to-use latency.
+    bytes_per_cycle:
+        Sustained bandwidth between this level and the cores it serves,
+        in bytes per core-cycle *per consuming core* for private caches, or
+        aggregate for shared caches (see ``shared``).
+    shared:
+        True if the cache is shared by all cores of its NUMA domain (the
+        A64FX L2); False for private caches (L1D).
+    """
+
+    level: int
+    capacity_bytes: int
+    line_bytes: int
+    latency_cycles: float
+    bytes_per_cycle: float
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ConfigurationError("cache level must be >= 1")
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError("line_bytes must be a positive power of two")
+        if self.latency_cycles < 0 or self.bytes_per_cycle <= 0:
+            raise ConfigurationError("cache latency/bandwidth out of range")
+
+    def hit_fraction(self, working_set_bytes: float) -> float:
+        """Fraction of accesses served by this level for a streaming-reuse
+        working set of the given size.
+
+        Uses a smooth logistic roll-off around the capacity point: a working
+        set at half capacity hits essentially always, at 1x capacity ~50%
+        (conflict + shared-occupancy effects), at 4x capacity essentially
+        never.  The 8-way-associative LRU behaviour of real caches on
+        looped-streaming access motivates the steepness chosen here.
+        """
+        if working_set_bytes < 0:
+            raise ConfigurationError("working set must be non-negative")
+        if working_set_bytes == 0:
+            return 1.0
+        ratio = working_set_bytes / self.capacity_bytes
+        # logistic in log-space centred at ratio == 1
+        return 1.0 / (1.0 + math.exp(3.2 * math.log(max(ratio, 1e-12))))
+
+    def effective_line_utilization(self, contiguous_fraction: float) -> float:
+        """Fraction of each fetched line actually consumed.
+
+        Contiguous (unit-stride) access consumes full lines; indirect
+        (gather) access consumes one element (8 B) of each line.  Large
+        lines — the A64FX's 256 B L2 line — are penalized heavily by
+        gathers, which is one of the mechanisms behind its poor "as-is"
+        performance on irregular miniapps.
+        """
+        if not 0.0 <= contiguous_fraction <= 1.0:
+            raise ConfigurationError("contiguous_fraction must be in [0, 1]")
+        gather_util = 8.0 / self.line_bytes
+        return contiguous_fraction + (1.0 - contiguous_fraction) * gather_util

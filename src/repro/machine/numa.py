@@ -1,0 +1,187 @@
+"""NUMA aggregation: domains (CMGs), chips, and nodes.
+
+The A64FX is organized as 4 *Core Memory Groups* (CMGs) of 12 compute cores,
+each with a shared 8 MiB L2 and a private HBM2 stack; the CMGs are joined by
+an on-chip ring bus.  A dual-socket Xeon node maps onto the same structure
+(2 domains of 24 cores joined by UPI).  All placement effects in the paper —
+thread stride, rank-per-CMG packing, first-touch locality — reduce to *which
+domain a thread's cycles and which domain its data live in*, which is what
+these classes answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheSpec
+from repro.machine.core import CoreSpec
+from repro.machine.memory import MemorySpec
+
+
+@dataclass(frozen=True)
+class NumaDomain:
+    """One NUMA domain: ``n_cores`` identical cores + shared L2 + memory."""
+
+    name: str
+    core: CoreSpec
+    n_cores: int
+    l1d: CacheSpec
+    l2: CacheSpec
+    memory: MemorySpec
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError(f"{self.name}: need at least one core")
+        if self.l1d.shared:
+            raise ConfigurationError(f"{self.name}: L1D must be core-private")
+        if self.l1d.level != 1 or self.l2.level != 2:
+            raise ConfigurationError(f"{self.name}: expected L1 then L2 levels")
+
+    @property
+    def peak_flops_fp64(self) -> float:
+        return self.n_cores * self.core.peak_flops_fp64
+
+    def l2_bandwidth_share(self, active_cores: int) -> float:
+        """Per-core share of L2 bandwidth, bytes/s.
+
+        A shared L2 (A64FX) divides its aggregate bandwidth among active
+        cores but never gives one core more than ~1/3 of the aggregate (the
+        per-port limit); a private/sliced L2 gives each core its full
+        per-core figure.
+        """
+        if active_cores < 1:
+            raise ConfigurationError("active_cores must be positive")
+        per_cycle = self.l2.bytes_per_cycle * self.core.freq_hz
+        if not self.l2.shared:
+            return per_cycle
+        single_core_cap = per_cycle / 3.0
+        return min(single_core_cap, per_cycle / active_cores)
+
+
+@dataclass(frozen=True)
+class Chip:
+    """A processor package: one or more NUMA domains on a die/socket.
+
+    ``inter_domain_bandwidth`` / ``inter_domain_latency_s`` describe the
+    on-chip ring (A64FX) or on-package mesh.  Remote memory accesses (a
+    thread in domain i touching memory of domain j) are throttled to
+    ``remote_access_fraction`` of the home domain's bandwidth and charged
+    the ring latency — the first-touch NUMA penalty.
+    """
+
+    name: str
+    domains: tuple[NumaDomain, ...]
+    inter_domain_bandwidth: float
+    inter_domain_latency_s: float
+    remote_access_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ConfigurationError(f"{self.name}: chip needs at least one domain")
+        if len(self.domains) > 1:
+            if self.inter_domain_bandwidth <= 0 or self.inter_domain_latency_s < 0:
+                raise ConfigurationError(f"{self.name}: inter-domain link invalid")
+        if not 0.0 < self.remote_access_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: remote_access_fraction in (0, 1]")
+
+    @property
+    def n_cores(self) -> int:
+        return sum(d.n_cores for d in self.domains)
+
+    @property
+    def peak_flops_fp64(self) -> float:
+        return sum(d.peak_flops_fp64 for d in self.domains)
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        return sum(d.memory.peak_bandwidth for d in self.domains)
+
+    @property
+    def sustained_memory_bandwidth(self) -> float:
+        return sum(d.memory.sustained_bandwidth for d in self.domains)
+
+    def domain_of_core(self, core_index: int) -> int:
+        """Domain index owning chip-local core ``core_index``."""
+        if not 0 <= core_index < self.n_cores:
+            raise ConfigurationError(
+                f"{self.name}: core {core_index} out of range 0..{self.n_cores - 1}"
+            )
+        base = 0
+        for i, d in enumerate(self.domains):
+            if core_index < base + d.n_cores:
+                return i
+            base += d.n_cores
+        raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class Node:
+    """One cluster node: one or more chips plus a NIC injection limit."""
+
+    name: str
+    chips: tuple[Chip, ...]
+    inter_chip_bandwidth: float = 0.0
+    inter_chip_latency_s: float = 0.0
+    nic_injection_bandwidth: float = 6.8e9
+    memory_per_node_hint: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise ConfigurationError(f"{self.name}: node needs at least one chip")
+        if len(self.chips) > 1 and self.inter_chip_bandwidth <= 0:
+            raise ConfigurationError(
+                f"{self.name}: multi-chip node needs an inter-chip link"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return sum(c.n_cores for c in self.chips)
+
+    @property
+    def n_domains(self) -> int:
+        return sum(len(c.domains) for c in self.chips)
+
+    @property
+    def peak_flops_fp64(self) -> float:
+        return sum(c.peak_flops_fp64 for c in self.chips)
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        return sum(c.peak_memory_bandwidth for c in self.chips)
+
+    @property
+    def sustained_memory_bandwidth(self) -> float:
+        return sum(c.sustained_memory_bandwidth for c in self.chips)
+
+    def flat_domains(self) -> tuple[NumaDomain, ...]:
+        """All NUMA domains of the node, in (chip, domain) order."""
+        out: list[NumaDomain] = []
+        for c in self.chips:
+            out.extend(c.domains)
+        return tuple(out)
+
+    def domain_of_core(self, core_index: int) -> int:
+        """Node-global domain index owning node-local core ``core_index``."""
+        if not 0 <= core_index < self.n_cores:
+            raise ConfigurationError(
+                f"{self.name}: core {core_index} out of range 0..{self.n_cores - 1}"
+            )
+        base_core = 0
+        base_dom = 0
+        for c in self.chips:
+            if core_index < base_core + c.n_cores:
+                return base_dom + c.domain_of_core(core_index - base_core)
+            base_core += c.n_cores
+            base_dom += len(c.domains)
+        raise AssertionError("unreachable")
+
+    def cores_of_domain(self, domain_index: int) -> range:
+        """Node-local core indices belonging to node-global domain index."""
+        doms = self.flat_domains()
+        if not 0 <= domain_index < len(doms):
+            raise ConfigurationError(
+                f"{self.name}: domain {domain_index} out of range 0..{len(doms) - 1}"
+            )
+        start = sum(d.n_cores for d in doms[:domain_index])
+        return range(start, start + doms[domain_index].n_cores)

@@ -1,0 +1,192 @@
+"""Chip power model and the A64FX power-control modes.
+
+The A64FX exposes three power knobs the companion evaluation papers
+(Kodama et al., "Evaluation of Power Management Control on the
+Supercomputer Fugaku") study and that this model reproduces:
+
+* **eco mode** — one of the two FLA (FMA) pipelines is disabled and the
+  core supply is lowered: compute throughput halves, core power drops by
+  ~1/3; memory-bound codes keep their performance and save energy.
+* **boost mode** — +10% clock at ~+17% core power.
+* **core retention** — unused cores drop to a low-power state, so power
+  scales with the *active* core count.
+
+The energy model is the standard decomposition::
+
+    P = P_uncore + P_mem_static
+        + n_active * P_core(util) + n_idle * P_retention
+        + dram_traffic * E_per_byte / t
+
+with ``P_core(util)`` linear between an active-idle floor and the
+full-throughput figure.  Parameters are calibrated to the published
+chip-level figures (A64FX ~120-160 W under load, dual-socket Skylake
+~300 W, ThunderX2 ~360 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Recognized power-control modes.
+MODES = ("normal", "eco", "boost")
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Static power parameters of one node.
+
+    Parameters
+    ----------
+    name:
+        Matches the cluster/catalog name.
+    uncore_watts:
+        Chip-static + on-chip fabric + NIC power, whole node.
+    mem_static_watts:
+        Memory-device static power (HBM stacks / DIMMs), whole node.
+    core_max_watts:
+        One core running flat-out (SIMD pipes busy).
+    core_active_idle_watts:
+        One clocked core doing nothing (stalled on memory still costs
+        roughly this plus a traffic share).
+    core_retention_watts:
+        One core parked in the retention state.
+    dram_pj_per_byte:
+        Dynamic memory energy (HBM2 ~ 30 pJ/B, DDR4 ~ 60 pJ/B).
+    """
+
+    name: str
+    uncore_watts: float
+    mem_static_watts: float
+    core_max_watts: float
+    core_active_idle_watts: float
+    core_retention_watts: float
+    dram_pj_per_byte: float
+
+    def __post_init__(self) -> None:
+        vals = (self.uncore_watts, self.mem_static_watts, self.core_max_watts,
+                self.core_active_idle_watts, self.core_retention_watts,
+                self.dram_pj_per_byte)
+        if any(v < 0 for v in vals):
+            raise ConfigurationError(f"{self.name}: power params must be >= 0")
+        if self.core_active_idle_watts > self.core_max_watts:
+            raise ConfigurationError(
+                f"{self.name}: active-idle power above max core power"
+            )
+
+    # ------------------------------------------------------------------
+    def core_power(self, utilization: float) -> float:
+        """Power of one active core at the given pipeline utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization must be in [0, 1]")
+        return (self.core_active_idle_watts
+                + utilization * (self.core_max_watts
+                                 - self.core_active_idle_watts))
+
+    def node_power(
+        self,
+        active_cores: int,
+        total_cores: int,
+        utilization: float,
+        dram_bytes_per_s: float = 0.0,
+    ) -> float:
+        """Average node power draw, watts."""
+        if not 0 <= active_cores <= total_cores:
+            raise ConfigurationError("active cores out of range")
+        if dram_bytes_per_s < 0:
+            raise ConfigurationError("bandwidth must be non-negative")
+        idle = total_cores - active_cores
+        return (
+            self.uncore_watts
+            + self.mem_static_watts
+            + active_cores * self.core_power(utilization)
+            + idle * self.core_retention_watts
+            + dram_bytes_per_s * self.dram_pj_per_byte * 1e-12
+        )
+
+    def with_mode(self, mode: str) -> "PowerSpec":
+        """The spec under a power-control mode (A64FX semantics)."""
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"unknown power mode {mode!r}; choose from {MODES}"
+            )
+        if mode == "normal":
+            return self
+        if mode == "eco":
+            # one FMA pipe off + lowered supply: ~ -35% core power
+            return replace(
+                self,
+                name=f"{self.name}-eco",
+                core_max_watts=self.core_max_watts * 0.65,
+                core_active_idle_watts=self.core_active_idle_watts * 0.8,
+            )
+        # boost: +10% clock, ~ +17% core power (published Fugaku figure)
+        return replace(
+            self,
+            name=f"{self.name}-boost",
+            core_max_watts=self.core_max_watts * 1.17,
+            core_active_idle_watts=self.core_active_idle_watts * 1.1,
+        )
+
+
+#: Node power parameterizations, keyed by catalog cluster name.
+POWER_SPECS: dict[str, PowerSpec] = {
+    "A64FX": PowerSpec(
+        name="A64FX",
+        uncore_watts=25.0,
+        mem_static_watts=16.0,          # 4 HBM2 stacks
+        core_max_watts=1.4,
+        core_active_idle_watts=0.55,
+        core_retention_watts=0.10,
+        dram_pj_per_byte=30.0,
+    ),
+    "A64FX-FX700": PowerSpec(
+        name="A64FX-FX700",
+        uncore_watts=22.0,
+        mem_static_watts=16.0,
+        core_max_watts=1.1,             # 1.8 GHz at lower voltage
+        core_active_idle_watts=0.45,
+        core_retention_watts=0.10,
+        dram_pj_per_byte=30.0,
+    ),
+    "Xeon-Skylake": PowerSpec(
+        name="Xeon-Skylake",
+        uncore_watts=70.0,              # 2 sockets' uncore + fabric
+        mem_static_watts=24.0,          # 12 DIMMs
+        core_max_watts=5.0,
+        core_active_idle_watts=1.8,
+        core_retention_watts=0.5,
+        dram_pj_per_byte=60.0,
+    ),
+    "ThunderX2": PowerSpec(
+        name="ThunderX2",
+        uncore_watts=80.0,
+        mem_static_watts=32.0,          # 16 DIMMs
+        core_max_watts=4.5,
+        core_active_idle_watts=1.6,
+        core_retention_watts=0.5,
+        dram_pj_per_byte=60.0,
+    ),
+    "SPARC64-VIIIfx": PowerSpec(
+        name="SPARC64-VIIIfx",
+        uncore_watts=15.0,
+        mem_static_watts=8.0,
+        core_max_watts=4.5,
+        core_active_idle_watts=1.8,
+        core_retention_watts=0.8,
+        dram_pj_per_byte=50.0,
+    ),
+}
+
+
+def power_spec(cluster_name: str, mode: str = "normal") -> PowerSpec:
+    """Look up a node power spec by catalog name and mode."""
+    try:
+        spec = POWER_SPECS[cluster_name]
+    except KeyError:
+        raise KeyError(
+            f"no power spec for {cluster_name!r}; "
+            f"available: {sorted(POWER_SPECS)}"
+        ) from None
+    return spec.with_mode(mode)

@@ -1,0 +1,73 @@
+"""Parallel-filesystem model.
+
+The data-analysis miniapp (NGS Analyzer) streams read files in and result
+files out through a shared parallel filesystem (FEFS/Lustre on the real
+systems).  The model has the two limits that matter:
+
+* a **per-node** bandwidth ceiling (client-side, through the NIC), and
+* a shared **aggregate** ceiling across the whole cluster, arbitrated
+  first-come-first-served by the executor's storage resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB_S, MS
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Shared filesystem parameters.
+
+    Parameters
+    ----------
+    name:
+        ``"FEFS"``, ``"Lustre"``, ...
+    aggregate_bandwidth:
+        Total filesystem bandwidth across all clients, bytes/s.
+    per_node_bandwidth:
+        One client's ceiling, bytes/s.
+    open_latency_s:
+        Metadata cost per operation (open + first byte).
+    """
+
+    name: str
+    aggregate_bandwidth: float
+    per_node_bandwidth: float
+    open_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.aggregate_bandwidth <= 0 or self.per_node_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidths must be positive")
+        if self.per_node_bandwidth > self.aggregate_bandwidth:
+            raise ConfigurationError(
+                f"{self.name}: one node cannot exceed the aggregate"
+            )
+        if self.open_latency_s < 0:
+            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+
+    def transfer_seconds(self, size_bytes: float) -> float:
+        """Uncontended time for one node to move ``size_bytes``."""
+        if size_bytes < 0:
+            raise ConfigurationError("size must be non-negative")
+        return self.open_latency_s + size_bytes / self.per_node_bandwidth
+
+    def aggregate_seconds(self, size_bytes: float) -> float:
+        """Time the payload occupies the shared aggregate channel."""
+        if size_bytes < 0:
+            raise ConfigurationError("size must be non-negative")
+        return size_bytes / self.aggregate_bandwidth
+
+
+def fefs() -> StorageSpec:
+    """K/Fugaku-generation FEFS-class filesystem."""
+    return StorageSpec(name="FEFS", aggregate_bandwidth=150 * GB_S,
+                       per_node_bandwidth=3 * GB_S, open_latency_s=2 * MS)
+
+
+def lustre() -> StorageSpec:
+    """Generic mid-size Lustre."""
+    return StorageSpec(name="Lustre", aggregate_bandwidth=50 * GB_S,
+                       per_node_bandwidth=2 * GB_S, open_latency_s=3 * MS)

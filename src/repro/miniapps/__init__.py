@@ -1,0 +1,47 @@
+"""The Fiber Miniapp Suite.
+
+Eight miniapps, each carrying (i) a real executable NumPy implementation of
+its numerical core (``physics``) and (ii) a performance skeleton replayed
+on the simulator (``skeleton``).  :data:`SUITE` is the registry the
+experiments iterate over.
+"""
+
+from repro.miniapps.base import Dataset, MiniApp
+from repro.miniapps.ccs_qcd import CcsQcd
+from repro.miniapps.ffb import Ffb
+from repro.miniapps.ffvc import Ffvc
+from repro.miniapps.modylas import Modylas
+from repro.miniapps.mvmc import Mvmc
+from repro.miniapps.ngsa import Ngsa
+from repro.miniapps.nicam import NicamDc
+from repro.miniapps.ntchem import NtChem
+
+#: All eight Fiber miniapps, keyed by short name.
+SUITE: dict[str, MiniApp] = {
+    app.name: app
+    for app in (
+        CcsQcd(),
+        Ffvc(),
+        NicamDc(),
+        Mvmc(),
+        Ngsa(),
+        Modylas(),
+        NtChem(),
+        Ffb(),
+    )
+}
+
+
+def by_name(name: str) -> MiniApp:
+    """Look a miniapp up by its short name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown miniapp {name!r}; available: {sorted(SUITE)}"
+        ) from None
+
+
+__all__ = ["Dataset", "MiniApp", "SUITE", "by_name",
+           "CcsQcd", "Ffvc", "NicamDc", "Mvmc", "Ngsa", "Modylas",
+           "NtChem", "Ffb"]

@@ -1,0 +1,147 @@
+"""Miniapp abstraction.
+
+Each Fiber miniapp is represented twice:
+
+* ``physics.py`` — a *real, executable* NumPy implementation of the
+  algorithm (a BiCGStab lattice solver, a pressure-Poisson CFD step, an MD
+  integrator, ...), validated by the test suite.  This keeps the
+  reproduction honest: the kernels we time are kernels we actually run.
+* ``skeleton.py`` — the *performance skeleton*: the per-rank phase program
+  (compute kernels + MPI operations per solver iteration / timestep) that
+  the simulator replays on the machine model, parameterized by the data
+  set.
+
+:class:`MiniApp` binds the two together and provides ``build_job`` — the
+one-liner the experiments use.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.compile.options import CompilerOptions, PRESETS
+from repro.errors import DatasetError
+from repro.kernels.kernel import LoopKernel
+from repro.machine.topology import Cluster
+from repro.runtime.executor import Job
+from repro.runtime.placement import JobPlacement
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One named problem configuration of a miniapp.
+
+    ``"as-is"`` mirrors the data set shipped with the Fiber suite (small —
+    the configuration whose poor out-of-the-box A64FX performance the paper
+    discusses); ``"large"`` is a production-scale strong-scaling set.
+    """
+
+    name: str
+    description: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.params[key]
+        except KeyError:
+            raise DatasetError(
+                f"dataset {self.name!r} has no parameter {key!r}"
+            ) from None
+
+
+class MiniApp(abc.ABC):
+    """One miniapp of the suite."""
+
+    #: Short identifier ("ccs-qcd").
+    name: str = ""
+    #: Full name as in the suite ("CCS QCD Solver Benchmark").
+    full_name: str = ""
+    #: One-line description of algorithm + domain.
+    description: str = ""
+    #: Dominant performance character ("memory", "compute", "integer",
+    #: "mixed") — used by the report tables.
+    character: str = "mixed"
+
+    def __init__(self) -> None:
+        if not self.name:
+            raise TypeError(f"{type(self).__name__} must set a name")
+        self._datasets = {d.name: d for d in self.make_datasets()}
+        if "as-is" not in self._datasets:
+            raise DatasetError(f"{self.name}: every miniapp needs an 'as-is' dataset")
+
+    # ------------------------------------------------------------------
+    # subclass API
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def make_datasets(self) -> list[Dataset]:
+        """The data sets this app supports (must include ``as-is``)."""
+
+    @abc.abstractmethod
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        """Named loop kernels of this app for one dataset."""
+
+    @abc.abstractmethod
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        """Rank-program factory for one dataset and rank count."""
+
+    def communicators(self, n_ranks: int) -> dict[str, tuple[int, ...]] | None:
+        """Extra communicators (default: none beyond world)."""
+        return None
+
+    def weak_dataset(self, factor: int) -> Dataset:
+        """A dataset grown by ``factor`` for weak-scaling studies.
+
+        Grid-decomposed apps override this; others raise
+        :class:`~repro.errors.DatasetError`.
+        """
+        raise DatasetError(
+            f"{self.name} does not define weak-scaling datasets"
+        )
+
+    def register_dataset(self, dataset: Dataset) -> None:
+        """Add a (generated) dataset so ``build_job`` can reference it."""
+        self._datasets[dataset.name] = dataset
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def datasets(self) -> dict[str, Dataset]:
+        return dict(self._datasets)
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise DatasetError(
+                f"{self.name} has no dataset {name!r}; "
+                f"available: {sorted(self._datasets)}"
+            ) from None
+
+    def build_job(
+        self,
+        cluster: Cluster,
+        placement: JobPlacement,
+        dataset: str = "as-is",
+        options: CompilerOptions | None = None,
+        data_policy: str = "first-touch",
+    ) -> Job:
+        """Assemble a simulatable :class:`~repro.runtime.executor.Job`."""
+        ds = self.dataset(dataset)
+        n_ranks = placement.n_ranks
+        return Job(
+            cluster=cluster,
+            placement=placement,
+            kernels=self.kernels(ds),
+            program=self.make_program(ds, n_ranks),
+            options=options if options is not None else PRESETS["kfast"],
+            data_policy=data_policy,
+            communicators=self.communicators(n_ranks),
+            name=f"{self.name}/{dataset}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<MiniApp {self.name}>"

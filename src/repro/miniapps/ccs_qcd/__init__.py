@@ -1,0 +1,12 @@
+"""CCS QCD Solver Benchmark (lattice quantum chromodynamics).
+
+The Fiber suite's CCS-QCD solves the Wilson-fermion linear system
+``D x = b`` on a 4D space-time lattice with a BiCGStab solver; the hot loop
+is the hopping term — SU(3) matrix times projected spinor per site and
+direction.  :mod:`physics` implements the operator and solver for real
+(NumPy) and :mod:`skeleton` carries its cost signature into the simulator.
+"""
+
+from repro.miniapps.ccs_qcd.skeleton import CcsQcd
+
+__all__ = ["CcsQcd"]

@@ -1,0 +1,211 @@
+"""Clover improvement and even-odd preconditioning (executable).
+
+The real CCS-QCD benchmark solves the *clover-improved* Wilson operator
+with *even-odd (red-black) preconditioning*; this module adds both on top
+of :mod:`repro.miniapps.ccs_qcd.physics`:
+
+* :func:`field_strength` — the clover-leaf (four-plaquette) discretization
+  of the gauge field strength ``F_munu``;
+* :func:`clover_term` — the site-local term
+  ``A(x) = 1 - (c_sw kappa / 2) sum_{mu<nu} sigma_munu x F_munu(x)``
+  as a batch of Hermitian 12x12 matrices;
+* :func:`wilson_clover_dirac` — ``D = A - kappa H``;
+* :func:`solve_eo_preconditioned` — the Schur-complement solve on odd
+  sites with even-site back-substitution, exactly the benchmark's solver
+  structure.
+
+Validated invariants (see the test suite): ``A`` is Hermitian and reduces
+to the identity on a unit gauge field; the full operator keeps
+gamma5-hermiticity; the even-odd solve agrees with the unpreconditioned
+solve to solver tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ccs_qcd import physics
+from repro.miniapps.ccs_qcd.physics import GAMMA, _shift
+
+#: sigma_munu = (i/2) [gamma_mu, gamma_nu] — Hermitian for Hermitian gammas.
+SIGMA = np.zeros((4, 4, 4, 4), dtype=np.complex128)
+for _mu in range(4):
+    for _nu in range(4):
+        SIGMA[_mu, _nu] = 0.5j * (GAMMA[_mu] @ GAMMA[_nu]
+                                  - GAMMA[_nu] @ GAMMA[_mu])
+
+
+def _plaquette_leaves(gauge: np.ndarray, mu: int, nu: int) -> np.ndarray:
+    """Sum of the four clover-leaf plaquettes in the (mu, nu) plane.
+
+    Returns ``Q_munu(x)`` with shape ``(*lattice, 3, 3)``.
+    """
+    u_mu, u_nu = gauge[mu], gauge[nu]
+
+    def mm(a, b):
+        return np.einsum("...ab,...bc->...ac", a, b)
+
+    def dag(a):
+        return np.conj(np.swapaxes(a, -1, -2))
+
+    u_nu_pmu = _shift(u_nu, mu, +1)     # U_nu(x + mu)
+    u_mu_pnu = _shift(u_mu, nu, +1)     # U_mu(x + nu)
+    # leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x
+    p1 = mm(mm(u_mu, u_nu_pmu), mm(dag(u_mu_pnu), dag(u_nu)))
+    # leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
+    u_mu_m = _shift(u_mu, mu, -1)                       # U_mu(x - mu)
+    u_nu_mmu = _shift(u_nu, mu, -1)                     # U_nu(x - mu)
+    u_mu_m_pnu = _shift(u_mu_m, nu, +1)                 # U_mu(x - mu + nu)
+    p2 = mm(mm(u_nu, dag(u_mu_m_pnu)), mm(dag(u_nu_mmu), u_mu_m))
+    # leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
+    u_nu_m = _shift(u_nu, nu, -1)                       # U_nu(x - nu)
+    u_mu_mm = _shift(u_mu_m, nu, -1)                    # U_mu(x - mu - nu)
+    u_nu_mmu_mnu = _shift(_shift(u_nu, mu, -1), nu, -1)  # U_nu(x - mu - nu)
+    p3 = mm(mm(dag(u_mu_m), dag(u_nu_mmu_mnu)), mm(u_mu_mm, u_nu_m))
+    # leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
+    u_mu_mnu = _shift(u_mu, nu, -1)                     # U_mu(x - nu)
+    u_nu_mnu_pmu = _shift(u_nu_m, mu, +1)               # U_nu(x + mu - nu)
+    p4 = mm(mm(dag(u_nu_m), u_mu_mnu), mm(u_nu_mnu_pmu, dag(u_mu)))
+    return p1 + p2 + p3 + p4
+
+
+def field_strength(gauge: np.ndarray, mu: int, nu: int) -> np.ndarray:
+    """Hermitian traceless clover-leaf ``F_munu(x)``, shape (*lat, 3, 3)."""
+    if not (0 <= mu < 4 and 0 <= nu < 4 and mu != nu):
+        raise ConfigurationError("need distinct directions mu, nu in 0..3")
+    q = _plaquette_leaves(gauge, mu, nu)
+    f = (q - np.conj(np.swapaxes(q, -1, -2))) / 8.0j
+    # remove the trace part (SU(3) field strength is traceless)
+    tr = np.einsum("...aa->...", f) / 3.0
+    return f - tr[..., None, None] * np.eye(3)
+
+
+def clover_term(gauge: np.ndarray, kappa: float,
+                c_sw: float = 1.0) -> np.ndarray:
+    """Site-local clover matrices ``A(x)``, shape ``(*lattice, 12, 12)``.
+
+    Spin-color index ordering is ``s * 3 + c`` (spin-major).
+    """
+    if c_sw < 0:
+        raise ConfigurationError("c_sw must be non-negative")
+    lat = gauge.shape[1:5]
+    a = np.zeros((*lat, 12, 12), dtype=np.complex128)
+    eye12 = np.eye(12)
+    a += eye12
+    coeff = -0.5 * c_sw * kappa
+    for mu in range(4):
+        for nu in range(mu + 1, 4):
+            f = field_strength(gauge, mu, nu)
+            # sigma (4x4, spin) kron F (3x3, color); factor 2 for the
+            # (nu, mu) partner term (sigma and F are both antisymmetric
+            # under mu <-> nu, so the products are equal)
+            block = np.einsum("st,...ab->...satb", SIGMA[mu, nu], f)
+            a += 2.0 * coeff * block.reshape(*lat, 12, 12)
+    return a
+
+
+def apply_clover(a: np.ndarray, psi: np.ndarray) -> np.ndarray:
+    """Apply the site-local clover matrices to a spinor field."""
+    lat = psi.shape[:4]
+    flat = psi.reshape(*lat, 12)
+    out = np.einsum("...ij,...j->...i", a, flat)
+    return out.reshape(*lat, 4, 3)
+
+
+def wilson_clover_dirac(psi: np.ndarray, gauge: np.ndarray, kappa: float,
+                        a_clover: np.ndarray) -> np.ndarray:
+    """``D psi = A psi - kappa H psi`` (clover-improved Wilson)."""
+    hopping = psi - physics.wilson_dirac(psi, gauge, kappa)   # = kappa*H psi
+    return apply_clover(a_clover, psi) - hopping
+
+
+# ----------------------------------------------------------------------
+# even-odd preconditioning
+# ----------------------------------------------------------------------
+def parity_masks(lat: tuple[int, int, int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """(even, odd) site masks of shape ``lat``."""
+    t, z, y, x = np.ix_(*[np.arange(n) for n in lat])
+    even = ((t + z + y + x) % 2) == 0
+    return even, ~even
+
+
+def _project(psi: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(psi)
+    out[mask] = psi[mask]
+    return out
+
+
+def solve_eo_preconditioned(
+    gauge: np.ndarray,
+    b: np.ndarray,
+    kappa: float,
+    c_sw: float = 1.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> tuple[np.ndarray, int, float]:
+    """Solve ``D x = b`` for the clover operator via the odd-site Schur
+    complement; returns (x, Schur-solver iterations, true relative residual).
+    """
+    lat = b.shape[:4]
+    even, odd = parity_masks(lat)
+    a_clover = clover_term(gauge, kappa, c_sw)
+    a_inv = np.linalg.inv(a_clover)
+
+    def hop(psi):
+        """kappa * H psi (pure hopping part)."""
+        return psi - physics.wilson_dirac(psi, gauge, kappa)
+
+    def apply_ainv(psi):
+        return apply_clover(a_inv, psi)
+
+    def schur(x_odd):
+        """(A_oo - kappa^2 H_oe A_ee^{-1} H_eo) restricted to odd sites."""
+        x_odd = _project(x_odd, odd)
+        h_eo = _project(hop(x_odd), even)
+        back = _project(hop(apply_ainv(h_eo)), odd)
+        return _project(apply_clover(a_clover, x_odd), odd) - back
+
+    # right-hand side: b_o + kappa H_oe A_ee^{-1} b_e  (note: D_oe = -k H_oe)
+    b_e = _project(b, even)
+    b_o = _project(b, odd)
+    rhs = b_o + _project(hop(apply_ainv(b_e)), odd)
+
+    # BiCGStab on the Schur system
+    x = np.zeros_like(b)
+    r = rhs - schur(x)
+    r0 = r.copy()
+    rho = alpha = omega = 1.0 + 0.0j
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    rhs_norm = float(np.linalg.norm(rhs)) or 1.0
+    iters = 0
+    for iters in range(1, max_iter + 1):
+        rho_new = complex(np.vdot(r0, r))
+        if rho_new == 0:
+            break
+        beta = (rho_new / rho) * (alpha / omega)
+        rho = rho_new
+        p = r + beta * (p - omega * v)
+        v = schur(p)
+        alpha = rho / complex(np.vdot(r0, v))
+        s = r - alpha * v
+        if np.linalg.norm(s) / rhs_norm < tol:
+            x = x + alpha * p
+            break
+        t = schur(s)
+        omega = complex(np.vdot(t, s)) / complex(np.vdot(t, t))
+        x = x + alpha * p + omega * s
+        r = s - omega * t
+        if np.linalg.norm(r) / rhs_norm < tol:
+            break
+
+    x_odd = _project(x, odd)
+    # back-substitute the even sites: x_e = A_ee^{-1} (b_e + kappa H_eo x_o)
+    x_even = _project(apply_ainv(b_e + _project(hop(x_odd), even)), even)
+    x_full = x_odd + x_even
+    true_res = float(
+        np.linalg.norm(wilson_clover_dirac(x_full, gauge, kappa, a_clover) - b)
+        / (np.linalg.norm(b) or 1.0)
+    )
+    return x_full, iters, true_res

@@ -1,0 +1,181 @@
+"""Domain-decomposition helpers shared by the miniapp skeletons."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def split_1d(total: int, parts: int, index: int) -> int:
+    """Size of chunk ``index`` when ``total`` items are split into
+    ``parts`` near-equal contiguous chunks (first chunks get the remainder).
+    """
+    if parts < 1 or not 0 <= index < parts:
+        raise ConfigurationError(f"bad split: total={total} parts={parts} index={index}")
+    base, rem = divmod(total, parts)
+    return base + (1 if index < rem else 0)
+
+
+def factor3(n: int) -> tuple[int, int, int]:
+    """Factor ``n`` into three near-equal factors (px >= py >= pz).
+
+    Used for 3D Cartesian rank grids; exact (px*py*pz == n) for every n.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    best = (n, 1, 1)
+    best_score = None
+    for pz in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % pz:
+            continue
+        m = n // pz
+        for py in range(pz, int(m ** 0.5) + 2):
+            if m % py:
+                continue
+            px = m // py
+            if px < py:
+                continue
+            score = (px - pz, px - py)
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    return best
+
+
+def factor2(n: int) -> tuple[int, int]:
+    """Factor ``n`` into two near-equal factors (px >= py)."""
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    for py in range(int(n ** 0.5), 0, -1):
+        if n % py == 0:
+            return (n // py, py)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _divisor_pairs(n: int):
+    for p in range(1, n + 1):
+        if n % p == 0:
+            yield p, n // p
+
+
+def best_factor2(n: int, extents: tuple[int, int]) -> tuple[int, int]:
+    """Factor ``n`` into (p0, p1) minimizing per-rank halo surface for a
+    domain of the given extents (a decomposed axis contributes a face of
+    the orthogonal extent).  This is what shape-aware production codes do
+    instead of blindly near-square rank grids.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    e0, e1 = extents
+    best: tuple[int, int] | None = None
+    best_cost = None
+    for p0, p1 in _divisor_pairs(n):
+        if p0 > e0 or p1 > e1:
+            continue
+        cost = 0.0
+        if p0 > 1:
+            cost += 2.0 * (e1 / p1)
+        if p1 > 1:
+            cost += 2.0 * (e0 / p0)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = (p0, p1), cost
+    if best is None:
+        raise ConfigurationError(
+            f"cannot decompose extents {extents} over {n} ranks"
+        )
+    return best
+
+
+def best_factor3(n: int, extents: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Shape-aware 3D factorization minimizing per-rank face area."""
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    ex, ey, ez = extents
+    best: tuple[int, int, int] | None = None
+    best_cost = None
+    for px in range(1, n + 1):
+        if n % px:
+            continue
+        m = n // px
+        for py, pz in _divisor_pairs(m):
+            if px > ex or py > ey or pz > ez:
+                continue
+            lx, ly, lz = ex / px, ey / py, ez / pz
+            cost = 0.0
+            if px > 1:
+                cost += 2.0 * ly * lz
+            if py > 1:
+                cost += 2.0 * lx * lz
+            if pz > 1:
+                cost += 2.0 * lx * ly
+            if best_cost is None or cost < best_cost:
+                best, best_cost = (px, py, pz), cost
+    if best is None:
+        raise ConfigurationError(
+            f"cannot decompose extents {extents} over {n} ranks"
+        )
+    return best
+
+
+def rank_to_coords3(rank: int, grid: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Rank -> (x, y, z) coordinates on a 3D rank grid (x fastest)."""
+    px, py, pz = grid
+    if not 0 <= rank < px * py * pz:
+        raise ConfigurationError(f"rank {rank} outside {grid} grid")
+    x = rank % px
+    y = (rank // px) % py
+    z = rank // (px * py)
+    return (x, y, z)
+
+
+def coords_to_rank3(coords: tuple[int, int, int],
+                    grid: tuple[int, int, int]) -> int:
+    """Inverse of :func:`rank_to_coords3` (with periodic wrap-around)."""
+    px, py, pz = grid
+    x, y, z = coords
+    return (x % px) + (y % py) * px + (z % pz) * px * py
+
+
+def neighbors3(rank: int, grid: tuple[int, int, int]) -> dict[str, int]:
+    """Periodic face neighbours of a rank on a 3D grid.
+
+    Keys: ``x-``, ``x+``, ``y-``, ``y+``, ``z-``, ``z+``.  Axes with a
+    single rank map to the rank itself (callers skip self-neighbours).
+    """
+    x, y, z = rank_to_coords3(rank, grid)
+    return {
+        "x-": coords_to_rank3((x - 1, y, z), grid),
+        "x+": coords_to_rank3((x + 1, y, z), grid),
+        "y-": coords_to_rank3((x, y - 1, z), grid),
+        "y+": coords_to_rank3((x, y + 1, z), grid),
+        "z-": coords_to_rank3((x, y, z - 1), grid),
+        "z+": coords_to_rank3((x, y, z + 1), grid),
+    }
+
+
+def local_box(global_shape: tuple[int, ...], grid: tuple[int, ...],
+              coords: tuple[int, ...]) -> tuple[int, ...]:
+    """Local sub-box shape of one rank in a Cartesian decomposition."""
+    if len(global_shape) != len(grid) or len(grid) != len(coords):
+        raise ConfigurationError("shape/grid/coords dimensionality mismatch")
+    return tuple(
+        split_1d(g, p, c) for g, p, c in zip(global_shape, grid, coords)
+    )
+
+
+def halo_bytes_3d(local: tuple[int, int, int], fields: int,
+                  elem_bytes: int = 8, width: int = 1) -> dict[str, float]:
+    """Per-face halo payloads of a 3D sub-box, bytes.
+
+    Keys match :func:`neighbors3`.
+    """
+    nx, ny, nz = local
+    if min(nx, ny, nz) < 1 or fields < 1 or width < 1:
+        raise ConfigurationError("bad halo geometry")
+    return {
+        "x-": ny * nz * width * fields * elem_bytes,
+        "x+": ny * nz * width * fields * elem_bytes,
+        "y-": nx * nz * width * fields * elem_bytes,
+        "y+": nx * nz * width * fields * elem_bytes,
+        "z-": nx * ny * width * fields * elem_bytes,
+        "z+": nx * ny * width * fields * elem_bytes,
+    }

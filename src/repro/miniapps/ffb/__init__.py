@@ -1,0 +1,13 @@
+"""FFB-MINI (FrontFlow/blue): unstructured FEM large-eddy simulation.
+
+Finite-element incompressible flow on unstructured meshes: element-matrix
+assembly with indirect scatter-adds and a CG pressure solve over an
+unstructured sparse matrix.  :mod:`physics` implements the P1 FEM
+machinery and CG (validated against analytic solutions and SciPy);
+:mod:`skeleton` carries the gather/scatter-heavy cost signature that makes
+FFB sensitive to the A64FX's 256-byte cache lines.
+"""
+
+from repro.miniapps.ffb.skeleton import Ffb
+
+__all__ = ["Ffb"]

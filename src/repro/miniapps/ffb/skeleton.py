@@ -1,0 +1,117 @@
+"""Performance skeleton of FFB-mini.
+
+Per timestep over a partitioned unstructured mesh:
+
+* element-matrix computation + scatter-add (the gather/scatter kernel —
+  ~40 FLOPs/element-node with indirect accumulation);
+* ``cg_iters`` conjugate-gradient iterations on the pressure system, each
+  an unstructured SpMV (gathers of x through the column index), 2 dot
+  products (``Allreduce(8 B)`` each), and an AXPY pass;
+* a partition-boundary halo exchange per SpMV.
+
+The indirect accesses make FFB the showcase for the A64FX's 256-byte
+cache-line penalty; SIMD-enabled gathers (SVE) recover much of it, which
+is the app's role in the compiler-tuning experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.kernels.kernel import LoopKernel
+from repro.kernels.presets import fem_element_assembly, spmv_csr
+from repro.miniapps import decomp
+from repro.miniapps.base import Dataset, MiniApp
+from repro.runtime.program import Allreduce, Compute, Irecv, Isend, WaitAll
+from repro.units import FP64_BYTES
+
+
+class Ffb(MiniApp):
+    name = "ffb"
+    full_name = "FFB-MINI (FrontFlow/blue)"
+    description = ("Unstructured FEM large-eddy simulation; "
+                   "gather/scatter assembly + CG pressure solve")
+    character = "memory"
+
+    def make_datasets(self) -> list[Dataset]:
+        return [
+            Dataset("as-is", "125k-element mesh, 5 steps, 30 CG iters",
+                    {"elements": 125_000, "steps": 5, "cg_iters": 30,
+                     "nnz_per_row": 27}),
+            Dataset("large", "8M-element mesh, 10 steps, 60 CG iters",
+                    {"elements": 8_000_000, "steps": 10, "cg_iters": 60,
+                     "nnz_per_row": 27}),
+        ]
+
+    # ------------------------------------------------------------------
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        elements = dataset["elements"]
+        nnz = dataset["nnz_per_row"]
+        nodes = elements                        # ~1 node per element in 3D
+        x_bytes = nodes * FP64_BYTES
+        assembly = fem_element_assembly()
+        spmv = spmv_csr(nnz, min(x_bytes, 8.0 * 1024 * 1024))
+        axpy = LoopKernel(
+            name="ffb-axpy",
+            flops=2.0,
+            fma_fraction=1.0,
+            bytes_load=2 * FP64_BYTES,
+            bytes_store=FP64_BYTES,
+            streaming_fraction=1.0,
+            vec_fraction=1.0,
+            ilp=8.0,
+        )
+        dot = LoopKernel(
+            name="ffb-dot",
+            flops=2.0,
+            fma_fraction=1.0,
+            bytes_load=2 * FP64_BYTES,
+            bytes_store=0.0,
+            streaming_fraction=1.0,
+            vec_fraction=1.0,
+            ilp=4.0,
+        )
+        return {"ffb-assembly": assembly, "ffb-spmv": spmv,
+                "ffb-axpy": axpy, "ffb-dot": dot}
+
+    # ------------------------------------------------------------------
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        elements = dataset["elements"]
+        steps = dataset["steps"]
+        cg_iters = dataset["cg_iters"]
+        nnz = dataset["nnz_per_row"]
+
+        def program(rank: int, size: int) -> Iterator:
+            my_elems = decomp.split_1d(elements, size, rank)
+            my_rows = my_elems
+            # partition-boundary nodes ~ surface of the partition
+            boundary_nodes = max(1.0, my_rows ** (2.0 / 3.0)) * 4.0
+            halo_bytes = boundary_nodes * FP64_BYTES
+            left, right = (rank - 1) % size, (rank + 1) % size
+
+            def halo():
+                if size == 1:
+                    return
+                r1 = yield Irecv(src=left, tag=0)
+                r2 = yield Irecv(src=right, tag=1)
+                yield Isend(dst=right, tag=0, size_bytes=halo_bytes)
+                yield Isend(dst=left, tag=1, size_bytes=halo_bytes)
+                yield WaitAll([r1, r2])
+
+            for _ in range(steps):
+                # serial mesh-colouring/reordering pass before assembly
+                yield Compute("ffb-axpy", iters=0.05 * my_rows, serial=True)
+                # 8 element-node pairs per hexahedral element
+                yield Compute("ffb-assembly", iters=my_elems * 8,
+                              imbalance=1.15)
+                for _ in range(cg_iters):
+                    yield from halo()
+                    yield Compute("ffb-spmv", iters=my_rows * nnz)
+                    yield Compute("ffb-dot", iters=my_rows)
+                    yield Allreduce(size_bytes=8)
+                    yield Compute("ffb-axpy", iters=3 * my_rows)
+                    yield Compute("ffb-dot", iters=my_rows)
+                    yield Allreduce(size_bytes=8)
+
+        return program

@@ -1,0 +1,10 @@
+"""FFVC-MINI: 3D unsteady incompressible thermal flow (voxel FVM).
+
+The dominant cost is the pressure-Poisson iteration (7-point stencil
+sweeps); :mod:`physics` implements the fractional-step method with an
+SOR Poisson solver, :mod:`skeleton` carries the stencil/halo signature.
+"""
+
+from repro.miniapps.ffvc.skeleton import Ffvc
+
+__all__ = ["Ffvc"]

@@ -1,0 +1,161 @@
+"""Performance skeleton of FFVC-mini.
+
+Per timestep (matching :mod:`physics`):
+
+* one advection-diffusion pass over 3 velocity fields (upwind + Laplacian,
+  ~60 FLOPs/cell);
+* ``sor_sweeps`` red-black SOR sweeps of the 7-point pressure stencil,
+  each followed by a residual ``Allreduce(8 B)``;
+* divergence + projection passes;
+* a 6-face halo exchange per stencil family (3D Cartesian decomposition).
+
+The SOR loop makes FFVC the suite's purest memory-bandwidth workload — the
+case where A64FX's HBM2 dominates the comparison processors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.kernels.kernel import LoopKernel
+from repro.miniapps import decomp
+from repro.miniapps.base import Dataset, MiniApp
+from repro.runtime.program import Allreduce, Compute, Irecv, Isend, WaitAll
+from repro.units import FP64_BYTES
+
+
+class Ffvc(MiniApp):
+    name = "ffvc"
+    full_name = "FFVC-MINI (FFV-C: Frontflow/violet Cartesian)"
+    description = ("3D unsteady incompressible thermal flow, voxel FVM; "
+                   "pressure-Poisson SOR sweeps dominate")
+    character = "memory"
+
+    def make_datasets(self) -> list[Dataset]:
+        return [
+            Dataset("as-is", "64^3 cavity, 3 steps, ~30 SOR sweeps/step",
+                    {"grid": (64, 64, 64), "steps": 3, "sor_sweeps": 30}),
+            Dataset("large", "256^3 cavity, 5 steps, ~50 SOR sweeps/step",
+                    {"grid": (256, 256, 256), "steps": 5, "sor_sweeps": 50}),
+        ]
+
+    def weak_dataset(self, factor: int) -> Dataset:
+        """Grow the large grid's z-extent by ``factor`` (constant work per
+        rank when ranks grow with the factor)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        nx, ny, nz = self.dataset("large")["grid"]
+        ds = Dataset(
+            f"weak-x{factor}",
+            f"{nx}x{ny}x{nz * factor} cavity (weak-scaled x{factor})",
+            {"grid": (nx, ny, nz * factor),
+             "steps": self.dataset("large")["steps"],
+             "sor_sweeps": self.dataset("large")["sor_sweeps"]},
+        )
+        self.register_dataset(ds)
+        return ds
+
+    # ------------------------------------------------------------------
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        nx, ny, nz = dataset["grid"]
+        plane = nx * ny * FP64_BYTES
+        sor = LoopKernel(
+            name="ffvc-sor",
+            flops=14.0,                   # 7-pt stencil + relaxation update
+            fma_fraction=0.85,
+            bytes_load=2 * FP64_BYTES,    # p re-read + rhs (planes reused)
+            bytes_store=FP64_BYTES,
+            working_set_bytes=3.0 * plane,
+            streaming_fraction=0.6,
+            vec_fraction=1.0,
+            ilp=6.0,
+            contiguous_fraction=0.97,
+        )
+        advect = LoopKernel(
+            name="ffvc-advect",
+            flops=60.0,                   # upwind advection + diffusion, 3 fields
+            fma_fraction=0.7,
+            bytes_load=6 * FP64_BYTES,
+            bytes_store=3 * FP64_BYTES,
+            working_set_bytes=9.0 * plane,
+            streaming_fraction=0.5,
+            vec_fraction=0.9,             # upwind selects introduce predication
+            ilp=7.0,
+            contiguous_fraction=0.95,
+        )
+        project = LoopKernel(
+            name="ffvc-project",
+            flops=18.0,                   # div + grad + velocity correction
+            fma_fraction=0.8,
+            bytes_load=5 * FP64_BYTES,
+            bytes_store=3 * FP64_BYTES,
+            working_set_bytes=4.0 * plane,
+            streaming_fraction=0.7,
+            vec_fraction=1.0,
+            ilp=8.0,
+        )
+        return {"ffvc-sor": sor, "ffvc-advect": advect, "ffvc-project": project}
+
+    # ------------------------------------------------------------------
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        grid = dataset["grid"]
+        steps = dataset["steps"]
+        sweeps = dataset["sor_sweeps"]
+        pgrid = decomp.best_factor3(n_ranks, grid)
+
+        def program(rank: int, size: int) -> Iterator:
+            coords = decomp.rank_to_coords3(rank, pgrid)
+            local = decomp.local_box(grid, pgrid, coords)
+            cells = local[0] * local[1] * local[2]
+            nbrs = decomp.neighbors3(rank, pgrid)
+            halos = decomp.halo_bytes_3d(local, fields=1)
+
+            def halo_begin(fields: int):
+                reqs = []
+                tag = 0
+                for axis in "xyz":
+                    lo, hi = nbrs[f"{axis}-"], nbrs[f"{axis}+"]
+                    if lo == rank:        # axis not decomposed
+                        continue
+                    nbytes = halos[f"{axis}-"] * fields
+                    reqs.append((yield Irecv(src=lo, tag=tag)))
+                    reqs.append((yield Irecv(src=hi, tag=tag + 1)))
+                    yield Isend(dst=hi, tag=tag, size_bytes=nbytes)
+                    yield Isend(dst=lo, tag=tag + 1, size_bytes=nbytes)
+                    tag += 2
+                return reqs
+
+            def halo_exchange(fields: int):
+                reqs = yield from halo_begin(fields)
+                if reqs:
+                    yield WaitAll(reqs)
+
+            # interior/boundary split for comm-overlapped sweeps
+            surface = 2.0 * (local[0] * local[1] + local[1] * local[2]
+                             + local[0] * local[2])
+            boundary_cells = min(0.9 * cells, surface)
+            interior_cells = cells - boundary_cells
+
+            def sor_overlapped():
+                """One SOR sweep with the halo hidden under the interior."""
+                reqs = yield from halo_begin(1)
+                yield Compute("ffvc-sor", iters=interior_cells)
+                if reqs:
+                    yield WaitAll(reqs)
+                yield Compute("ffvc-sor", iters=boundary_cells)
+
+            for _ in range(steps):
+                # serial boundary-condition application on the outer faces
+                # (~ the surface cells, master thread only)
+                yield Compute("ffvc-project", iters=surface, serial=True)
+                yield from halo_exchange(fields=3)
+                yield Compute("ffvc-advect", iters=cells)
+                yield Compute("ffvc-project", iters=cells)   # divergence rhs
+                for _ in range(sweeps):
+                    yield from sor_overlapped()
+                    yield Allreduce(size_bytes=8)
+                yield from halo_exchange(fields=1)
+                yield Compute("ffvc-project", iters=cells)   # velocity correction
+
+        return program

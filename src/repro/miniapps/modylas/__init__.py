@@ -1,0 +1,12 @@
+"""MODYLAS-MINI: general-purpose molecular dynamics with FMM electrostatics.
+
+Short-range Lennard-Jones/Coulomb pair forces over cell lists plus a fast
+multipole method for the long-range part.  :mod:`physics` implements the
+cell-list MD integrator (validated against brute-force forces and energy
+conservation); :mod:`skeleton` adds the FMM tree phases and the halo/
+tree-exchange communication pattern.
+"""
+
+from repro.miniapps.modylas.skeleton import Modylas
+
+__all__ = ["Modylas"]

@@ -1,0 +1,155 @@
+"""Performance skeleton of MODYLAS-mini.
+
+Per MD timestep on a 3D rank decomposition:
+
+* boundary-atom halo exchange (6 faces, ~surface-density atoms x 48 B);
+* the short-range pair-force kernel (per pair: ~30 FLOPs, coordinate
+  gathers through the cell list);
+* FMM phases: P2M/M2M (upward), M2L (the flop-heavy translation — small
+  dense blocks, modeled as a (p^2)^2 operation per interaction-list
+  entry), L2L/L2P (downward), with an ``Allgather`` of the coarse tree
+  levels;
+* integrator update (stream-class) and an energy ``Allreduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.kernels.kernel import LoopKernel
+from repro.kernels.presets import particle_pair_force
+from repro.miniapps import decomp
+from repro.miniapps.base import Dataset, MiniApp
+from repro.runtime.program import (
+    Allgather,
+    Allreduce,
+    Compute,
+    Irecv,
+    Isend,
+    WaitAll,
+)
+from repro.units import FP64_BYTES, KIB
+
+#: FMM multipole order used by the cost model (p=4 -> 16 coeff pairs).
+FMM_ORDER = 4
+
+
+class Modylas(MiniApp):
+    name = "modylas"
+    full_name = "MODYLAS-MINI"
+    description = ("Classical molecular dynamics with FMM long-range "
+                   "electrostatics; cell-list pair forces dominate")
+    character = "mixed"
+
+    def make_datasets(self) -> list[Dataset]:
+        return [
+            Dataset("as-is", "19,656-atom water box, 10 steps",
+                    {"atoms": 19_656, "steps": 10, "neighbors": 60,
+                     "cells": 8 ** 3}),
+            Dataset("large", "1.2M-atom box, 20 steps",
+                    {"atoms": 1_200_000, "steps": 20, "neighbors": 60,
+                     "cells": 32 ** 3}),
+        ]
+
+    # ------------------------------------------------------------------
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        pair = particle_pair_force()
+        coeffs = (FMM_ORDER + 1) ** 2
+        # One iteration = one interaction-list entry (M2L translation);
+        # rotation-based translations cost O(p^3) ~ 12 x coeffs FLOPs.
+        m2l = LoopKernel(
+            name="modylas-m2l",
+            flops=12.0 * coeffs,
+            fma_fraction=0.9,
+            bytes_load=2 * coeffs * FP64_BYTES,
+            bytes_store=coeffs * FP64_BYTES / 8.0,
+            working_set_bytes=float(coeffs * coeffs * FP64_BYTES),
+            streaming_fraction=0.2,
+            vec_fraction=0.9,
+            ilp=10.0,
+            contiguous_fraction=0.85,
+        )
+        integrate = LoopKernel(
+            name="modylas-integrate",
+            flops=18.0,                      # per atom: 2 half-kicks + drift
+            fma_fraction=0.9,
+            bytes_load=9 * FP64_BYTES,
+            bytes_store=6 * FP64_BYTES,
+            streaming_fraction=1.0,
+            vec_fraction=1.0,
+            ilp=9.0,
+        )
+        cell_build = LoopKernel(
+            name="modylas-cellbuild",
+            flops=3.0,
+            fma_fraction=0.3,
+            bytes_load=4 * FP64_BYTES,
+            bytes_store=2 * FP64_BYTES,
+            working_set_bytes=64.0 * KIB,
+            streaming_fraction=0.7,
+            vec_fraction=0.3,                # index arithmetic + scatter
+            ilp=3.0,
+            contiguous_fraction=0.5,
+            int_ops=8.0,
+        )
+        return {
+            "modylas-pair": pair,
+            "modylas-m2l": m2l,
+            "modylas-integrate": integrate,
+            "modylas-cellbuild": cell_build,
+        }
+
+    # ------------------------------------------------------------------
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        atoms = dataset["atoms"]
+        steps = dataset["steps"]
+        neighbors = dataset["neighbors"]
+        cells = dataset["cells"]
+        pgrid = decomp.factor3(n_ranks)
+        coeffs = (FMM_ORDER + 1) ** 2
+
+        def program(rank: int, size: int) -> Iterator:
+            my_atoms = decomp.split_1d(atoms, size, rank)
+            my_cells = decomp.split_1d(cells, size, rank)
+            # surface atoms ~ my_atoms^(2/3) density per face
+            surface = max(1.0, my_atoms ** (2.0 / 3.0))
+            halo_bytes = surface * 6 * FP64_BYTES
+            nbrs = decomp.neighbors3(rank, pgrid)
+            # 189-entry interaction list per cell (3D FMM)
+            m2l_iters = my_cells * 189
+
+            for _ in range(steps):
+                # halo of boundary atoms
+                reqs = []
+                tag = 0
+                for axis in "xyz":
+                    lo, hi = nbrs[f"{axis}-"], nbrs[f"{axis}+"]
+                    if lo == rank:
+                        continue
+                    reqs.append((yield Irecv(src=lo, tag=tag)))
+                    reqs.append((yield Irecv(src=hi, tag=tag + 1)))
+                    yield Isend(dst=hi, tag=tag, size_bytes=halo_bytes)
+                    yield Isend(dst=lo, tag=tag + 1, size_bytes=halo_bytes)
+                    tag += 2
+                if reqs:
+                    yield WaitAll(reqs)
+
+                # the cell-list rebuild has a serial bucket-counting pass
+                yield Compute("modylas-cellbuild", iters=0.25 * my_atoms,
+                              serial=True)
+                yield Compute("modylas-cellbuild", iters=my_atoms)
+                yield Compute("modylas-pair",
+                              iters=my_atoms * neighbors / 2.0,
+                              schedule="dynamic", imbalance=1.3)
+                # FMM upward pass is cheap; M2L dominates
+                yield Compute("modylas-m2l", iters=m2l_iters)
+                if size > 1:
+                    # coarse tree levels are replicated via allgather
+                    yield Allgather(
+                        size_bytes=max(64, my_cells // 8) * coeffs * FP64_BYTES
+                    )
+                yield Compute("modylas-integrate", iters=my_atoms)
+                yield Allreduce(size_bytes=16)
+
+        return program

@@ -1,0 +1,12 @@
+"""mVMC-MINI: many-variable variational Monte Carlo.
+
+Samples fermionic configurations with a Slater-determinant (Pfaffian, in
+the full code) wavefunction; the hot loops are determinant-ratio
+evaluations and Sherman-Morrison inverse updates — short dependent dense
+updates that expose the A64FX's out-of-order limits until the compiler's
+scheduling is enabled (a headline case of the paper's tuning experiment).
+"""
+
+from repro.miniapps.mvmc.skeleton import Mvmc
+
+__all__ = ["Mvmc"]

@@ -1,0 +1,12 @@
+"""NGSA-MINI (NGS Analyzer): next-generation genome sequencing analysis.
+
+A data-analysis pipeline — read alignment (Smith-Waterman class dynamic
+programming) and SNP detection over pileups — dominated by integer
+compares, table lookups and branches with almost no floating point.  The
+suite's classic "poor as-is on A64FX" case: the weak scalar engine loses to
+Xeon until the compiler's byte-SIMD vectorization is coaxed into action.
+"""
+
+from repro.miniapps.ngsa.skeleton import Ngsa
+
+__all__ = ["Ngsa"]

@@ -1,0 +1,12 @@
+"""NICAM-DC-MINI: non-hydrostatic icosahedral atmospheric dynamical core.
+
+The miniapp runs the dynamical-core stepping of NICAM on an icosahedral
+grid split into regions.  :mod:`physics` implements a shallow-water
+dynamical core (the same flux-form stencil structure, fewer prognostic
+fields); :mod:`skeleton` models the real app's many-field vertical-column
+stencils and region-edge halo exchanges.
+"""
+
+from repro.miniapps.nicam.skeleton import NicamDc
+
+__all__ = ["NicamDc"]

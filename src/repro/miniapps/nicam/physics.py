@@ -1,0 +1,117 @@
+"""Flux-form shallow-water dynamical core (executable).
+
+A structurally faithful miniature of a NICAM region's horizontal dynamics:
+conservative flux-form updates on a logically rectangular (periodic) grid
+with RK2 time stepping and fourth-order numerical diffusion — the same
+"wide stencil over many prognostic fields" pattern the real dycore has.
+
+Prognostic fields: fluid depth ``h`` and momenta ``hu``, ``hv``.
+
+Invariants checked by the tests:
+
+* exact mass conservation (flux-form guarantees it to round-off),
+* a state of rest stays at rest,
+* bounded total energy over short integrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+GRAVITY = 9.80665
+
+
+@dataclass
+class SwState:
+    """Shallow-water prognostic state on a periodic grid of spacing h."""
+
+    depth: np.ndarray
+    mom_x: np.ndarray
+    mom_y: np.ndarray
+    dx: float
+
+    def __post_init__(self) -> None:
+        if self.depth.ndim != 2:
+            raise ConfigurationError("fields must be 2D")
+        if not (self.depth.shape == self.mom_x.shape == self.mom_y.shape):
+            raise ConfigurationError("field shapes disagree")
+        if self.dx <= 0:
+            raise ConfigurationError("grid spacing must be positive")
+        if np.any(self.depth <= 0):
+            raise ConfigurationError("depth must stay positive")
+
+    def mass(self) -> float:
+        return float(self.depth.sum()) * self.dx * self.dx
+
+    def energy(self) -> float:
+        """Total energy (kinetic + potential)."""
+        ke = 0.5 * (self.mom_x ** 2 + self.mom_y ** 2) / self.depth
+        pe = 0.5 * GRAVITY * self.depth ** 2
+        return float((ke + pe).sum()) * self.dx * self.dx
+
+
+def _ddx(f: np.ndarray, dx: float) -> np.ndarray:
+    return (np.roll(f, -1, 0) - np.roll(f, 1, 0)) / (2.0 * dx)
+
+
+def _ddy(f: np.ndarray, dx: float) -> np.ndarray:
+    return (np.roll(f, -1, 1) - np.roll(f, 1, 1)) / (2.0 * dx)
+
+
+def _hyperdiff(f: np.ndarray, coeff: float, dx: float) -> np.ndarray:
+    """Fourth-order diffusion ``-coeff * lap(lap(f))`` (stabilizer)."""
+    def lap(g: np.ndarray) -> np.ndarray:
+        return (
+            np.roll(g, 1, 0) + np.roll(g, -1, 0)
+            + np.roll(g, 1, 1) + np.roll(g, -1, 1) - 4.0 * g
+        ) / (dx * dx)
+
+    return -coeff * lap(lap(f))
+
+
+def tendencies(state: SwState, diff_coeff: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Right-hand sides of the flux-form shallow-water equations."""
+    h, mx, my, dx = state.depth, state.mom_x, state.mom_y, state.dx
+    u, v = mx / h, my / h
+    dh = -(_ddx(mx, dx) + _ddy(my, dx)) + _hyperdiff(h, diff_coeff, dx)
+    press = 0.5 * GRAVITY * h * h
+    dmx = -(_ddx(mx * u + press, dx) + _ddy(mx * v, dx)) + _hyperdiff(mx, diff_coeff, dx)
+    dmy = -(_ddx(my * u, dx) + _ddy(my * v + press, dx)) + _hyperdiff(my, diff_coeff, dx)
+    return dh, dmx, dmy
+
+
+def step_rk2(state: SwState, dt: float, diff_coeff: float = 0.0) -> SwState:
+    """One Heun (RK2) step."""
+    if dt <= 0:
+        raise ConfigurationError("dt must be positive")
+    d1 = tendencies(state, diff_coeff)
+    mid = SwState(
+        depth=state.depth + dt * d1[0],
+        mom_x=state.mom_x + dt * d1[1],
+        mom_y=state.mom_y + dt * d1[2],
+        dx=state.dx,
+    )
+    d2 = tendencies(mid, diff_coeff)
+    return SwState(
+        depth=state.depth + 0.5 * dt * (d1[0] + d2[0]),
+        mom_x=state.mom_x + 0.5 * dt * (d1[1] + d2[1]),
+        mom_y=state.mom_y + 0.5 * dt * (d1[2] + d2[2]),
+        dx=state.dx,
+    )
+
+
+def gaussian_hill(n: int, dx: float, h0: float = 10.0,
+                  bump: float = 0.1) -> SwState:
+    """Initial condition: fluid at rest with a Gaussian height anomaly."""
+    if n < 4:
+        raise ConfigurationError("grid too small")
+    x = (np.arange(n) - n / 2) * dx
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    L = n * dx
+    h = h0 + bump * np.exp(-(X ** 2 + Y ** 2) / (L / 10) ** 2)
+    zero = np.zeros_like(h)
+    return SwState(depth=h, mom_x=zero.copy(), mom_y=zero.copy(), dx=dx)

@@ -1,0 +1,118 @@
+"""Performance skeleton of NICAM-DC-mini.
+
+NICAM splits the icosahedron into 10 x 4^rlevel regions of
+``(2^glevel)^2``-ish columns; regions are distributed over ranks, each
+column carrying ``levels`` vertical layers of ~6 prognostic fields.  Per
+large timestep:
+
+* 2 RK substeps x a fat horizontal stencil over all fields and levels
+  (the dycore kernel: ~260 FLOPs per cell-level);
+* a vertical-implicit tridiagonal pass (low ILP, recurrence-limited);
+* region-edge halo exchanges and one diagnostic ``Allreduce``.
+
+NICAM is strongly memory-bound with mid-size working sets — the second
+pillar (after FFVC) of A64FX's bandwidth advantage in the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.kernels.kernel import LoopKernel
+from repro.miniapps import decomp
+from repro.miniapps.base import Dataset, MiniApp
+from repro.runtime.program import Allreduce, Compute, Irecv, Isend, WaitAll
+from repro.units import FP64_BYTES
+
+#: Prognostic + diagnostic fields carried by the dycore stencils.
+FIELDS = 6
+
+
+class NicamDc(MiniApp):
+    name = "nicam-dc"
+    full_name = "NICAM-DC-MINI"
+    description = ("Non-hydrostatic icosahedral atmospheric dynamical core; "
+                   "many-field stencils over vertical columns")
+    character = "memory"
+
+    def make_datasets(self) -> list[Dataset]:
+        return [
+            Dataset("as-is", "gl05rl00-like: 10 regions of 32x32 columns, "
+                             "40 levels, 11 steps",
+                    {"regions": 10, "region_size": 32, "levels": 40,
+                     "steps": 11}),
+            Dataset("large", "gl07rl01-like: 40 regions of 64x64 columns, "
+                             "94 levels, 22 steps",
+                    {"regions": 40, "region_size": 64, "levels": 94,
+                     "steps": 22}),
+        ]
+
+    # ------------------------------------------------------------------
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        rsize = dataset["region_size"]
+        levels = dataset["levels"]
+        # A stencil row of all fields and levels for neighbour reuse.
+        row_ws = rsize * levels * FIELDS * FP64_BYTES * 3
+        dycore = LoopKernel(
+            name="nicam-dycore",
+            flops=260.0,                       # per cell-level, all fields
+            fma_fraction=0.75,
+            bytes_load=2.2 * FIELDS * FP64_BYTES,
+            bytes_store=FIELDS * FP64_BYTES,
+            working_set_bytes=float(row_ws),
+            streaming_fraction=0.55,
+            vec_fraction=0.92,
+            ilp=7.0,
+            contiguous_fraction=0.92,
+        )
+        vertical = LoopKernel(
+            name="nicam-vertical",
+            flops=24.0,                        # tridiagonal forward/back per level
+            fma_fraction=0.6,
+            bytes_load=4 * FP64_BYTES,
+            bytes_store=2 * FP64_BYTES,
+            working_set_bytes=float(levels * 4 * FP64_BYTES),
+            streaming_fraction=0.5,
+            vec_fraction=0.5,                  # recurrence along the column
+            ilp=2.0,
+            contiguous_fraction=1.0,
+        )
+        return {"nicam-dycore": dycore, "nicam-vertical": vertical}
+
+    # ------------------------------------------------------------------
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        regions = dataset["regions"]
+        rsize = dataset["region_size"]
+        levels = dataset["levels"]
+        steps = dataset["steps"]
+        total_cells = regions * rsize * rsize * levels
+        edge_bytes = rsize * levels * FIELDS * FP64_BYTES
+
+        def program(rank: int, size: int) -> Iterator:
+            # Regions (or region halves, when ranks outnumber regions) are
+            # dealt over ranks; each rank's boundary exchange is modeled as
+            # the two adjacent ranks in the region ring moving one region
+            # edge's worth of fields per owned region slice.
+            cells = decomp.split_1d(total_cells, size, rank)
+            slices = max(1, round(regions / size))
+            left, right = (rank - 1) % size, (rank + 1) % size
+            for _ in range(steps):
+                # serial region-edge/pole fix-ups (~1% of cells)
+                yield Compute("nicam-vertical", iters=0.01 * cells,
+                              serial=True)
+                for _rk in range(2):           # RK2 substeps
+                    if size > 1:
+                        r1 = yield Irecv(src=left, tag=0)
+                        r2 = yield Irecv(src=right, tag=1)
+                        yield Isend(dst=right, tag=0,
+                                    size_bytes=edge_bytes * slices)
+                        yield Isend(dst=left, tag=1,
+                                    size_bytes=edge_bytes * slices)
+                        yield WaitAll([r1, r2])
+                    yield Compute("nicam-dycore", iters=cells,
+                                  imbalance=1.05)
+                yield Compute("nicam-vertical", iters=cells)
+                yield Allreduce(size_bytes=8 * FIELDS)
+
+        return program

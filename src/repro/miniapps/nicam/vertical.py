@@ -1,0 +1,76 @@
+"""Vertical-column implicit solver (executable).
+
+NICAM's non-hydrostatic core treats vertical sound waves and diffusion
+implicitly: every column solves a tridiagonal system per step (the
+skeleton's low-ILP ``nicam-vertical`` kernel).  This module implements the
+column physics:
+
+* :func:`thomas_solve` — the Thomas algorithm, vectorized over a batch of
+  columns (validated against ``scipy.linalg.solve_banded``);
+* :func:`implicit_diffusion_step` — backward-Euler vertical diffusion of a
+  3D field, unconditionally stable (validated for conservation, stability
+  at large dt, and convergence to the column mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def thomas_solve(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+    """Solve batched tridiagonal systems by the Thomas algorithm.
+
+    All inputs have shape ``(..., n)``; ``lower[..., 0]`` and
+    ``upper[..., -1]`` are ignored.  The systems must be diagonally
+    dominant (NICAM's implicit operators are); no pivoting is performed.
+    """
+    if diag.shape[-1] < 2:
+        raise ConfigurationError("tridiagonal systems need n >= 2")
+    if not (lower.shape == diag.shape == upper.shape == rhs.shape):
+        raise ConfigurationError("band shapes disagree")
+    n = diag.shape[-1]
+    c_prime = np.empty_like(diag)
+    d_prime = np.empty_like(rhs)
+    c_prime[..., 0] = upper[..., 0] / diag[..., 0]
+    d_prime[..., 0] = rhs[..., 0] / diag[..., 0]
+    for k in range(1, n):
+        denom = diag[..., k] - lower[..., k] * c_prime[..., k - 1]
+        if np.any(np.abs(denom) < 1e-300):
+            raise ConfigurationError("singular pivot in Thomas sweep")
+        c_prime[..., k] = upper[..., k] / denom
+        d_prime[..., k] = (rhs[..., k]
+                           - lower[..., k] * d_prime[..., k - 1]) / denom
+    x = np.empty_like(rhs)
+    x[..., -1] = d_prime[..., -1]
+    for k in range(n - 2, -1, -1):
+        x[..., k] = d_prime[..., k] - c_prime[..., k] * x[..., k + 1]
+    return x
+
+
+def implicit_diffusion_step(field: np.ndarray, dt: float, dz: float,
+                            kappa: float) -> np.ndarray:
+    """Backward-Euler vertical diffusion: ``(I - dt K d2/dz2) f' = f``.
+
+    ``field`` has shape ``(..., levels)`` (the last axis is the column);
+    Neumann (no-flux) boundaries top and bottom, so the column integral is
+    conserved exactly.
+    """
+    if dt <= 0 or dz <= 0 or kappa < 0:
+        raise ConfigurationError("bad diffusion parameters")
+    n = field.shape[-1]
+    if n < 2:
+        raise ConfigurationError("need at least 2 levels")
+    r = kappa * dt / (dz * dz)
+    shape = field.shape
+    lower = np.full(shape, -r)
+    upper = np.full(shape, -r)
+    diag = np.full(shape, 1.0 + 2.0 * r)
+    # no-flux boundaries: the ghost value mirrors the boundary cell
+    diag[..., 0] = 1.0 + r
+    diag[..., -1] = 1.0 + r
+    lower[..., 0] = 0.0
+    upper[..., -1] = 0.0
+    return thomas_solve(lower, diag, upper, field)

@@ -1,0 +1,13 @@
+"""NTChem-MINI (NTChem/RI-MP2): molecular electronic-structure theory.
+
+Computes the second-order Moller-Plesset correlation energy with the
+resolution-of-identity approximation; the hot path is large DGEMMs
+contracting three-index integrals — the suite's purest compute-bound,
+cache-blocked workload.  :mod:`physics` implements RI-MP2 end to end
+(validated against a direct four-index contraction); :mod:`skeleton`
+models the pair-block DGEMM loop and the B-tensor all-to-all.
+"""
+
+from repro.miniapps.ntchem.skeleton import NtChem
+
+__all__ = ["NtChem"]

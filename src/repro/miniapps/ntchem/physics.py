@@ -1,0 +1,100 @@
+"""RI-MP2 correlation energy (executable).
+
+The MP2 correlation energy for a closed-shell system is
+
+    E2 = sum_{ijab} (ia|jb) [ 2 (ia|jb) - (ib|ja) ]
+         / (e_i + e_j - e_a - e_b)
+
+with occupied orbitals i, j, virtuals a, b.  The RI approximation factors
+the four-index integrals through an auxiliary basis::
+
+    (ia|jb) ~= sum_P B[P, i, a] B[P, j, b]
+
+so each (i, j) pair costs one ``(naux x nvir)^T (naux x nvir)`` DGEMM —
+exactly NTChem-mini's hot loop.  A synthetic but well-conditioned ``B``
+tensor and orbital-energy spectrum stand in for the integrals (no basis
+set tables are shipped with this reproduction); the tests validate the RI
+contraction against the dense four-index reference and the known
+negativity/size-consistency properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def synthetic_system(
+    n_occ: int,
+    n_vir: int,
+    n_aux: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic (B tensor, occupied energies, virtual energies).
+
+    Orbital energies are strictly separated (occ < 0 < vir) so every MP2
+    denominator is negative and the energy is finite and negative.
+    """
+    if min(n_occ, n_vir, n_aux) < 1:
+        raise ConfigurationError("orbital space sizes must be positive")
+    b = rng.standard_normal((n_aux, n_occ, n_vir)) / np.sqrt(n_aux)
+    e_occ = -1.0 - np.sort(rng.random(n_occ))[::-1]
+    e_vir = 0.5 + np.sort(rng.random(n_vir))
+    return b, e_occ, e_vir
+
+
+def four_index_from_ri(b: np.ndarray) -> np.ndarray:
+    """Dense (ia|jb) tensor from the RI factors (test oracle)."""
+    return np.einsum("pia,pjb->iajb", b, b)
+
+
+def mp2_energy_dense(iajb: np.ndarray, e_occ: np.ndarray,
+                     e_vir: np.ndarray) -> float:
+    """Reference MP2 energy from the full four-index tensor."""
+    n_occ, n_vir = len(e_occ), len(e_vir)
+    denom = (
+        e_occ[:, None, None, None] + e_occ[None, None, :, None]
+        - e_vir[None, :, None, None] - e_vir[None, None, None, :]
+    )
+    if np.any(denom >= 0):
+        raise ConfigurationError("non-negative MP2 denominator")
+    exch = iajb.transpose(0, 3, 2, 1)        # (ib|ja)
+    return float(((iajb * (2.0 * iajb - exch)) / denom).sum())
+
+
+def mp2_energy_ri(b: np.ndarray, e_occ: np.ndarray, e_vir: np.ndarray,
+                  pair_block: int = 8) -> float:
+    """RI-MP2 energy via per-pair DGEMMs (the NTChem algorithm).
+
+    Iterates (i, j) pairs in blocks; per pair, ``K = B_i^T B_j`` is one
+    DGEMM of shape (nvir x naux)(naux x nvir).
+    """
+    if pair_block < 1:
+        raise ConfigurationError("pair_block must be positive")
+    n_aux, n_occ, n_vir = b.shape
+    energy = 0.0
+    for i in range(n_occ):
+        bi = b[:, i, :]                      # (naux, nvir)
+        for j in range(i, n_occ):
+            bj = b[:, j, :]
+            k_ij = bi.T @ bj                 # (ia|jb) for fixed i, j
+            denom = (e_occ[i] + e_occ[j]
+                     - e_vir[:, None] - e_vir[None, :])
+            contrib = (k_ij * (2.0 * k_ij - k_ij.T) / denom).sum()
+            energy += float(contrib) * (1.0 if i == j else 2.0)
+    return energy
+
+
+def pair_energies(b: np.ndarray, e_occ: np.ndarray,
+                  e_vir: np.ndarray) -> np.ndarray:
+    """Per-(i, j) pair-energy matrix (used for distributed-sum checks)."""
+    n_aux, n_occ, n_vir = b.shape
+    out = np.zeros((n_occ, n_occ))
+    for i in range(n_occ):
+        for j in range(n_occ):
+            k_ij = b[:, i, :].T @ b[:, j, :]
+            denom = (e_occ[i] + e_occ[j]
+                     - e_vir[:, None] - e_vir[None, :])
+            out[i, j] = float((k_ij * (2.0 * k_ij - k_ij.T) / denom).sum())
+    return out

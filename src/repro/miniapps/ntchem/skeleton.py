@@ -1,0 +1,87 @@
+"""Performance skeleton of NTChem-mini.
+
+Phases:
+
+* B-tensor redistribution: an ``Alltoall`` moving each rank's slice of
+  ``B[naux, nocc, nvir]`` (the real code's MPI transpose);
+* the pair loop: each rank owns ~``nocc^2 / 2 / size`` (i, j) pairs; each
+  pair is one ``(nvir x naux)(naux x nvir)`` DGEMM plus an O(nvir^2)
+  denominator/assembly pass;
+* an energy ``Allreduce``.
+
+NTChem is the compute-bound anchor of the cross-processor comparison:
+A64FX's 3.38 TFLOP/s vs dual-Xeon's 3.07 make them near-equal once SIMD
+is on, and SIMD-less builds are catastrophic everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.kernels.kernel import LoopKernel
+from repro.kernels.presets import dgemm_blocked
+from repro.miniapps import decomp
+from repro.miniapps.base import Dataset, MiniApp
+from repro.runtime.program import Allreduce, Alltoall, Compute
+from repro.units import FP64_BYTES
+
+
+class NtChem(MiniApp):
+    name = "ntchem"
+    full_name = "NTChem-MINI (RI-MP2)"
+    description = ("Quantum chemistry: RI-MP2 correlation energy; "
+                   "DGEMM-dominated, compute bound")
+    character = "compute"
+
+    def make_datasets(self) -> list[Dataset]:
+        return [
+            Dataset("as-is", "taxol/6-31G*-like: 62 occ, 343 vir, 1200 aux",
+                    {"n_occ": 62, "n_vir": 343, "n_aux": 1200}),
+            Dataset("large", "2x taxol: 124 occ, 686 vir, 2400 aux",
+                    {"n_occ": 124, "n_vir": 686, "n_aux": 2400}),
+        ]
+
+    # ------------------------------------------------------------------
+    def kernels(self, dataset: Dataset) -> dict[str, LoopKernel]:
+        n_vir = dataset["n_vir"]
+        gemm = dgemm_blocked(block=96)
+        assemble = LoopKernel(
+            name="ntchem-assemble",
+            flops=7.0,                       # denominator + 2K - K^T + sum
+            fma_fraction=0.6,
+            bytes_load=3 * FP64_BYTES,
+            bytes_store=FP64_BYTES / 4.0,
+            working_set_bytes=float(n_vir * n_vir * FP64_BYTES),
+            streaming_fraction=0.3,
+            vec_fraction=0.95,
+            ilp=8.0,
+            contiguous_fraction=0.9,         # the K^T access is strided
+        )
+        return {"ntchem-gemm": gemm, "ntchem-assemble": assemble}
+
+    # ------------------------------------------------------------------
+    def make_program(self, dataset: Dataset,
+                     n_ranks: int) -> Callable[[int, int], Iterator]:
+        n_occ = dataset["n_occ"]
+        n_vir = dataset["n_vir"]
+        n_aux = dataset["n_aux"]
+        n_pairs = n_occ * (n_occ + 1) // 2
+        b_bytes = n_aux * n_occ * n_vir * FP64_BYTES
+
+        def program(rank: int, size: int) -> Iterator:
+            my_pairs = decomp.split_1d(n_pairs, size, rank)
+            if size > 1:
+                # each rank exchanges its B slice with everyone
+                yield Alltoall(size_bytes=b_bytes / size)
+            # one pair = nvir^2 * naux multiply-adds; the dgemm kernel's
+            # iteration unit is one FMA (2 FLOPs)
+            gemm_iters = my_pairs * n_vir * n_vir * n_aux
+            yield Compute("ntchem-gemm", iters=gemm_iters,
+                          schedule="dynamic", imbalance=1.1)
+            yield Compute("ntchem-assemble", iters=my_pairs * n_vir * n_vir)
+            # serial pair-energy accumulation / screening bookkeeping
+            yield Compute("ntchem-assemble", iters=my_pairs * n_vir / 2.0,
+                          serial=True)
+            yield Allreduce(size_bytes=8)
+
+        return program

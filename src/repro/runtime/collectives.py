@@ -1,0 +1,112 @@
+"""Analytic cost models for MPI collectives.
+
+Collectives complete when every member rank has arrived; the completion
+time is ``max(arrival) + algorithm_time``.  Algorithm times follow the
+classic LogGP-style forms used by MPICH/Open MPI cost models:
+
+* barrier        — dissemination: ``ceil(log2 p)`` latency rounds
+* bcast / reduce — binomial tree: ``ceil(log2 p)`` rounds of (alpha + n/B)
+* allreduce      — recursive doubling: ``ceil(log2 p)`` rounds, two
+  transfers' worth of payload per round pair (reduce-scatter + allgather)
+* allgather      — ring: ``p - 1`` steps of the per-rank block
+* alltoall       — pairwise exchange: ``p - 1`` steps of ``n / (p - 1)``
+* gather/scatter — binomial with the root moving the full payload
+
+The (alpha, 1/B) pair is classified from the communicator's span: all ranks
+in one NUMA domain, one node, or across the network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CommunicatorError
+from repro.machine.topology import Cluster, CoreAddress
+from repro.runtime import program as ops
+from repro.units import US
+
+#: Per-rank software overhead of entering a collective.
+_SW_OVERHEAD_S = 0.2 * US
+
+
+@dataclass(frozen=True)
+class CommProfile:
+    """Characteristic latency/bandwidth for one communicator's span."""
+
+    alpha_s: float
+    bandwidth: float
+    span: str   # "domain" | "node" | "network"
+
+
+def profile_communicator(
+    cluster: Cluster, members: tuple[CoreAddress, ...]
+) -> CommProfile:
+    """Classify a communicator by the widest distance among its members."""
+    if not members:
+        raise CommunicatorError("communicator has no members")
+    first = members[0]
+    same_node = all(m.node == first.node for m in members)
+    if not same_node:
+        n = cluster.n_nodes
+        # hop estimate: average of a representative worst pair
+        max_hops = 1
+        nodes = sorted({m.node for m in members})
+        for other in nodes[1:]:
+            max_hops = max(max_hops, cluster.network.hops(nodes[0], other, n))
+        alpha = cluster.network.base_latency_s + max_hops * cluster.network.hop_latency_s
+        return CommProfile(alpha_s=alpha, bandwidth=cluster.network.link_bandwidth,
+                           span="network")
+    same_domain = all(
+        m.chip == first.chip and m.domain == first.domain for m in members
+    )
+    if same_domain:
+        return CommProfile(alpha_s=cluster.shm_latency_s,
+                           bandwidth=cluster.shm_bandwidth, span="domain")
+    chip = cluster.node.chips[first.chip]
+    alpha = cluster.shm_latency_s + chip.inter_domain_latency_s
+    bw = cluster.shm_bandwidth
+    if chip.inter_domain_bandwidth > 0:
+        bw = min(bw, chip.inter_domain_bandwidth)
+    return CommProfile(alpha_s=alpha, bandwidth=bw, span="node")
+
+
+def collective_time(op, p: int, profile: CommProfile) -> float:
+    """Algorithm time of one collective on a ``p``-rank communicator."""
+    if p < 1:
+        raise CommunicatorError("communicator size must be positive")
+    if p == 1:
+        return _SW_OVERHEAD_S
+    rounds = math.ceil(math.log2(p))
+    alpha, bw = profile.alpha_s, profile.bandwidth
+    n = op.size_bytes
+
+    if isinstance(op, (ops.Barrier, ops.IBarrier)):
+        t = rounds * alpha
+    elif isinstance(op, (ops.Bcast, ops.Reduce)):
+        # small: binomial tree; large: scatter + ring-allgather
+        # (van de Geijn) whose payload term does not multiply by log p
+        binomial = rounds * (alpha + n / bw)
+        vdg = (rounds + p - 1) * alpha + 2.0 * (p - 1) / p * n / bw
+        t = min(binomial, vdg)
+    elif isinstance(op, (ops.Allreduce, ops.IAllreduce)):
+        # small: recursive doubling; large: reduce-scatter + allgather
+        recursive = rounds * (alpha + 2.0 * n / bw)
+        rabenseifner = 2 * (p - 1) * alpha + 2.0 * (p - 1) / p * n / bw
+        t = min(recursive, rabenseifner)
+    elif isinstance(op, ops.Allgather):
+        t = (p - 1) * (alpha + n / bw)
+    elif isinstance(op, ops.Alltoall):
+        per_peer = n / (p - 1)
+        t = (p - 1) * (alpha + per_peer / bw)
+    elif isinstance(op, (ops.Gather, ops.Scatter)):
+        t = rounds * alpha + (p - 1) / p * (n * p) / bw if n > 0 else rounds * alpha
+    elif isinstance(op, ops.ReduceScatter):
+        # pairwise exchange: p-1 steps of n/p each
+        t = (p - 1) * (alpha + (n / p) / bw)
+    elif isinstance(op, ops.Scan):
+        # linear-latency prefix with pipelined payload
+        t = rounds * (alpha + n / bw) + alpha * (p - 1) / 4.0
+    else:
+        raise CommunicatorError(f"not a collective op: {op!r}")
+    return t + _SW_OVERHEAD_S * rounds

@@ -1,0 +1,70 @@
+"""Minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, action)`` triples on a heap; the sequence
+number makes simultaneous events fire in scheduling order, so runs are
+bit-reproducible.  The engine knows nothing about MPI or ranks — those live
+in :mod:`repro.runtime.mpi` / :mod:`repro.runtime.executor`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """Event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, action))
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute virtual time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, action))
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap; returns the final virtual time.
+
+        ``until`` optionally bounds the clock (events beyond it stay
+        queued).  Re-entrant calls are rejected.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _, action = self._heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                action()
+        finally:
+            self._running = False
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,341 @@
+"""Run rank programs on the machine model.
+
+:func:`run_job` is the single entry point the miniapps and experiments use:
+it compiles the job's kernels for the target core, spawns one generator per
+rank, and interprets the yielded operations against the event engine, the
+simulated MPI layer, and the OpenMP region model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.compile.compiler import CompiledKernel, Compiler
+from repro.compile.options import CompilerOptions
+from repro.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.kernels.kernel import LoopKernel
+from repro.machine.topology import Cluster
+from repro.runtime import program as ops
+from repro.runtime.event import Engine
+from repro.runtime.mpi import Request, SimMPI
+from repro.runtime.openmp import DATA_POLICIES, region_time
+from repro.runtime.placement import JobPlacement
+from repro.runtime.trace import RankTrace
+
+#: Type of a rank-program factory: (rank, size) -> generator of ops.
+ProgramFactory = Callable[[int, int], Iterator]
+
+
+@dataclass(frozen=True)
+class Job:
+    """Everything needed to simulate one application run."""
+
+    cluster: Cluster
+    placement: JobPlacement
+    kernels: dict[str, LoopKernel]
+    program: ProgramFactory
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+    data_policy: str = "first-touch"
+    communicators: dict[str, tuple[int, ...]] | None = None
+    name: str = "job"
+    #: Failure/straggler injection: node index -> compute slowdown factor
+    #: (>= 1; e.g. {2: 1.5} models a thermally throttled node 2).
+    node_slowdown: dict[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.placement.cluster is not self.cluster:
+            raise ConfigurationError("placement was built for a different cluster")
+        if self.data_policy not in DATA_POLICIES:
+            raise ConfigurationError(f"unknown data policy {self.data_policy!r}")
+        if not self.kernels:
+            raise ConfigurationError("job has no kernels")
+        if self.node_slowdown:
+            for node, factor in self.node_slowdown.items():
+                if not 0 <= node < self.cluster.n_nodes:
+                    raise ConfigurationError(f"slowdown for unknown node {node}")
+                if factor < 1.0:
+                    raise ConfigurationError(
+                        f"slowdown factor must be >= 1, got {factor}"
+                    )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated run."""
+
+    job_name: str
+    elapsed: float
+    traces: dict[int, RankTrace]
+    rank_finish: dict[int, float]
+    total_flops: float
+    total_dram_bytes: float
+    messages_sent: int
+    bytes_sent: float
+    placement_label: str
+    io_bytes: float = 0.0
+
+    @property
+    def achieved_flops_per_s(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_flops / self.elapsed
+
+    @property
+    def dram_bandwidth(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_dram_bytes / self.elapsed
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-rank seconds in each trace category."""
+        agg: dict[str, float] = {}
+        for tr in self.traces.values():
+            for cat, t in tr.breakdown().items():
+                agg[cat] = agg.get(cat, 0.0) + t
+        n = max(1, len(self.traces))
+        return {cat: t / n for cat, t in agg.items()}
+
+    def communication_fraction(self) -> float:
+        """Fraction of the mean rank time spent in p2p + collectives."""
+        b = self.breakdown()
+        comm = b.get("p2p", 0.0) + b.get("collective", 0.0)
+        if self.elapsed <= 0:
+            return 0.0
+        return min(1.0, comm / self.elapsed)
+
+
+class _RankDriver:
+    """Interprets one rank's generator against the engine."""
+
+    def __init__(self, rank: int, executor: "_Executor") -> None:
+        self.rank = rank
+        self.ex = executor
+        self.gen = executor.job.program(rank, executor.placement.n_ranks)
+        self.trace = RankTrace(rank)
+        self.finish_time: float | None = None
+        self.blocked_since: float | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.ex.engine.schedule(0.0, lambda: self._advance(None))
+
+    def _resume(self, category: str, label: str = "") -> Callable[[], None]:
+        """Callback that records the blocked interval and advances."""
+        t0 = self.ex.engine.now
+
+        def cb() -> None:
+            now = self.ex.engine.now
+            if now > t0:
+                self.trace.add(t0, now, category, label)
+            self._advance(None)
+
+        return cb
+
+    def _advance(self, send_value) -> None:
+        engine = self.ex.engine
+        while True:
+            try:
+                op = self.gen.send(send_value)
+            except StopIteration:
+                self.finish_time = engine.now
+                return
+            send_value = None
+
+            if isinstance(op, ops.Compute):
+                timing = self.ex.time_compute(self.rank, op)
+                t0 = engine.now
+                cat = "serial" if op.serial else "compute"
+                self.trace.add(t0, t0 + timing.seconds, cat, op.kernel)
+                self.ex.total_flops += timing.flops
+                self.ex.total_dram_bytes += timing.dram_bytes
+                engine.schedule(timing.seconds, lambda: self._advance(None))
+                return
+
+            if isinstance(op, ops.Sleep):
+                t0 = engine.now
+                self.trace.add(t0, t0 + op.seconds, "sleep", "sleep")
+                engine.schedule(op.seconds, lambda: self._advance(None))
+                return
+
+            if isinstance(op, (ops.FileRead, ops.FileWrite)):
+                done_at = self.ex.storage_transfer(op.size_bytes)
+                label = "read" if isinstance(op, ops.FileRead) else "write"
+                self.trace.add(engine.now, done_at, "io", label)
+                engine.schedule_at(done_at, lambda: self._advance(None))
+                return
+
+            if isinstance(op, ops.Isend):
+                send_value = self.ex.mpi.post_send(self.rank, op)
+                continue
+
+            if isinstance(op, ops.Irecv):
+                send_value = self.ex.mpi.post_recv(self.rank, op)
+                continue
+
+            if isinstance(op, ops.Send):
+                req = self.ex.mpi.post_send(self.rank, op)
+                req.on_complete(self._resume("p2p", f"send->{op.dst}"))
+                return
+
+            if isinstance(op, ops.Recv):
+                req = self.ex.mpi.post_recv(self.rank, op)
+                req.on_complete(self._resume("p2p", f"recv<-{op.src}"))
+                return
+
+            if isinstance(op, ops.Sendrecv):
+                sreq = self.ex.mpi.post_send(
+                    self.rank, ops.Isend(op.dst, op.send_tag, op.size_bytes)
+                )
+                rreq = self.ex.mpi.post_recv(
+                    self.rank, ops.Irecv(op.src, op.recv_tag)
+                )
+                self._wait_many([sreq, rreq], "p2p", "sendrecv")
+                return
+
+            if isinstance(op, ops.WaitAll):
+                reqs = list(op.requests)
+                for r in reqs:
+                    if not isinstance(r, Request):
+                        raise SimulationError(
+                            f"rank {self.rank}: WaitAll on a non-request {r!r}"
+                        )
+                self._wait_many(reqs, "p2p", "waitall")
+                return
+
+            if isinstance(op, ops.NONBLOCKING_COLLECTIVE_OPS):
+                # yields the request back; completion via WaitAll
+                send_value = self.ex.mpi.post_collective(self.rank, op)
+                continue
+
+            if isinstance(op, ops.COLLECTIVE_OPS):
+                req = self.ex.mpi.post_collective(self.rank, op)
+                req.on_complete(
+                    self._resume("collective", type(op).__name__.lower())
+                )
+                return
+
+            raise SimulationError(
+                f"rank {self.rank} yielded an unknown operation: {op!r}"
+            )
+
+    def _wait_many(self, reqs: list[Request], category: str, label: str) -> None:
+        remaining = sum(1 for r in reqs if not r.done)
+        if remaining == 0:
+            # nothing to wait for; continue immediately (still via the
+            # engine to keep the event ordering deterministic)
+            self.ex.engine.schedule(0.0, lambda: self._advance(None))
+            return
+        resume = self._resume(category, label)
+        state = {"n": remaining}
+
+        def one_done() -> None:
+            state["n"] -= 1
+            if state["n"] == 0:
+                resume()
+
+        for r in reqs:
+            if not r.done:
+                r.on_complete(one_done)
+
+
+class _Executor:
+    """One run's mutable state."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.placement = job.placement
+        self.engine = Engine()
+        self.mpi = SimMPI(self.engine, job.cluster, job.placement,
+                          job.communicators)
+        core = job.cluster.node.chips[0].domains[0].core
+        compiler = Compiler(job.options)
+        self.compiled: dict[str, CompiledKernel] = compiler.compile_many(
+            job.kernels, core
+        )
+        self.total_flops = 0.0
+        self.total_dram_bytes = 0.0
+        self._storage_busy = 0.0
+        self.io_bytes = 0.0
+
+    def storage_transfer(self, size_bytes: float) -> float:
+        """Completion time of one file transfer started now.
+
+        The per-node channel bounds the client; the shared aggregate
+        channel is arbitrated first-come-first-served across ranks.
+        """
+        spec = self.job.cluster.storage
+        now = self.engine.now
+        agg_start = max(now, self._storage_busy)
+        self._storage_busy = agg_start + spec.aggregate_seconds(size_bytes)
+        self.io_bytes += size_bytes
+        return max(now + spec.transfer_seconds(size_bytes),
+                   self._storage_busy + spec.open_latency_s)
+
+    def time_compute(self, rank: int, op: ops.Compute):
+        try:
+            ck = self.compiled[op.kernel]
+        except KeyError:
+            raise SimulationError(
+                f"rank {rank} references unregistered kernel {op.kernel!r}; "
+                f"known: {sorted(self.compiled)}"
+            ) from None
+        timing = region_time(
+            ck,
+            op,
+            self.placement.thread_cores(rank),
+            self.job.cluster,
+            self.placement.threads_per_domain,
+            self.placement.home_domain(rank),
+            self.job.data_policy,
+        )
+        if self.job.node_slowdown:
+            factor = self.job.node_slowdown.get(
+                self.placement.node_of(rank), 1.0)
+            if factor != 1.0:
+                import dataclasses
+
+                timing = dataclasses.replace(
+                    timing,
+                    seconds=timing.seconds * factor,
+                    max_thread_seconds=timing.max_thread_seconds * factor,
+                )
+        return timing
+
+
+def run_job(job: Job) -> RunResult:
+    """Simulate ``job`` to completion and return the results.
+
+    Raises
+    ------
+    DeadlockError
+        If the event heap drains while some rank is still blocked (a real
+        communication deadlock in the program).
+    """
+    ex = _Executor(job)
+    drivers = [
+        _RankDriver(rank, ex) for rank in range(job.placement.n_ranks)
+    ]
+    for d in drivers:
+        d.start()
+    ex.engine.run()
+
+    unfinished = [d.rank for d in drivers if d.finish_time is None]
+    if unfinished:
+        raise DeadlockError(
+            f"ranks {unfinished} never finished;\n{ex.mpi.blocked_summary()}"
+        )
+
+    finish = {d.rank: float(d.finish_time) for d in drivers}
+    return RunResult(
+        job_name=job.name,
+        elapsed=max(finish.values()),
+        traces={d.rank: d.trace for d in drivers},
+        rank_finish=finish,
+        total_flops=ex.total_flops,
+        total_dram_bytes=ex.total_dram_bytes,
+        messages_sent=ex.mpi.messages_sent,
+        bytes_sent=ex.mpi.bytes_sent,
+        placement_label=job.placement.describe(),
+        io_bytes=ex.io_bytes,
+    )

@@ -1,0 +1,289 @@
+"""Simulated MPI: message matching, rendezvous, NIC serialization,
+collectives.
+
+Semantics follow mpi4py/MPI:
+
+* point-to-point matching is FIFO per (source, tag) with
+  :data:`~repro.runtime.program.ANY_SOURCE` wildcards;
+* sends use the **eager/rendezvous protocol split**: below the network's
+  rendezvous threshold the payload is buffered and the send completes
+  immediately (so small blocking sends cannot deadlock, exactly like real
+  MPI eager mode); at or above the threshold the send completes only at
+  delivery (synchronous semantics — and cyclic large blocking sends
+  deadlock loudly, as they eventually do on real machines);
+* ``Isend``/``Irecv`` return :class:`Request` handles;
+* collectives complete for everyone once all members have arrived
+  (cost model in :mod:`repro.runtime.collectives`);
+* each node's NIC serializes inter-node injections at its injection
+  bandwidth — the resource the process-allocation experiment (F3)
+  stresses when many ranks share a node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CommunicatorError
+from repro.machine.topology import Cluster, CoreAddress
+from repro.runtime import program as ops
+from repro.runtime.collectives import collective_time, profile_communicator
+from repro.runtime.event import Engine
+from repro.runtime.placement import JobPlacement
+
+
+class Request:
+    """Completion handle for a non-blocking operation."""
+
+    __slots__ = ("rid", "done", "_waiters")
+    _next_id = 0
+
+    def __init__(self) -> None:
+        Request._next_id += 1
+        self.rid = Request._next_id
+        self.done = False
+        self._waiters: list[Callable[[], None]] = []
+
+    def complete(self) -> None:
+        if self.done:
+            raise CommunicatorError(f"request {self.rid} completed twice")
+        self.done = True
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb()
+
+    def on_complete(self, cb: Callable[[], None]) -> None:
+        if self.done:
+            cb()
+        else:
+            self._waiters.append(cb)
+
+
+@dataclass
+class _SendPost:
+    src: int
+    tag: int
+    size: float
+    request: Request
+    post_time: float
+
+
+@dataclass
+class _RecvPost:
+    src: int        # may be ANY_SOURCE
+    tag: int
+    request: Request
+    post_time: float
+
+
+@dataclass
+class _CollectiveState:
+    op: object | None = None
+    arrivals: dict[int, float] = field(default_factory=dict)
+    requests: dict[int, Request] = field(default_factory=dict)
+    max_size: float = 0.0
+
+
+class SimMPI:
+    """The matching engine bound to one job run."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        placement: JobPlacement,
+        communicators: dict[str, tuple[int, ...]] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.placement = placement
+        n = placement.n_ranks
+        self.communicators: dict[str, tuple[int, ...]] = {
+            "world": tuple(range(n))
+        }
+        if communicators:
+            for name, members in communicators.items():
+                members = tuple(members)
+                if not members or any(not 0 <= r < n for r in members):
+                    raise CommunicatorError(f"bad communicator {name!r}: {members}")
+                if len(set(members)) != len(members):
+                    raise CommunicatorError(f"duplicate ranks in {name!r}")
+                self.communicators[name] = members
+        # matching queues keyed by destination rank
+        self._pending_sends: dict[int, list[_SendPost]] = {r: [] for r in range(n)}
+        self._posted_recvs: dict[int, list[_RecvPost]] = {r: [] for r in range(n)}
+        self._coll: dict[str, _CollectiveState] = {}
+        self._nic_free: dict[int, float] = {}
+        self._profiles: dict[str, object] = {}
+        # link-level contention for torus networks
+        self._links = None
+        if cluster.network.topology == "torus" and cluster.n_nodes > 1:
+            from repro.runtime.network import LinkTracker, TorusRouter
+
+            self._links = LinkTracker(TorusRouter(cluster.n_nodes),
+                                      cluster.network.link_bandwidth)
+        #: accumulated bytes moved, for reports
+        self.bytes_sent = 0.0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _addr(self, rank: int) -> CoreAddress:
+        return self.placement.thread_cores(rank)[0]
+
+    def eager_threshold(self) -> float:
+        """Message size below which sends complete on buffering."""
+        return float(self.cluster.network.rendezvous_threshold_bytes)
+
+    def _deliver(self, src: int, dst: int, size: float,
+                 send_req: Request, recv_req: Request) -> None:
+        """Schedule the delivery of a matched message."""
+        now = self.engine.now
+        a_src, a_dst = self._addr(src), self._addr(dst)
+        start = now
+        if a_src.node != a_dst.node:
+            nic_free = self._nic_free.get(a_src.node, 0.0)
+            start = max(now, nic_free)
+            occupancy = size / self.cluster.node.nic_injection_bandwidth
+            self._nic_free[a_src.node] = start + occupancy
+            if self._links is not None:
+                # torus: the route's links serialize contending messages
+                start = self._links.reserve(a_src.node, a_dst.node, size,
+                                            start)
+        duration = self.cluster.transfer_time(a_src, a_dst, size)
+        self.bytes_sent += size
+        self.messages_sent += 1
+
+        def finish() -> None:
+            if not send_req.done:       # eager sends completed at post time
+                send_req.complete()
+            recv_req.complete()
+
+        self.engine.schedule_at(start + duration, finish)
+
+    def _try_match_send(self, dst: int, post: _SendPost) -> bool:
+        """Try to pair a send with an already-posted receive."""
+        queue = self._posted_recvs[dst]
+        for i, rp in enumerate(queue):
+            if rp.tag == post.tag and rp.src in (post.src, ops.ANY_SOURCE):
+                queue.pop(i)
+                self._deliver(post.src, dst, post.size, post.request, rp.request)
+                return True
+        return False
+
+    def _try_match_recv(self, dst: int, rp: _RecvPost) -> bool:
+        """Try to pair a receive with an already-pending send."""
+        queue = self._pending_sends[dst]
+        for i, sp in enumerate(queue):
+            if sp.tag == rp.tag and rp.src in (sp.src, ops.ANY_SOURCE):
+                queue.pop(i)
+                self._deliver(sp.src, dst, sp.size, sp.request, rp.request)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # point-to-point API (used by the executor)
+    # ------------------------------------------------------------------
+    def post_send(self, src: int, op: ops.Send | ops.Isend) -> Request:
+        if not 0 <= op.dst < self.placement.n_ranks:
+            raise CommunicatorError(f"send to invalid rank {op.dst}")
+        if op.dst == src:
+            raise CommunicatorError(f"rank {src} sending to itself")
+        req = Request()
+        post = _SendPost(src=src, tag=op.tag, size=op.size_bytes,
+                         request=req, post_time=self.engine.now)
+        eager = op.size_bytes < self.eager_threshold()
+        matched = self._try_match_send(op.dst, post)
+        if not matched:
+            self._pending_sends[op.dst].append(post)
+            if eager:
+                # payload fits the eager buffer: the send completes now,
+                # the data is delivered whenever the receive is posted
+                req.complete()
+        return req
+
+    def post_recv(self, dst: int, op: ops.Recv | ops.Irecv) -> Request:
+        if op.src != ops.ANY_SOURCE and not 0 <= op.src < self.placement.n_ranks:
+            raise CommunicatorError(f"recv from invalid rank {op.src}")
+        if op.src == dst:
+            raise CommunicatorError(f"rank {dst} receiving from itself")
+        req = Request()
+        rp = _RecvPost(src=op.src, tag=op.tag, request=req,
+                       post_time=self.engine.now)
+        if not self._try_match_recv(dst, rp):
+            self._posted_recvs[dst].append(rp)
+        return req
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def post_collective(self, rank: int, op) -> Request:
+        comm_name = op.comm
+        members = self.communicators.get(comm_name)
+        if members is None:
+            raise CommunicatorError(f"unknown communicator {comm_name!r}")
+        if rank not in members:
+            raise CommunicatorError(
+                f"rank {rank} is not a member of communicator {comm_name!r}"
+            )
+        state = self._coll.setdefault(comm_name, _CollectiveState())
+        if state.op is None:
+            state.op = op
+        elif type(state.op) is not type(op):
+            raise CommunicatorError(
+                f"collective mismatch on {comm_name!r}: rank {rank} called "
+                f"{type(op).__name__} while {type(state.op).__name__} is pending"
+            )
+        if rank in state.arrivals:
+            raise CommunicatorError(
+                f"rank {rank} entered {type(op).__name__} twice on {comm_name!r}"
+            )
+        state.arrivals[rank] = self.engine.now
+        state.max_size = max(state.max_size, op.size_bytes)
+        req = Request()
+        state.requests[rank] = req
+
+        if len(state.arrivals) == len(members):
+            profile = self._profiles.get(comm_name)
+            if profile is None:
+                profile = profile_communicator(
+                    self.cluster, tuple(self._addr(r) for r in members)
+                )
+                self._profiles[comm_name] = profile
+            sized_op = dataclasses.replace(state.op, size_bytes=state.max_size) \
+                if state.max_size != state.op.size_bytes else state.op
+            t = collective_time(sized_op, len(members), profile)
+            requests = dict(state.requests)
+            # reset for the next collective on this communicator
+            self._coll[comm_name] = _CollectiveState()
+
+            def finish() -> None:
+                for r in requests.values():
+                    r.complete()
+
+            self.engine.schedule(t, finish)
+        return req
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def blocked_summary(self) -> str:
+        """Describe unmatched traffic (used in deadlock reports)."""
+        lines = []
+        for dst, sends in self._pending_sends.items():
+            for sp in sends:
+                lines.append(f"unmatched send {sp.src}->{dst} tag={sp.tag}")
+        for dst, recvs in self._posted_recvs.items():
+            for rp in recvs:
+                src = "ANY" if rp.src == ops.ANY_SOURCE else rp.src
+                lines.append(f"unmatched recv {src}->{dst} tag={rp.tag}")
+        for name, state in self._coll.items():
+            if state.op is not None:
+                missing = set(self.communicators[name]) - set(state.arrivals)
+                lines.append(
+                    f"collective {type(state.op).__name__} on {name!r} waiting "
+                    f"for ranks {sorted(missing)}"
+                )
+        return "\n".join(lines) if lines else "(no unmatched operations)"

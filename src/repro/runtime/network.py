@@ -1,0 +1,117 @@
+"""Link-level torus routing and contention.
+
+The base point-to-point model charges latency + payload/bandwidth and
+serializes on the sender's NIC.  For torus networks (Tofu-D) this module
+adds the next level of fidelity: **dimension-ordered routing over directed
+links with per-link serialization**, so messages whose routes share a link
+contend, while disjoint routes proceed in parallel — the mechanism that
+makes rank placement matter on real torus machines.
+
+The cluster's node count is folded into a near-cubic 3D torus (the same
+shape :meth:`~repro.machine.interconnect.InterconnectSpec.hops` assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: A directed link: (node, dimension 0..2, direction +1/-1).
+Link = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class TorusShape:
+    """3D folding of a flat node range."""
+
+    side: int
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "TorusShape":
+        if n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        side = max(1, round(n_nodes ** (1.0 / 3.0)))
+        while side ** 3 < n_nodes:
+            side += 1
+        return cls(side=side)
+
+    def coords(self, node: int) -> tuple[int, int, int]:
+        s = self.side
+        if node < 0 or node >= s ** 3:
+            raise ConfigurationError(f"node {node} outside the {s}^3 torus")
+        return (node % s, (node // s) % s, node // (s * s))
+
+    def node(self, x: int, y: int, z: int) -> int:
+        s = self.side
+        return (x % s) + (y % s) * s + (z % s) * s * s
+
+
+class TorusRouter:
+    """Dimension-ordered (x, then y, then z) shortest-direction routing."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.shape = TorusShape.for_nodes(n_nodes)
+        self.n_nodes = n_nodes
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        """Directed links traversed from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        s = self.shape.side
+        cur = list(self.shape.coords(src))
+        goal = self.shape.coords(dst)
+        links: list[Link] = []
+        for dim in range(3):
+            delta = (goal[dim] - cur[dim]) % s
+            if delta == 0:
+                continue
+            # pick the shorter wrap direction (ties go +)
+            if delta <= s - delta:
+                step, count = +1, delta
+            else:
+                step, count = -1, s - delta
+            for _ in range(count):
+                node_here = self.shape.node(*cur)
+                links.append((node_here, dim, step))
+                cur[dim] = (cur[dim] + step) % s
+        return links
+
+
+class LinkTracker:
+    """Per-link busy-until bookkeeping (wormhole-style single occupancy)."""
+
+    def __init__(self, router: TorusRouter, link_bandwidth: float) -> None:
+        if link_bandwidth <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        self.router = router
+        self.link_bandwidth = link_bandwidth
+        self._busy: dict[Link, float] = {}
+        #: bytes x hops actually routed (diagnostics)
+        self.byte_hops = 0.0
+
+    def reserve(self, src: int, dst: int, size_bytes: float,
+                earliest: float) -> float:
+        """Reserve the route; returns the transfer start time.
+
+        The message starts when every link on its route is free (and not
+        before ``earliest``), then occupies all of them for the payload
+        serialization time — a first-fit wormhole approximation.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("size must be non-negative")
+        links = self.router.route(src, dst)
+        if not links:
+            return earliest
+        start = earliest
+        for link in links:
+            start = max(start, self._busy.get(link, 0.0))
+        occupancy = size_bytes / self.link_bandwidth
+        for link in links:
+            self._busy[link] = start + occupancy
+        self.byte_hops += size_bytes * len(links)
+        return start
+
+    def utilization_snapshot(self, now: float) -> int:
+        """Number of links still busy at ``now`` (diagnostics)."""
+        return sum(1 for t in self._busy.values() if t > now)

@@ -1,0 +1,166 @@
+"""Rank -> threads -> cores mapping.
+
+:class:`JobPlacement` combines a cluster, a process-allocation method and a
+thread-binding policy into the concrete map every other runtime component
+consumes:
+
+* ``thread_cores(rank)`` — the :class:`~repro.machine.topology.CoreAddress`
+  of each OpenMP thread of a rank;
+* ``threads_per_domain`` — how many threads (across all ranks) are pinned to
+  each NUMA domain — the static contention census used for bandwidth
+  shares;
+* ``home_domain(rank)`` — where the rank's data lives under serial/master
+  first-touch.
+
+Within a node, the cores hosted by that node are enumerated in the
+binding's strided order, and the ranks assigned to the node take
+consecutive windows of that enumeration — this reproduces exactly the
+``OMP_PROC_BIND``-style stride experiments of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import PlacementError
+from repro.machine.topology import Cluster, CoreAddress
+from repro.runtime.affinity import ProcessAllocation, ThreadBinding, strided_order
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """Immutable placement of ``n_ranks`` x ``threads_per_rank`` threads."""
+
+    cluster: Cluster
+    n_ranks: int
+    threads_per_rank: int
+    allocation: ProcessAllocation = field(default_factory=ProcessAllocation)
+    binding: ThreadBinding = field(default_factory=ThreadBinding)
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise PlacementError("need at least one rank")
+        if self.threads_per_rank < 1:
+            raise PlacementError("need at least one thread per rank")
+        if self.threads_per_rank > self.cluster.cores_per_node:
+            raise PlacementError(
+                f"{self.threads_per_rank} threads per rank exceed the "
+                f"{self.cluster.cores_per_node} cores of a node"
+            )
+        total = self.n_ranks * self.threads_per_rank
+        if total > self.cluster.total_cores:
+            raise PlacementError(
+                f"{total} threads exceed the cluster's {self.cluster.total_cores} cores"
+            )
+        # Force construction (and validation) of the full map eagerly.
+        _ = self.thread_map
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _node_cores_per_domain(self) -> int:
+        doms = self.cluster.node.flat_domains()
+        sizes = {d.n_cores for d in doms}
+        if len(sizes) != 1:
+            raise PlacementError("heterogeneous domain sizes are not supported")
+        return sizes.pop()
+
+    @cached_property
+    def thread_map(self) -> dict[int, tuple[CoreAddress, ...]]:
+        """rank -> per-thread core addresses."""
+        cluster = self.cluster
+        cores_per_node = cluster.cores_per_node
+        capacity = cores_per_node // self.threads_per_rank
+        buckets = self.allocation.ranks_per_node(
+            self.n_ranks, cluster.n_nodes, capacity
+        )
+        stride = self.binding.effective_stride(self._node_cores_per_domain)
+        if stride >= cores_per_node:
+            raise PlacementError(
+                f"stride {stride} is not meaningful on a {cores_per_node}-core node"
+            )
+        order = strided_order(cores_per_node, stride)
+
+        result: dict[int, tuple[CoreAddress, ...]] = {}
+        for node_idx, ranks in enumerate(buckets):
+            cursor = 0
+            for rank in ranks:
+                window = order[cursor:cursor + self.threads_per_rank]
+                cursor += self.threads_per_rank
+                if self.allocation.method == "domain-pack" and stride == 1:
+                    window = self._align_to_domain(order, window, cursor)
+                    cursor = window[-1] + 1  # order is identity at stride 1
+                if len(window) < self.threads_per_rank or max(window) >= cores_per_node:
+                    raise PlacementError(
+                        f"rank {rank} does not fit on node {node_idx} "
+                        f"(domain padding exhausted the cores)"
+                    )
+                addrs = tuple(
+                    cluster.address_of(node_idx * cores_per_node + local)
+                    for local in window
+                )
+                result[rank] = addrs
+        self._validate_no_oversubscription(result)
+        return result
+
+    def _align_to_domain(self, order: list[int], window: list[int],
+                         cursor: int) -> list[int]:
+        """For domain-pack: avoid windows straddling a domain boundary."""
+        per_dom = self._node_cores_per_domain
+        if self.threads_per_rank > per_dom:
+            return window  # cannot fit in one domain; leave as block
+        first_dom = window[0] // per_dom
+        last_dom = window[-1] // per_dom
+        if first_dom == last_dom:
+            return window
+        # skip to the start of the next domain
+        start = (first_dom + 1) * per_dom
+        return list(range(start, start + self.threads_per_rank))
+
+    def _validate_no_oversubscription(
+        self, result: dict[int, tuple[CoreAddress, ...]]
+    ) -> None:
+        seen: set[CoreAddress] = set()
+        for rank, addrs in result.items():
+            for a in addrs:
+                if a in seen:
+                    raise PlacementError(
+                        f"core {a} assigned to more than one thread (rank {rank})"
+                    )
+                seen.add(a)
+
+    # ------------------------------------------------------------------
+    def thread_cores(self, rank: int) -> tuple[CoreAddress, ...]:
+        try:
+            return self.thread_map[rank]
+        except KeyError:
+            raise PlacementError(f"rank {rank} not in placement") from None
+
+    @cached_property
+    def threads_per_domain(self) -> dict[tuple[int, int, int], int]:
+        """(node, chip, domain) -> number of pinned threads (all ranks)."""
+        census: dict[tuple[int, int, int], int] = {}
+        for addrs in self.thread_map.values():
+            for a in addrs:
+                key = (a.node, a.chip, a.domain)
+                census[key] = census.get(key, 0) + 1
+        return census
+
+    def home_domain(self, rank: int) -> tuple[int, int, int]:
+        """Domain of the rank's master thread (serial first-touch home)."""
+        a = self.thread_cores(rank)[0]
+        return (a.node, a.chip, a.domain)
+
+    def node_of(self, rank: int) -> int:
+        return self.thread_cores(rank)[0].node
+
+    def domains_spanned(self, rank: int) -> int:
+        """Number of distinct NUMA domains a rank's threads touch."""
+        return len({(a.node, a.chip, a.domain) for a in self.thread_cores(rank)})
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_ranks} ranks x {self.threads_per_rank} threads, "
+            f"alloc={self.allocation.label()}, bind={self.binding.label()} "
+            f"on {self.cluster.name}"
+        )

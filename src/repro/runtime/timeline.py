@@ -1,0 +1,130 @@
+"""Timeline rendering and trace export.
+
+Two consumers:
+
+* humans — :func:`ascii_timeline` renders a per-rank Gantt chart in the
+  terminal (one row per rank, one glyph per time bucket, majority
+  category wins the bucket);
+* tools — :func:`to_chrome_trace` exports the run as a Chrome
+  ``chrome://tracing`` / Perfetto JSON object (one "thread" per rank).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+from repro.runtime.executor import RunResult
+
+#: Glyph per category for the ASCII chart.
+GLYPHS = {
+    "compute": "#",
+    "serial": "s",
+    "p2p": "~",
+    "collective": "+",
+    "sleep": ".",
+    "idle": " ",
+}
+
+
+def ascii_timeline(result: RunResult, width: int = 80,
+                   max_ranks: int = 16) -> str:
+    """Render the run as a fixed-width Gantt chart.
+
+    Each row is a rank; each column a ``elapsed / width`` bucket; the glyph
+    is the category occupying most of the bucket (idle if none).
+    """
+    if width < 10:
+        raise ConfigurationError("timeline width must be >= 10")
+    if result.elapsed <= 0:
+        return "(empty run)"
+    bucket = result.elapsed / width
+    lines = [
+        f"timeline of {result.job_name!r} "
+        f"({result.elapsed * 1e3:.3f} ms, {len(result.traces)} ranks)",
+        "legend: " + "  ".join(f"{g}={c}" for c, g in GLYPHS.items()
+                               if c != "idle"),
+    ]
+    ranks = sorted(result.traces)
+    shown = ranks[:max_ranks]
+    for rank in shown:
+        trace = result.traces[rank]
+        occupancy = [dict() for _ in range(width)]
+        for seg in trace.segments:
+            first = min(width - 1, int(seg.start / bucket))
+            last = min(width - 1, int(seg.end / bucket))
+            for b in range(first, last + 1):
+                lo = max(seg.start, b * bucket)
+                hi = min(seg.end, (b + 1) * bucket)
+                if hi > lo:
+                    occ = occupancy[b]
+                    occ[seg.category] = occ.get(seg.category, 0.0) + hi - lo
+        row = []
+        for occ in occupancy:
+            if not occ:
+                row.append(GLYPHS["idle"])
+            else:
+                top = max(occ, key=occ.__getitem__)
+                row.append(GLYPHS.get(top, "?"))
+        lines.append(f"rank {rank:>4} |{''.join(row)}|")
+    if len(ranks) > max_ranks:
+        lines.append(f"... ({len(ranks) - max_ranks} more ranks)")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(result: RunResult) -> dict:
+    """Export as a Chrome trace-event JSON object (microsecond units)."""
+    events = []
+    for rank, trace in sorted(result.traces.items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "args": {"name": f"rank {rank}"},
+        })
+        for seg in trace.segments:
+            events.append({
+                "name": seg.label or seg.category,
+                "cat": seg.category,
+                "ph": "X",
+                "pid": 0,
+                "tid": rank,
+                "ts": seg.start * 1e6,
+                "dur": seg.duration * 1e6,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"job": result.job_name,
+                      "placement": result.placement_label},
+    }
+
+
+def write_chrome_trace(result: RunResult, path: str) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(result), fh)
+
+
+def utilization_profile(result: RunResult, buckets: int = 50) -> list[float]:
+    """Fraction of ranks computing in each time bucket (load curve)."""
+    if buckets < 1:
+        raise ConfigurationError("buckets must be >= 1")
+    if result.elapsed <= 0:
+        return [0.0] * buckets
+    dt = result.elapsed / buckets
+    n_ranks = len(result.traces)
+    busy = [0.0] * buckets
+    for trace in result.traces.values():
+        for seg in trace.segments:
+            if seg.category not in ("compute", "serial"):
+                continue
+            first = min(buckets - 1, int(seg.start / dt))
+            last = min(buckets - 1, int(seg.end / dt))
+            for b in range(first, last + 1):
+                lo = max(seg.start, b * dt)
+                hi = min(seg.end, (b + 1) * dt)
+                if hi > lo:
+                    busy[b] += (hi - lo)
+    return [min(1.0, b / (dt * n_ranks)) for b in busy]

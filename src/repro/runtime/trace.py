@@ -1,0 +1,68 @@
+"""Per-rank timelines and phase breakdowns.
+
+Every rank accumulates a list of :class:`Segment` records; the
+:class:`~repro.runtime.executor.RunResult` aggregates them into the time
+breakdown the paper's analysis plots (compute / communication wait /
+collective / overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+#: Segment categories.
+CATEGORIES = ("compute", "serial", "p2p", "collective", "sleep", "io", "idle")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous activity interval of a rank."""
+
+    start: float
+    end: float
+    category: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"segment ends before it starts ({self.start} .. {self.end})"
+            )
+        if self.category not in CATEGORIES:
+            raise SimulationError(f"unknown trace category {self.category!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RankTrace:
+    """Timeline of one rank."""
+
+    rank: int
+    segments: list[Segment] = field(default_factory=list)
+
+    def add(self, start: float, end: float, category: str, label: str = "") -> None:
+        self.segments.append(Segment(start, end, category, label))
+
+    def total(self, category: str) -> float:
+        if category not in CATEGORIES:
+            raise SimulationError(f"unknown trace category {category!r}")
+        return sum(s.duration for s in self.segments if s.category == category)
+
+    def breakdown(self) -> dict[str, float]:
+        out = {c: 0.0 for c in CATEGORIES}
+        for s in self.segments:
+            out[s.category] += s.duration
+        return out
+
+    def by_label(self) -> dict[str, float]:
+        """Total time per label (e.g. per kernel name)."""
+        out: dict[str, float] = {}
+        for s in self.segments:
+            if s.label:
+                out[s.label] = out.get(s.label, 0.0) + s.duration
+        return out

@@ -1,0 +1,82 @@
+"""Physical units and formatting helpers.
+
+All quantities in the library use SI base units internally:
+
+* time        — seconds
+* frequency   — hertz
+* bandwidth   — bytes / second
+* capacity    — bytes
+* rates       — operations / second (e.g. FLOP/s)
+
+These helpers exist so that hardware catalogs and experiment configs can be
+written in natural units (``2.0 * GHZ``, ``32 * KIB``) without magic numbers.
+"""
+
+from __future__ import annotations
+
+# --- capacities (binary prefixes — caches and memories are sized in powers of 2)
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- decimal prefixes (rates, bandwidths, frequencies)
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+KHZ = KILO
+MHZ = MEGA
+GHZ = GIGA
+
+# bandwidths are quoted by vendors in decimal GB/s
+KB_S = KILO
+MB_S = MEGA
+GB_S = GIGA
+
+# time
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+NS = NANO
+US = MICRO
+MS = MILLI
+
+#: Bytes per IEEE-754 double; used throughout the kernel models.
+FP64_BYTES = 8
+FP32_BYTES = 4
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary prefix (``"8.0 MiB"``)."""
+    n = float(n)
+    for unit, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(ops_per_s: float, suffix: str = "FLOP/s") -> str:
+    """Format an operation rate with a decimal prefix (``"3.07 TFLOP/s"``)."""
+    v = float(ops_per_s)
+    for unit, scale in (("T", TERA), ("G", GIGA), ("M", MEGA), ("K", KILO)):
+        if abs(v) >= scale:
+            return f"{v / scale:.2f} {unit}{suffix}"
+    return f"{v:.2f} {suffix}"
+
+
+def fmt_bw(bytes_per_s: float) -> str:
+    """Format a bandwidth (``"1024.0 GB/s"``)."""
+    return f"{bytes_per_s / GB_S:.1f} GB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (``"12.3 ms"``)."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= MILLI:
+        return f"{s / MILLI:.3f} ms"
+    if abs(s) >= MICRO:
+        return f"{s / MICRO:.3f} us"
+    return f"{s / NANO:.1f} ns"

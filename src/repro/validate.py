@@ -1,0 +1,162 @@
+"""Internal consistency validation.
+
+The credibility of a simulation-based reproduction rests on its skeletons
+agreeing with its executable physics and its machine catalog agreeing with
+the published silicon.  :func:`validate_all` runs every check and returns
+the list of discrepancies (empty = healthy); the test suite asserts it is
+empty, and ``python -m repro`` users can call it after modifying models.
+
+Checks:
+
+* **work accounting** — each miniapp's simulated FLOP total at 1 rank
+  matches the closed-form count derived from its dataset parameters
+  (the same formulas the physics implementations execute);
+* **decomposition conservation** — rank counts change the FLOP total only
+  through documented surface/serial terms (bounded drift);
+* **catalog sanity** — peak FLOP/s and memory bandwidth of every cataloged
+  processor match the published figures;
+* **bandwidth curve** — the A64FX STREAM knee sits at the published
+  ~5 cores/CMG and the chip figure lands in the published band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.runtime.executor import run_job
+from repro.runtime.placement import JobPlacement
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One failed consistency check."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.check}] {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# closed-form FLOP counts per miniapp (as-is dataset, whole job)
+# ----------------------------------------------------------------------
+def _expected_flops_as_is(app_name: str) -> tuple[float, float]:
+    """(expected FLOPs, relative tolerance) for the as-is dataset."""
+    app = by_name(app_name)
+    ds = app.dataset("as-is")
+    if app_name == "ccs-qcd":
+        lt, lz, ly, lx = ds["lattice"]
+        sites = lt * lz * ly * lx
+        per_iter = (2 * 1344 + 6 * 48 + 4 * 48) * sites  # 2 dirac, axpy, dot
+        return per_iter * ds["iters"], 0.10
+    if app_name == "ffvc":
+        nx, ny, nz = ds["grid"]
+        cells = nx * ny * nz
+        per_step = (60 + 2 * 18 + ds["sor_sweeps"] * 14) * cells
+        return per_step * ds["steps"], 0.10
+    if app_name == "ntchem":
+        n_occ, n_vir, n_aux = ds["n_occ"], ds["n_vir"], ds["n_aux"]
+        pairs = n_occ * (n_occ + 1) // 2
+        gemm = pairs * n_vir * n_vir * n_aux * 2.0
+        return gemm, 0.10
+    if app_name == "nicam-dc":
+        cells = ds["regions"] * ds["region_size"] ** 2 * ds["levels"]
+        per_step = (2 * 260 + 24) * cells
+        return per_step * ds["steps"], 0.10
+    raise KeyError(f"no closed-form count for {app_name}")
+
+
+def check_work_accounting() -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    cluster = catalog.a64fx()
+    for app_name in ("ccs-qcd", "ffvc", "ntchem", "nicam-dc"):
+        expected, tol = _expected_flops_as_is(app_name)
+        app = by_name(app_name)
+        placement = JobPlacement(cluster, 1, 48)
+        result = run_job(app.build_job(cluster, placement, "as-is"))
+        rel = abs(result.total_flops - expected) / expected
+        if rel > tol:
+            issues.append(ValidationIssue(
+                "work-accounting",
+                f"{app_name}: simulated {result.total_flops:.3e} FLOPs vs "
+                f"closed-form {expected:.3e} (drift {rel:.1%} > {tol:.0%})",
+            ))
+    return issues
+
+
+def check_decomposition_conservation() -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    cluster = catalog.a64fx()
+    for app_name in SUITE:
+        app = by_name(app_name)
+        totals = []
+        for nr, nt in ((1, 48), (8, 6), (48, 1)):
+            placement = JobPlacement(cluster, nr, nt)
+            totals.append(run_job(
+                app.build_job(cluster, placement, "as-is")).total_flops)
+        drift = (max(totals) - min(totals)) / min(totals)
+        if drift > 0.25:
+            issues.append(ValidationIssue(
+                "decomposition",
+                f"{app_name}: FLOP total varies {drift:.1%} across rank "
+                f"counts (surface/serial terms should stay < 25%)",
+            ))
+    return issues
+
+
+#: Published node-level figures: (peak fp64 FLOP/s, peak mem bytes/s).
+_PUBLISHED = {
+    "A64FX": (3.3792e12, 1024e9),
+    "A64FX-FX700": (2.7648e12, 1024e9),     # 1.8 GHz commercial part
+    "Xeon-Skylake": (3.072e12, 256e9),
+    "ThunderX2": (0.896e12, 342e9),
+    "SPARC64-VIIIfx": (0.128e12, 64e9),
+}
+
+
+def check_catalog_sanity() -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    for name, (peak_flops, peak_bw) in _PUBLISHED.items():
+        cluster = catalog.by_name(name)
+        got_flops = cluster.node.peak_flops_fp64
+        got_bw = cluster.node.peak_memory_bandwidth
+        if abs(got_flops - peak_flops) / peak_flops > 0.02:
+            issues.append(ValidationIssue(
+                "catalog", f"{name}: peak FLOPs {got_flops:.3e} != "
+                           f"published {peak_flops:.3e}"))
+        if abs(got_bw - peak_bw) / peak_bw > 0.02:
+            issues.append(ValidationIssue(
+                "catalog", f"{name}: memory BW {got_bw:.3e} != "
+                           f"published {peak_bw:.3e}"))
+    return issues
+
+
+def check_bandwidth_curve() -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    dom = catalog.a64fx().node.chips[0].domains[0]
+    knee = dom.memory.sustained_bandwidth / dom.memory.single_stream_bandwidth
+    if not 3.0 <= knee <= 7.0:
+        issues.append(ValidationIssue(
+            "bandwidth-curve",
+            f"A64FX CMG saturates at {knee:.1f} streams; published curves "
+            f"show ~4-6 cores"))
+    chip_bw = 4 * dom.memory.sustained_bandwidth
+    if not 780e9 <= chip_bw <= 880e9:
+        issues.append(ValidationIssue(
+            "bandwidth-curve",
+            f"A64FX chip sustained {chip_bw / 1e9:.0f} GB/s outside the "
+            f"published STREAM band (~790-840)"))
+    return issues
+
+
+def validate_all() -> list[ValidationIssue]:
+    """Run every check; returns the list of discrepancies (empty = OK)."""
+    issues: list[ValidationIssue] = []
+    issues += check_catalog_sanity()
+    issues += check_bandwidth_curve()
+    issues += check_work_accounting()
+    issues += check_decomposition_conservation()
+    return issues

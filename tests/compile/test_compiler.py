@@ -1,0 +1,151 @@
+"""Tests for the compiler model (options, vectorizer, scheduler)."""
+
+import pytest
+
+from repro.compile import Compiler, CompilerOptions, PRESETS
+from repro.compile.scheduler import effective_ilp, prefetch_quality, scheduling_boost
+from repro.compile.vectorizer import (
+    effective_simd_bits,
+    has_gather_support,
+    int_vectorized,
+    vectorized_fraction,
+)
+from repro.errors import ConfigurationError
+from repro.kernels import presets
+from repro.machine import catalog
+
+
+@pytest.fixture(scope="module")
+def cores():
+    return {
+        "a64fx": catalog.a64fx().node.chips[0].domains[0].core,
+        "skx": catalog.xeon_skylake().node.chips[0].domains[0].core,
+        "tx2": catalog.thunderx2().node.chips[0].domains[0].core,
+    }
+
+
+class TestOptions:
+    def test_presets_exist(self):
+        for name in ("as-is", "+simd", "+simd+sched", "tuned", "kfast"):
+            assert name in PRESETS
+
+    def test_asis_is_conservative(self):
+        o = PRESETS["as-is"]
+        assert not o.simd and o.scheduling == "none"
+
+    def test_with_updates_functionally(self):
+        o = PRESETS["kfast"]
+        o2 = o.with_(loop_fission=True)
+        assert o2.loop_fission and not o.loop_fission
+
+    def test_rejects_bad_scheduling(self):
+        with pytest.raises(ConfigurationError):
+            CompilerOptions(scheduling="yolo")
+
+    def test_rejects_bad_vl(self):
+        with pytest.raises(ConfigurationError):
+            CompilerOptions(simd_width_bits=200)
+
+    def test_label_roundtrips_content(self):
+        o = CompilerOptions(simd=True, scheduling="aggressive", unroll=4,
+                            loop_fission=True, prefetch="aggressive")
+        lab = o.label()
+        assert "sched-aggressive" in lab and "fission" in lab and "u4" in lab
+
+
+class TestVectorizer:
+    def test_gather_support_by_isa(self, cores):
+        assert has_gather_support(cores["a64fx"])
+        assert has_gather_support(cores["skx"])
+        assert not has_gather_support(cores["tx2"])
+
+    def test_no_simd_means_zero(self, cores):
+        f = vectorized_fraction(presets.stream_triad(), PRESETS["as-is"],
+                                cores["a64fx"])
+        assert f == 0.0
+
+    def test_contiguous_vectorizes_well(self, cores):
+        f = vectorized_fraction(presets.stream_triad(), PRESETS["kfast"],
+                                cores["a64fx"])
+        assert f > 0.9
+
+    def test_gather_kernel_on_neon_stays_mostly_scalar(self, cores):
+        k = presets.spmv_csr(30, 1e6)
+        f_sve = vectorized_fraction(k, PRESETS["kfast"], cores["a64fx"])
+        f_neon = vectorized_fraction(k, PRESETS["kfast"], cores["tx2"])
+        assert f_neon < f_sve
+
+    def test_vl_cap(self, cores):
+        assert effective_simd_bits(cores["a64fx"], PRESETS["kfast"]) == 512
+        capped = PRESETS["kfast"].with_(simd_width_bits=256)
+        assert effective_simd_bits(cores["a64fx"], capped) == 256
+        # cap above native clamps to native
+        wide = PRESETS["kfast"].with_(simd_width_bits=1024)
+        assert effective_simd_bits(cores["tx2"], wide) == 128
+
+    def test_int_vectorization_requires_aggressive_sched(self, cores):
+        k = presets.integer_compare_scan(1e4)
+        assert not int_vectorized(k, PRESETS["+simd"], cores["a64fx"])
+        assert int_vectorized(k, PRESETS["+simd+sched"], cores["a64fx"])
+
+    def test_int_vectorization_requires_amenable_kernel(self, cores):
+        k = presets.stream_triad()
+        assert not int_vectorized(k, PRESETS["tuned"], cores["a64fx"])
+
+
+class TestScheduler:
+    def test_boost_ordering(self):
+        k = presets.stencil_star(7, 1e6)
+        b_none = scheduling_boost(k, PRESETS["as-is"])
+        b_aggr = scheduling_boost(k, PRESETS["+simd+sched"])
+        assert b_none == 1.0 < b_aggr
+
+    def test_fission_adds_boost(self):
+        k = presets.stencil_star(7, 1e6)
+        plain = scheduling_boost(k, PRESETS["+simd+sched"])
+        fission = scheduling_boost(k, PRESETS["+simd+sched"].with_(loop_fission=True))
+        assert fission > plain
+
+    def test_recurrence_limits_boost(self):
+        dependent = presets.dense_update_pfaffian(32)  # ilp = 3
+        parallel = presets.dgemm_blocked()             # ilp = 24
+        opts = PRESETS["+simd+sched"]
+        assert scheduling_boost(dependent, opts) <= scheduling_boost(parallel, opts)
+
+    def test_unroll_raises_ilp_sublinearly(self):
+        k = presets.stencil_star(7, 1e6)
+        u1 = effective_ilp(k, CompilerOptions(unroll=1))
+        u4 = effective_ilp(k, CompilerOptions(unroll=4))
+        assert u1 < u4 < 4 * u1
+
+    def test_prefetch_quality_range(self):
+        for name, opts in PRESETS.items():
+            for k in (presets.stream_triad(), presets.spmv_csr(30, 1e6)):
+                q = prefetch_quality(k, opts)
+                assert 0.0 <= q <= 1.0
+
+    def test_prefetch_useless_for_gathers(self):
+        opts = PRESETS["tuned"]
+        q_stream = prefetch_quality(presets.stream_triad(), opts)
+        q_gather = prefetch_quality(presets.spmv_csr(30, 1e6), opts)
+        assert q_gather < q_stream
+
+
+class TestCompilerFrontDoor:
+    def test_compile_produces_consistent_fields(self, cores):
+        ck = Compiler(PRESETS["kfast"]).compile(presets.stream_triad(),
+                                                cores["a64fx"])
+        assert 0 <= ck.vec_fraction_achieved <= 1
+        assert ck.scheduling_boost >= 1
+        assert ck.simd_bits_used == 512
+        assert ck.simd_lanes_used == 8
+
+    def test_compile_many_keys(self, cores):
+        kernels = {"a": presets.stream_triad(), "b": presets.dgemm_blocked()}
+        out = Compiler().compile_many(kernels, cores["a64fx"])
+        assert set(out) == {"a", "b"}
+        assert out["a"].kernel.name == "stream-triad"
+
+    def test_default_options(self):
+        c = Compiler()
+        assert c.options.simd

@@ -1,0 +1,130 @@
+"""Tests for roofline analysis, cross-processor comparison, and the
+figure entry points (shape assertions = the paper's findings)."""
+
+import pytest
+
+from repro.core import analysis, figures
+from repro.core.compare import candidate_configs, compare_processors
+from repro.kernels import presets
+from repro.machine import catalog
+
+
+@pytest.fixture(scope="module")
+def a64fx():
+    return catalog.a64fx()
+
+
+class TestRoofline:
+    def test_machine_roofline_values(self, a64fx):
+        roof = analysis.machine_roofline(a64fx)
+        assert roof.peak_gflops == pytest.approx(70.4, rel=0.01)
+        # 12 active streams share ~210 GB/s per CMG -> ~17.5 GB/s each
+        assert 15 < roof.mem_bandwidth_gbytes < 20
+        assert roof.ridge_intensity > 1.0
+
+    def test_attainable_is_min_of_ceilings(self, a64fx):
+        roof = analysis.machine_roofline(a64fx)
+        low_ai = roof.attainable(0.1)
+        assert low_ai == pytest.approx(0.1 * roof.mem_bandwidth_gbytes)
+        assert roof.attainable(1000.0) == roof.peak_gflops
+
+    def test_triad_is_memory_bound(self, a64fx):
+        p = analysis.kernel_roofline_point(presets.stream_triad(), a64fx)
+        assert p.memory_bound
+        assert p.arithmetic_intensity < 0.1
+
+    def test_dgemm_is_compute_bound(self, a64fx):
+        p = analysis.kernel_roofline_point(presets.dgemm_blocked(), a64fx)
+        assert not p.memory_bound
+        assert p.achieved_gflops > 0.5 * 70.4
+
+    def test_achieved_never_exceeds_peak(self, a64fx):
+        for k in (presets.stream_triad(), presets.dgemm_blocked(),
+                  presets.complex_matvec_su3(), presets.spmv_csr(30, 1e6)):
+            p = analysis.kernel_roofline_point(k, a64fx)
+            assert p.achieved_gflops <= 70.4 * 1.001
+
+    def test_app_roofline_and_summary(self, a64fx):
+        from repro.miniapps import by_name
+        pts = analysis.app_roofline(by_name("ffvc"), a64fx)
+        assert len(pts) == 3
+        assert analysis.bottleneck_summary(pts) in (
+            "memory-bound", "compute-bound", "mixed")
+
+    def test_ffvc_memory_bound_ntchem_compute_bound(self, a64fx):
+        from repro.miniapps import by_name
+        ffvc = analysis.app_roofline(by_name("ffvc"), a64fx)
+        ntchem = analysis.app_roofline(by_name("ntchem"), a64fx)
+        sor = next(p for p in ffvc if "sor" in p.kernel)
+        assert sor.memory_bound          # the dominant SOR sweeps
+        gemm = next(p for p in ntchem if "gemm" in p.kernel)
+        assert not gemm.memory_bound
+
+
+class TestComparison:
+    def test_candidate_configs_valid(self):
+        for proc in catalog.PROCESSORS:
+            cores = catalog.by_name(proc).cores_per_node
+            for r, t in candidate_configs(proc):
+                assert r * t == cores
+
+    def test_a64fx_wins_memory_bound_app(self):
+        comp = compare_processors("ffvc", processors=["A64FX", "Xeon-Skylake"])
+        rel = comp.relative_to("A64FX")
+        assert rel["A64FX"] == 1.0
+        assert rel["Xeon-Skylake"] < 0.8   # Xeon clearly slower
+
+    def test_xeon_wins_integer_app_as_is(self):
+        comp = compare_processors("ngsa", processors=["A64FX", "Xeon-Skylake"])
+        rel = comp.relative_to("A64FX")
+        assert rel["Xeon-Skylake"] > 1.0   # the paper's "poor performance"
+
+    def test_compute_bound_app_comparable(self):
+        comp = compare_processors("ntchem",
+                                  processors=["A64FX", "Xeon-Skylake"])
+        rel = comp.relative_to("A64FX")
+        assert 0.5 < rel["Xeon-Skylake"] < 1.2
+
+
+class TestFigureEntryPoints:
+    def test_t1_lists_all_processors(self):
+        t = figures.t1_processor_specs()
+        assert t.column("processor") == list(catalog.PROCESSORS)
+
+    def test_t2_lists_all_apps(self):
+        t = figures.t2_miniapp_table()
+        assert len(t.rows) == 8
+
+    def test_f1_and_t3_structure(self):
+        t, sweeps = figures.f1_mpi_omp_sweep(
+            apps=["ffvc"], configs=[(1, 48), (4, 12), (48, 1)])
+        assert len(t.rows) == 1
+        t3 = figures.t3_best_config(sweeps)
+        assert t3.column("miniapp") == ["ffvc"]
+
+    def test_f2_short_strides_win_for_memory_apps(self):
+        t, sweeps = figures.f2_thread_stride(apps=["ffvc", "nicam-dc"])
+        assert all(flag == "yes" for flag in t.column("stride-1 wins?"))
+
+    def test_f4_tuning_gains(self):
+        t, _ = figures.f4_compiler_tuning(apps=["ngsa"])
+        gain = float(t.column("gain x")[0])
+        assert gain > 1.5
+
+    def test_f7_stream_scaling_shapes(self):
+        t, data = figures.f7_stream_scaling(
+            thread_counts=[1, 12, 48])
+        compact, scatter = data["compact"], data["scatter"]
+        # scatter >= compact everywhere; equal at 1 and 48 threads
+        for n in compact:
+            assert scatter[n] >= compact[n] * 0.99
+        assert scatter[12] > 2 * compact[12]
+        assert compact[48] == pytest.approx(scatter[48], rel=0.01)
+        # full-chip bandwidth ~ 790 GB/s (0.82 x 1024 derated by prefetch)
+        assert 700 < compact[48] < 850
+
+    def test_f8_scaling_reports_efficiency(self):
+        t, sweeps = figures.f8_multinode_scaling(
+            apps=["ffvc"], node_counts=[1, 2])
+        eff = float(t.column("efficiency %")[0])
+        assert 20 < eff <= 110

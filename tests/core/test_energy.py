@@ -1,0 +1,82 @@
+"""Tests for energy-to-solution estimation and the mode study."""
+
+import pytest
+
+from repro.core.energy import (
+    EnergyReport,
+    estimate_energy,
+    mode_study,
+    utilization_from_result,
+)
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import JobPlacement, run_job
+
+
+@pytest.fixture(scope="module")
+def run():
+    cluster = catalog.a64fx()
+    placement = JobPlacement(cluster, 4, 12)
+    app = by_name("ffvc")
+    result = run_job(app.build_job(cluster, placement, "as-is"))
+    return cluster, placement, result
+
+
+class TestEstimateEnergy:
+    def test_basic_report(self, run):
+        cluster, placement, result = run
+        rep = estimate_energy(result, cluster, placement)
+        assert rep.mode == "normal"
+        assert rep.energy_joules == pytest.approx(
+            rep.average_watts * rep.elapsed_s)
+        assert rep.flops_per_joule > 0
+        assert rep.gflops_per_watt == pytest.approx(
+            rep.flops_per_joule / 1e9)
+
+    def test_power_in_plausible_band(self, run):
+        cluster, placement, result = run
+        rep = estimate_energy(result, cluster, placement)
+        assert 60 < rep.average_watts < 180
+
+    def test_eco_pricing_lowers_power(self, run):
+        cluster, placement, result = run
+        normal = estimate_energy(result, cluster, placement, "normal")
+        eco = estimate_energy(result, cluster, placement, "eco")
+        assert eco.average_watts < normal.average_watts
+
+    def test_fewer_active_cores_less_power(self):
+        cluster = catalog.a64fx()
+        app = by_name("ffvc")
+        watts = []
+        for nr, nt in [(1, 12), (4, 12)]:
+            pl = JobPlacement(cluster, nr, nt)
+            res = run_job(app.build_job(cluster, pl, "as-is"))
+            watts.append(estimate_energy(res, cluster, pl).average_watts)
+        assert watts[0] < watts[1]
+
+    def test_utilization_bounds(self, run):
+        _, _, result = run
+        assert 0.0 <= utilization_from_result(result) <= 1.0
+
+
+class TestModeStudy:
+    @pytest.fixture(scope="class")
+    def ffvc_modes(self):
+        return mode_study("ffvc")
+
+    def test_all_modes_present(self, ffvc_modes):
+        assert set(ffvc_modes) == {"normal", "eco", "boost"}
+        assert all(isinstance(r, EnergyReport) for r in ffvc_modes.values())
+
+    def test_memory_bound_eco_is_nearly_free(self, ffvc_modes):
+        assert ffvc_modes["eco"].elapsed_s < \
+            1.1 * ffvc_modes["normal"].elapsed_s
+
+    def test_memory_bound_eco_improves_efficiency(self, ffvc_modes):
+        assert ffvc_modes["eco"].gflops_per_watt > \
+            ffvc_modes["normal"].gflops_per_watt
+
+    def test_boost_is_fastest_or_equal(self, ffvc_modes):
+        assert ffvc_modes["boost"].elapsed_s <= \
+            ffvc_modes["normal"].elapsed_s * 1.001

@@ -1,0 +1,81 @@
+"""Tests for JSON sweep persistence."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
+    load_sweep,
+    save_sweep,
+)
+from repro.core.runner import run_sweep
+from repro.errors import ConfigurationError
+from repro.runtime.affinity import ThreadBinding
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfgs = [
+        ExperimentConfig(app="ffvc", n_ranks=r, n_threads=48 // r)
+        for r in (1, 4)
+    ] + [
+        ExperimentConfig(app="ffvc", n_ranks=4, n_threads=12,
+                         binding=ThreadBinding("stride", stride=4),
+                         options_preset="as-is", data_policy="serial-init"),
+    ]
+    return run_sweep("persist-me", cfgs)
+
+
+class TestRoundTrip:
+    def test_sweep_round_trips_exactly(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert loaded.name == sweep.name
+        assert len(loaded.rows) == len(sweep.rows)
+        for a, b in zip(loaded.rows, sweep.rows):
+            assert a.config == b.config
+            assert a.elapsed == b.elapsed
+            assert a.gflops == b.gflops
+
+    def test_loaded_rows_usable_by_metrics(self, sweep, tmp_path):
+        from repro.core.metrics import best_config
+
+        loaded = load_sweep(save_sweep(sweep, tmp_path / "s.json"))
+        assert best_config(loaded).elapsed == sweep.fastest().elapsed
+
+    def test_config_dict_round_trip_covers_all_fields(self):
+        cfg = ExperimentConfig(app="ngsa", dataset="large",
+                               processor="ThunderX2", n_nodes=2,
+                               n_ranks=8, n_threads=6,
+                               binding=ThreadBinding("scatter"),
+                               options_preset="tuned",
+                               data_policy="serial-init")
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+class TestErrorHandling:
+    def test_schema_mismatch_rejected(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_sweep(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_sweep(tmp_path / "nope.json")
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_sweep(bad)
+
+    def test_malformed_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"app": "ffvc"})

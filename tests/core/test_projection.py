@@ -1,0 +1,76 @@
+"""Tests for the SSSP performance-projection methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core import projection
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return projection.machine_pool()
+
+
+class TestMicrobenchmarks:
+    def test_basis_covers_resource_axes(self):
+        assert set(projection.MICROBENCHMARKS) == {
+            "stream", "dgemm", "gather", "scalar-int"}
+
+    def test_times_positive(self):
+        times = projection.microbenchmark_times(catalog.a64fx())
+        assert all(t > 0 for t in times.values())
+
+    def test_a64fx_faster_stream_than_xeon(self):
+        a = projection.microbenchmark_times(catalog.a64fx())
+        x = projection.microbenchmark_times(catalog.xeon_skylake())
+        assert a["stream"] < x["stream"]
+        assert a["scalar-int"] > x["scalar-int"]   # weak scalar side
+
+    def test_eco_slows_dgemm_not_stream(self, pool):
+        normal = projection.microbenchmark_times(pool["A64FX"])
+        eco = projection.microbenchmark_times(pool["A64FX-eco"])
+        assert eco["dgemm"] > 1.5 * normal["dgemm"]
+        assert eco["stream"] < 1.1 * normal["stream"]
+
+
+class TestFit:
+    def test_weights_nonnegative_and_fit_reasonable(self, pool):
+        model = projection.fit("ffvc", pool)
+        assert np.all(model.weights >= 0)
+        assert model.training_residual < 0.5
+
+    def test_memory_bound_app_is_stream_dominated(self, pool):
+        model = projection.fit("ffvc", pool)
+        assert model.dominant_benchmark() == "stream"
+
+    def test_too_few_machines_rejected(self):
+        small = {"A64FX": catalog.a64fx()}
+        with pytest.raises(ConfigurationError):
+            projection.fit("ffvc", small)
+
+    def test_predict_uses_weights(self, pool):
+        model = projection.fit("ffvc", pool)
+        micro = projection.microbenchmark_times(pool["A64FX"])
+        manual = float(model.weights @ np.array(
+            [micro[b] for b in model.benchmark_names]))
+        assert model.predict(micro) == pytest.approx(manual)
+
+
+class TestLeaveOneOut:
+    def test_projection_within_factor_two(self):
+        predicted, actual, model = projection.leave_one_out(
+            "ffvc", "ThunderX2")
+        assert 0.5 < predicted / actual < 2.0
+        assert "ThunderX2" not in model.training_machines
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            projection.leave_one_out("ffvc", "Cray-1")
+
+    def test_a4_table(self):
+        table, data = projection.a4_sssp_projection(apps=["ffvc", "ngsa"])
+        assert len(table.rows) == 2
+        for app, (pred, actual, model) in data.items():
+            assert abs(pred - actual) / actual < 1.0, app

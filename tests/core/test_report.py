@@ -1,0 +1,57 @@
+"""Tests for the report tables."""
+
+import pytest
+
+from repro.core.report import Table
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("demo", ["a", "b"], note="hello")
+        t.add("x", 1.5)
+        out = t.render()
+        assert "demo" in out and "a" in out and "x" in out
+        assert "1.500" in out and "note: hello" in out
+
+    def test_float_formatting(self):
+        t = Table("f", ["v"])
+        t.add(12345.6)
+        t.add(42.42)
+        t.add(1.23456)
+        t.add(0.0)
+        assert t.column("v") == ["12,346", "42.4", "1.235", "0"]
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            t.add("only-one")
+
+    def test_csv_roundtrip_structure(self):
+        t = Table("t", ["name", "value"])
+        t.add("with,comma", 1.0)
+        csv = t.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "name,value"
+        assert lines[1].startswith('"with,comma"')
+
+    def test_csv_escapes_quotes(self):
+        t = Table("t", ["q"])
+        t.add('say "hi"')
+        assert '"say ""hi"""' in t.to_csv()
+
+    def test_column_lookup(self):
+        t = Table("t", ["a", "b"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("b") == ["2", "4"]
+        with pytest.raises(ConfigurationError):
+            t.column("c")
+
+    def test_alignment_is_stable(self):
+        t = Table("t", ["col"])
+        t.add("short")
+        t.add("a-much-longer-cell")
+        lines = t.render().splitlines()
+        # header separator matches the widest cell
+        assert len(lines[2]) == len("a-much-longer-cell")

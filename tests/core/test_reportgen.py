@@ -1,0 +1,29 @@
+"""Tests for the full-report generator."""
+
+from repro.core.reportgen import generate_report, write_report
+
+
+class TestReport:
+    def test_quick_report_contains_fast_artifacts(self):
+        text = generate_report(include_sweeps=False, include_ablations=False)
+        for aid in ("T1", "T2", "F6", "F7"):
+            assert f"## {aid}" in text
+        assert "## F1" not in text
+        assert "A64FX" in text
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        generate_report(include_sweeps=False, include_ablations=False,
+                        progress=seen.append)
+        assert sorted(seen) == ["F6", "F7", "T1", "T2"]
+
+    def test_write_report_roundtrip(self, tmp_path):
+        out = write_report(tmp_path / "r.md", include_sweeps=False,
+                           include_ablations=False)
+        assert out.exists()
+        assert out.read_text().startswith("# Reproduction report")
+
+    def test_tables_are_fenced(self):
+        text = generate_report(include_sweeps=False, include_ablations=False)
+        assert text.count("```") % 2 == 0
+        assert text.count("```") >= 8

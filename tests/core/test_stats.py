@@ -1,0 +1,123 @@
+"""Tests for the Monte-Carlo statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import ar1_series, binning_analysis, jackknife
+from repro.errors import ConfigurationError
+
+
+class TestBinning:
+    def test_iid_series_plateau_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(4096)
+        res = binning_analysis(x)
+        assert res.error == pytest.approx(res.naive_error, rel=0.35)
+        assert res.tau_int < 1.2
+        assert not res.correlated or res.tau_int < 1.5
+
+    def test_correlated_series_detected(self):
+        rng = np.random.default_rng(1)
+        x = ar1_series(16384, rho=0.9, rng=rng)
+        res = binning_analysis(x)
+        # exact tau_int for rho = 0.9 is 9.5
+        assert res.correlated
+        assert 4.0 < res.tau_int < 20.0
+        assert res.error > 2.5 * res.naive_error
+
+    def test_mean_unbiased(self):
+        rng = np.random.default_rng(2)
+        x = ar1_series(8192, rho=0.5, rng=rng, mean=3.0)
+        res = binning_analysis(x)
+        assert res.mean == pytest.approx(3.0, abs=5 * res.error)
+
+    def test_error_covers_truth_for_ar1(self):
+        """The binning error bar should cover the true mean most of the
+        time; check a handful of independent chains."""
+        covered = 0
+        for seed in range(10):
+            rng = np.random.default_rng(100 + seed)
+            x = ar1_series(8192, rho=0.8, rng=rng, mean=1.0)
+            res = binning_analysis(x)
+            if abs(res.mean - 1.0) < 3 * res.error:
+                covered += 1
+        assert covered >= 8
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binning_analysis(np.ones(10))
+
+    def test_levels_reported(self):
+        rng = np.random.default_rng(3)
+        res = binning_analysis(rng.standard_normal(1024))
+        assert len(res.errors_per_level) >= 4
+
+
+class TestJackknife:
+    def test_linear_estimator_matches_mean(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(2000) + 5.0
+        est, err = jackknife(x, np.mean)
+        assert est == pytest.approx(float(x[:2000 - 2000 % 20].mean()),
+                                    abs=1e-10)
+        assert err > 0
+
+    def test_nonlinear_estimator_bias_corrected(self):
+        """E[x]^2 from finite samples is biased; jackknife removes most."""
+        rng = np.random.default_rng(5)
+        true = 4.0
+        estimates = []
+        for _ in range(200):
+            x = rng.standard_normal(400) + 2.0
+            est, _ = jackknife(x, lambda s: float(np.mean(s)) ** 2)
+            estimates.append(est)
+        # statistical check: within ~3 standard errors of the truth
+        sem = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - true) < 3 * sem + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jackknife(np.ones(100), np.mean, n_blocks=1)
+        with pytest.raises(ConfigurationError):
+            jackknife(np.ones(5), np.mean, n_blocks=10)
+
+
+class TestAr1:
+    def test_autocorrelation_structure(self):
+        rng = np.random.default_rng(6)
+        x = ar1_series(50_000, rho=0.7, rng=rng)
+        lag1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert lag1 == pytest.approx(0.7, abs=0.03)
+
+    def test_variance_normalized(self):
+        rng = np.random.default_rng(7)
+        x = ar1_series(50_000, rho=0.6, rng=rng, sigma=2.0)
+        assert x.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_rho_validation(self):
+        with pytest.raises(ConfigurationError):
+            ar1_series(100, rho=1.0, rng=np.random.default_rng(0))
+
+
+class TestIntegrationWithVmc:
+    def test_hubbard_energy_with_binning(self):
+        """End-to-end: VMC chain + binning gives an error bar that covers
+        the variational energy estimate."""
+        from repro.miniapps.mvmc import hubbard as hb
+
+        adj = hb.ring_adjacency(6)
+        vmc = hb.HubbardVmc(adj, 3, 3, u=2.0)
+        rng = np.random.default_rng(8)
+        moves = len(vmc.up.occupied) + len(vmc.dn.occupied)
+        for _ in range(50 * moves):
+            vmc.step(rng)
+        samples = []
+        for _ in range(1024):
+            for _ in range(moves):
+                vmc.step(rng)
+            samples.append(vmc.local_energy())
+        res = binning_analysis(samples)
+        assert res.error >= res.naive_error * 0.9
+        # the variational energy sits above the exact ground state
+        e_exact = hb.exact_ground_energy(adj, 3, 3, u=2.0)
+        assert res.mean + 4 * res.error > e_exact

@@ -1,0 +1,114 @@
+"""Tests for the LoopKernel descriptor and presets."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels import presets
+from repro.kernels.kernel import LoopKernel
+
+
+class TestLoopKernel:
+    def test_bytes_total(self):
+        k = LoopKernel(name="k", flops=2, bytes_load=24, bytes_store=8)
+        assert k.bytes_total == 32
+
+    def test_arithmetic_intensity(self):
+        k = LoopKernel(name="k", flops=8, bytes_load=24, bytes_store=8)
+        assert k.arithmetic_intensity == pytest.approx(0.25)
+
+    def test_ai_infinite_for_compute_only(self):
+        k = LoopKernel(name="k", flops=8)
+        assert math.isinf(k.arithmetic_intensity)
+
+    def test_dram_ai(self):
+        k = LoopKernel(name="k", flops=10, bytes_load=8)
+        assert k.dram_arithmetic_intensity(5.0) == pytest.approx(2.0)
+        assert math.isinf(k.dram_arithmetic_intensity(0.0))
+
+    def test_scaled_preserves_ratios(self):
+        k = presets.stream_triad()
+        s = k.scaled(10.0, name="triad-x10")
+        assert s.flops == pytest.approx(10 * k.flops)
+        assert s.bytes_load == pytest.approx(10 * k.bytes_load)
+        assert s.arithmetic_intensity == pytest.approx(k.arithmetic_intensity)
+        assert s.name == "triad-x10"
+        assert s.vec_fraction == k.vec_fraction
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            presets.stream_triad().scaled(0.0)
+
+    def test_rejects_workless_kernel(self):
+        with pytest.raises(ConfigurationError):
+            LoopKernel(name="empty", flops=0)
+
+    def test_int_only_kernel_is_valid(self):
+        k = LoopKernel(name="int", flops=0, int_ops=10, bytes_load=8)
+        assert k.int_ops == 10
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            LoopKernel(name="k", flops=1, vec_fraction=1.2)
+
+    def test_rejects_nonpositive_ilp(self):
+        with pytest.raises(ConfigurationError):
+            LoopKernel(name="k", flops=1, ilp=0)
+
+    @given(factor=st.floats(0.1, 100.0))
+    def test_scaling_conserves_intensity(self, factor):
+        k = presets.complex_matvec_su3()
+        s = k.scaled(factor)
+        assert s.arithmetic_intensity == pytest.approx(k.arithmetic_intensity)
+
+
+class TestPresets:
+    def test_triad_intensity(self):
+        k = presets.stream_triad()
+        # 2 flops / 32 bytes
+        assert k.arithmetic_intensity == pytest.approx(1 / 16)
+        assert k.streaming_fraction == 1.0
+
+    def test_dgemm_is_compute_dense(self):
+        k = presets.dgemm_blocked(block=96)
+        assert k.arithmetic_intensity > 5.0
+        assert k.streaming_fraction < 0.1
+
+    def test_dgemm_block_controls_working_set(self):
+        small = presets.dgemm_blocked(block=32)
+        large = presets.dgemm_blocked(block=128)
+        assert large.working_set_bytes > small.working_set_bytes
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_stencil_point_count_scales_flops(self):
+        s7 = presets.stencil_star(7, 1e6)
+        s19 = presets.stencil_star(19, 1e6)
+        assert s19.flops > s7.flops
+
+    def test_stencil_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            presets.stencil_star(2, 1e6)
+
+    def test_spmv_is_gather_heavy(self):
+        k = presets.spmv_csr(30, 1e6)
+        assert k.contiguous_fraction < 0.8
+
+    def test_integer_scan_has_no_real_fp(self):
+        k = presets.integer_compare_scan(64e3)
+        assert k.int_ops > 10 * k.flops
+        assert k.int_vectorizable
+
+    def test_qcd_kernel_flops(self):
+        k = presets.complex_matvec_su3()
+        assert k.flops == pytest.approx(264.0)
+        assert k.vec_fraction >= 0.9
+
+    def test_pfaffian_update_low_ilp(self):
+        k = presets.dense_update_pfaffian(64)
+        assert k.ilp < presets.dgemm_blocked().ilp
+
+    def test_fem_assembly_is_irregular(self):
+        k = presets.fem_element_assembly()
+        assert k.contiguous_fraction < 0.7

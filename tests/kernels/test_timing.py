@@ -1,0 +1,136 @@
+"""Tests for the per-core phase timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compile import Compiler, PRESETS
+from repro.errors import ConfigurationError
+from repro.kernels import phase_time, presets
+from repro.machine import catalog
+from repro.units import GB_S
+
+
+@pytest.fixture(scope="module")
+def a64fx_domain():
+    return catalog.a64fx().node.chips[0].domains[0]
+
+
+def time_kernel(kern, dom, opts="kfast", streams=1, iters=1e6):
+    ck = Compiler(PRESETS[opts]).compile(kern, dom.core)
+    return phase_time(
+        ck, iters, dom.core, dom.l1d, dom.l2,
+        mem_bandwidth_share=dom.memory.per_stream_bandwidth(streams),
+        l2_bandwidth_share=dom.l2_bandwidth_share(streams),
+        mem_latency_s=dom.memory.latency_s,
+    )
+
+
+class TestBounds:
+    def test_triad_is_dram_bound(self, a64fx_domain):
+        assert time_kernel(presets.stream_triad(), a64fx_domain).bound == "dram"
+
+    def test_dgemm_is_compute_bound(self, a64fx_domain):
+        assert time_kernel(presets.dgemm_blocked(), a64fx_domain).bound == "compute"
+
+    def test_zero_iters_is_free(self, a64fx_domain):
+        pt = time_kernel(presets.stream_triad(), a64fx_domain, iters=0)
+        assert pt.seconds == 0.0
+
+    def test_negative_iters_rejected(self, a64fx_domain):
+        with pytest.raises(ConfigurationError):
+            time_kernel(presets.stream_triad(), a64fx_domain, iters=-1)
+
+    def test_bad_bandwidth_rejected(self, a64fx_domain):
+        dom = a64fx_domain
+        ck = Compiler(PRESETS["kfast"]).compile(presets.stream_triad(), dom.core)
+        with pytest.raises(ConfigurationError):
+            phase_time(ck, 1, dom.core, dom.l1d, dom.l2,
+                       mem_bandwidth_share=0, l2_bandwidth_share=1,
+                       mem_latency_s=1e-7)
+
+
+class TestAbsoluteCalibration:
+    def test_single_core_triad_bandwidth(self, a64fx_domain):
+        """One A64FX core should stream ~45-50 GB/s."""
+        pt = time_kernel(presets.stream_triad(), a64fx_domain, streams=1)
+        assert 40 * GB_S < pt.dram_bandwidth < 52 * GB_S
+
+    def test_cmg_saturated_triad(self, a64fx_domain):
+        """12 cores on one CMG: ~17 GB/s each, ~200 GB/s aggregate."""
+        pt = time_kernel(presets.stream_triad(), a64fx_domain, streams=12)
+        aggregate = pt.dram_bandwidth * 12
+        assert 180 * GB_S < aggregate < 212 * GB_S
+
+    def test_dgemm_efficiency(self, a64fx_domain):
+        """Tuned DGEMM reaches >60% of the 70.4 GF/s core peak."""
+        pt = time_kernel(presets.dgemm_blocked(), a64fx_domain)
+        peak = a64fx_domain.core.peak_flops_fp64
+        assert pt.achieved_flops_per_s > 0.6 * peak
+
+    def test_dgemm_no_simd_is_an_order_slower(self, a64fx_domain):
+        tuned = time_kernel(presets.dgemm_blocked(), a64fx_domain, opts="kfast")
+        asis = time_kernel(presets.dgemm_blocked(), a64fx_domain, opts="as-is")
+        assert asis.seconds > 4 * tuned.seconds
+
+
+class TestCompilerSensitivity:
+    def test_scheduling_helps_low_ilp_on_a64fx(self, a64fx_domain):
+        k = presets.dense_update_pfaffian(64)
+        base = time_kernel(k, a64fx_domain, opts="+simd")
+        sched = time_kernel(k, a64fx_domain, opts="+simd+sched")
+        assert sched.seconds < base.seconds
+
+    def test_scheduling_matters_less_on_skylake(self):
+        """Skylake's big OoO window already fills the pipes."""
+        a_dom = catalog.a64fx().node.chips[0].domains[0]
+        x_dom = catalog.xeon_skylake().node.chips[0].domains[0]
+        k = presets.dense_update_pfaffian(64)
+        gain_a = (time_kernel(k, a_dom, opts="+simd").seconds
+                  / time_kernel(k, a_dom, opts="+simd+sched").seconds)
+        gain_x = (time_kernel(k, x_dom, opts="+simd").seconds
+                  / time_kernel(k, x_dom, opts="+simd+sched").seconds)
+        assert gain_a > gain_x
+
+    def test_int_simd_speeds_up_ngsa_kernel(self, a64fx_domain):
+        k = presets.integer_compare_scan(64e3)
+        asis = time_kernel(k, a64fx_domain, opts="as-is")
+        tuned = time_kernel(k, a64fx_domain, opts="+simd+sched")
+        assert 1.5 < asis.seconds / tuned.seconds < 6.0
+
+    def test_vl_cap_slows_vector_kernels(self, a64fx_domain):
+        dom = a64fx_domain
+        full = Compiler(PRESETS["kfast"]).compile(presets.dgemm_blocked(), dom.core)
+        capped = Compiler(
+            PRESETS["kfast"].with_(simd_width_bits=128)
+        ).compile(presets.dgemm_blocked(), dom.core)
+        t_full = phase_time(full, 1e6, dom.core, dom.l1d, dom.l2,
+                            mem_bandwidth_share=50 * GB_S,
+                            l2_bandwidth_share=100 * GB_S, mem_latency_s=1e-7)
+        t_cap = phase_time(capped, 1e6, dom.core, dom.l1d, dom.l2,
+                           mem_bandwidth_share=50 * GB_S,
+                           l2_bandwidth_share=100 * GB_S, mem_latency_s=1e-7)
+        assert t_cap.seconds > 2 * t_full.seconds
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(streams=st.integers(1, 12))
+    def test_more_contention_never_speeds_up(self, streams):
+        dom = catalog.a64fx().node.chips[0].domains[0]
+        t1 = time_kernel(presets.stream_triad(), dom, streams=streams)
+        t2 = time_kernel(presets.stream_triad(), dom, streams=streams + 1)
+        assert t2.seconds >= t1.seconds - 1e-12
+
+    @settings(max_examples=30)
+    @given(iters=st.floats(1, 1e8))
+    def test_time_linear_in_iters(self, iters):
+        dom = catalog.a64fx().node.chips[0].domains[0]
+        t1 = time_kernel(presets.stream_triad(), dom, iters=iters)
+        t2 = time_kernel(presets.stream_triad(), dom, iters=2 * iters)
+        assert t2.seconds == pytest.approx(2 * t1.seconds, rel=1e-9)
+
+    def test_components_cover_bound(self, a64fx_domain):
+        pt = time_kernel(presets.complex_matvec_su3(), a64fx_domain)
+        assert pt.bound in ("compute", "l1", "l2", "dram", "latency")
+        assert set(pt.components) == {"compute", "l1", "l2", "dram", "latency"}
+        assert all(v >= 0 for v in pt.components.values())

@@ -1,0 +1,98 @@
+"""Tests for cache-level traffic estimation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.kernel import LoopKernel
+from repro.kernels.workingset import level_traffic
+from repro.machine import catalog
+from repro.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def caches():
+    dom = catalog.a64fx().node.chips[0].domains[0]
+    return dom.l1d, dom.l2
+
+
+def kernel(ws=0.0, streaming=1.0, contiguous=1.0):
+    return LoopKernel(name="k", flops=2, bytes_load=24, bytes_store=8,
+                      working_set_bytes=ws, streaming_fraction=streaming,
+                      contiguous_fraction=contiguous)
+
+
+class TestLevelTraffic:
+    def test_pure_streaming_reaches_dram(self, caches):
+        l1, l2 = caches
+        t = level_traffic(kernel(streaming=1.0), l1, l2)
+        assert t.dram_bytes == pytest.approx(t.l1_bytes, rel=0.01)
+
+    def test_l1_carries_all_touched_bytes(self, caches):
+        l1, l2 = caches
+        k = kernel(ws=1 * MIB, streaming=0.2)
+        assert level_traffic(k, l1, l2).l1_bytes == pytest.approx(k.bytes_total)
+
+    def test_tiny_working_set_filters_reuse(self, caches):
+        l1, l2 = caches
+        t = level_traffic(kernel(ws=4 * KIB, streaming=0.2), l1, l2)
+        # 20% streaming passes; ~80% reuse absorbed by L1
+        assert t.dram_bytes == pytest.approx(0.2 * 32, rel=0.1)
+
+    def test_l2_sized_working_set_absorbed_by_l2(self, caches):
+        l1, l2 = caches
+        t = level_traffic(kernel(ws=1 * MIB, streaming=0.2), l1, l2)
+        assert t.l2_bytes > t.dram_bytes
+        assert t.dram_bytes < 0.35 * 32
+
+    def test_huge_working_set_misses_everything(self, caches):
+        l1, l2 = caches
+        t = level_traffic(kernel(ws=512 * MIB, streaming=0.0), l1, l2)
+        assert t.dram_bytes == pytest.approx(32, rel=0.05)
+
+    def test_gather_inflates_lower_levels(self, caches):
+        l1, l2 = caches
+        contig = level_traffic(kernel(contiguous=1.0), l1, l2)
+        gather = level_traffic(kernel(contiguous=0.0), l1, l2)
+        assert gather.dram_bytes > 5 * contig.dram_bytes
+        assert gather.l1_bytes == contig.l1_bytes
+
+    def test_working_set_scale_shrinks_traffic(self, caches):
+        l1, l2 = caches
+        k = kernel(ws=12 * MIB, streaming=0.0)
+        solo = level_traffic(k, l1, l2, working_set_scale=1.0)
+        shared = level_traffic(k, l1, l2, working_set_scale=0.3)
+        assert shared.dram_bytes < solo.dram_bytes
+
+    def test_zero_traffic_kernel(self, caches):
+        l1, l2 = caches
+        k = LoopKernel(name="fp-only", flops=10)
+        t = level_traffic(k, l1, l2)
+        assert t.l1_bytes == t.l2_bytes == t.dram_bytes == 0.0
+
+    def test_rejects_bad_scale(self, caches):
+        l1, l2 = caches
+        with pytest.raises(ConfigurationError):
+            level_traffic(kernel(), l1, l2, working_set_scale=0.0)
+
+    def test_miss_fractions_bounded(self, caches):
+        l1, l2 = caches
+        t = level_traffic(kernel(ws=1 * MIB, streaming=0.3), l1, l2)
+        assert 0.0 <= t.l1_miss_fraction <= 1.0
+        assert 0.0 <= t.l2_miss_fraction <= 1.0
+
+    @given(ws=st.floats(0, 1e9), streaming=st.floats(0, 1))
+    def test_traffic_hierarchy_invariant(self, ws, streaming):
+        """DRAM traffic never exceeds L2 traffic; both bounded sensibly."""
+        dom = catalog.a64fx().node.chips[0].domains[0]
+        k = kernel(ws=ws, streaming=streaming)
+        t = level_traffic(k, dom.l1d, dom.l2)
+        assert t.dram_bytes <= t.l2_bytes * (1 + 1e-9)
+        assert t.dram_bytes >= streaming * k.bytes_total * 0.99
+
+    @given(ws=st.floats(1, 1e9))
+    def test_dram_monotone_in_working_set(self, ws):
+        dom = catalog.a64fx().node.chips[0].domains[0]
+        bigger = level_traffic(kernel(ws=ws * 2, streaming=0.0), dom.l1d, dom.l2)
+        smaller = level_traffic(kernel(ws=ws, streaming=0.0), dom.l1d, dom.l2)
+        assert bigger.dram_bytes >= smaller.dram_bytes - 1e-12

@@ -1,0 +1,122 @@
+"""Tests for the cache and memory models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheSpec
+from repro.machine.memory import MemorySpec
+from repro.units import GB_S, GIB, KIB, MIB, NS
+
+
+def l2(capacity=8 * MIB, line=256) -> CacheSpec:
+    return CacheSpec(level=2, capacity_bytes=capacity, line_bytes=line,
+                     latency_cycles=40, bytes_per_cycle=512.0, shared=True)
+
+
+def hbm(**over) -> MemorySpec:
+    base = dict(kind="HBM2", capacity_bytes=8 * GIB, peak_bandwidth=256 * GB_S,
+                sustained_fraction=0.82, single_stream_bandwidth=50 * GB_S,
+                latency_s=120 * NS)
+    base.update(over)
+    return MemorySpec(**base)
+
+
+class TestCacheHitFraction:
+    def test_zero_working_set_always_hits(self):
+        assert l2().hit_fraction(0) == 1.0
+
+    def test_tiny_working_set_hits(self):
+        assert l2().hit_fraction(64 * KIB) > 0.99
+
+    def test_at_capacity_half_hits(self):
+        assert l2().hit_fraction(8 * MIB) == pytest.approx(0.5, abs=0.01)
+
+    def test_huge_working_set_misses(self):
+        assert l2().hit_fraction(256 * MIB) < 0.01
+
+    def test_monotone_decreasing(self):
+        c = l2()
+        sizes = [2 ** k * KIB for k in range(2, 16)]
+        hits = [c.hit_fraction(s) for s in sizes]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_rejects_negative_working_set(self):
+        with pytest.raises(ConfigurationError):
+            l2().hit_fraction(-1)
+
+    @given(ws=st.floats(0, 1e12))
+    def test_hit_fraction_in_unit_interval(self, ws):
+        assert 0.0 <= l2().hit_fraction(ws) <= 1.0
+
+
+class TestLineUtilization:
+    def test_contiguous_uses_full_line(self):
+        assert l2().effective_line_utilization(1.0) == pytest.approx(1.0)
+
+    def test_pure_gather_uses_one_element(self):
+        # 8-byte element of a 256-byte line
+        assert l2().effective_line_utilization(0.0) == pytest.approx(8 / 256)
+
+    def test_small_lines_hurt_less(self):
+        wide = l2(line=256)
+        narrow = l2(line=64)
+        assert narrow.effective_line_utilization(0.0) > wide.effective_line_utilization(0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            l2().effective_line_utilization(1.5)
+
+
+class TestCacheValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=1, capacity_bytes=64 * KIB, line_bytes=100,
+                      latency_cycles=5, bytes_per_cycle=128.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=1, capacity_bytes=0, line_bytes=64,
+                      latency_cycles=5, bytes_per_cycle=128.0)
+
+    def test_rejects_level_zero(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=0, capacity_bytes=64 * KIB, line_bytes=64,
+                      latency_cycles=5, bytes_per_cycle=128.0)
+
+
+class TestMemoryBandwidth:
+    def test_single_stream(self):
+        assert hbm().achievable_bandwidth(1) == pytest.approx(50 * GB_S)
+
+    def test_saturates_at_sustained(self):
+        m = hbm()
+        assert m.achievable_bandwidth(12) == pytest.approx(0.82 * 256 * GB_S)
+        assert m.achievable_bandwidth(48) == m.achievable_bandwidth(12)
+
+    def test_knee_position(self):
+        # 0.82*256/50 = 4.2 streams saturate an A64FX CMG
+        m = hbm()
+        assert m.achievable_bandwidth(4) < m.sustained_bandwidth
+        assert m.achievable_bandwidth(5) == m.sustained_bandwidth
+
+    def test_zero_streams(self):
+        assert hbm().achievable_bandwidth(0) == 0.0
+
+    def test_per_stream_share_decreases(self):
+        m = hbm()
+        shares = [m.per_stream_bandwidth(k) for k in range(1, 13)]
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    @given(k=st.integers(1, 128))
+    def test_aggregate_monotone_in_streams(self, k):
+        m = hbm()
+        assert m.achievable_bandwidth(k + 1) >= m.achievable_bandwidth(k)
+
+    def test_rejects_single_stream_above_peak(self):
+        with pytest.raises(ConfigurationError):
+            hbm(single_stream_bandwidth=300 * GB_S)
+
+    def test_rejects_bad_sustained_fraction(self):
+        with pytest.raises(ConfigurationError):
+            hbm(sustained_fraction=1.5)

@@ -1,0 +1,116 @@
+"""Tests for the per-core execution model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.core import CoreSpec
+from repro.units import GHZ
+
+
+def make_core(**over) -> CoreSpec:
+    base = dict(
+        name="test-core",
+        freq_hz=2.0 * GHZ,
+        simd_bits=512,
+        fma_pipes=2,
+        fp_latency_cycles=9.0,
+        ooo_window=64,
+        issue_width=4,
+        scalar_ipc=1.5,
+    )
+    base.update(over)
+    return CoreSpec(**base)
+
+
+class TestDerivedQuantities:
+    def test_simd_lanes(self):
+        assert make_core(simd_bits=512).simd_lanes_fp64 == 8
+        assert make_core(simd_bits=128).simd_lanes_fp64 == 2
+
+    def test_peak_flops_a64fx_like(self):
+        # 2 pipes x 2 flops x 8 lanes x 2.0 GHz = 64 GFLOP/s
+        assert make_core().peak_flops_fp64 == pytest.approx(64e9)
+
+    def test_flops_per_cycle_all_fma_vector(self):
+        core = make_core()
+        assert core.flops_per_cycle(1.0, vector=True) == pytest.approx(32.0)
+
+    def test_flops_per_cycle_no_fma_halves(self):
+        core = make_core()
+        assert core.flops_per_cycle(0.0, vector=True) == pytest.approx(16.0)
+
+    def test_flops_per_cycle_scalar(self):
+        core = make_core()
+        assert core.flops_per_cycle(1.0, vector=False) == pytest.approx(4.0)
+
+    def test_lanes_override_caps_throughput(self):
+        core = make_core()
+        half = core.flops_per_cycle(1.0, vector=True, lanes=4)
+        assert half == pytest.approx(16.0)
+
+    def test_lanes_override_out_of_range(self):
+        # fp32 allows up to simd_bits/32 lanes (16 here); beyond is invalid
+        make_core().flops_per_cycle(1.0, vector=True, lanes=16)
+        with pytest.raises(ConfigurationError):
+            make_core().flops_per_cycle(1.0, vector=True, lanes=32)
+
+
+class TestPipelineFill:
+    def test_fill_saturates_with_huge_ilp(self):
+        assert make_core().pipeline_fill(1000.0) == 1.0
+
+    def test_fill_floor(self):
+        assert make_core().pipeline_fill(0.01) >= 0.05
+
+    def test_scheduling_boost_helps(self):
+        core = make_core()
+        assert core.pipeline_fill(4.0, 2.0) > core.pipeline_fill(4.0, 1.0)
+
+    def test_large_window_beats_small_window(self):
+        small = make_core(ooo_window=48)
+        large = make_core(ooo_window=224)
+        assert large.pipeline_fill(4.0) > small.pipeline_fill(4.0)
+
+    def test_short_latency_beats_long_latency(self):
+        fast = make_core(fp_latency_cycles=4.0, ooo_window=224)
+        slow = make_core(fp_latency_cycles=9.0, ooo_window=224)
+        assert fast.pipeline_fill(4.0) > slow.pipeline_fill(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            make_core().pipeline_fill(0.0)
+        with pytest.raises(ConfigurationError):
+            make_core().pipeline_fill(4.0, 0.5)
+
+    @given(ilp=st.floats(0.5, 64.0), boost=st.floats(1.0, 3.0))
+    def test_fill_always_in_range(self, ilp, boost):
+        fill = make_core().pipeline_fill(ilp, boost)
+        assert 0.05 <= fill <= 1.0
+
+    @given(ilp=st.floats(0.5, 64.0))
+    def test_fill_monotone_in_ilp(self, ilp):
+        core = make_core()
+        assert core.pipeline_fill(ilp * 1.5) >= core.pipeline_fill(ilp)
+
+
+class TestValidation:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            make_core(freq_hz=0)
+
+    def test_rejects_bad_simd_width(self):
+        with pytest.raises(ConfigurationError):
+            make_core(simd_bits=100)
+
+    def test_rejects_zero_pipes(self):
+        with pytest.raises(ConfigurationError):
+            make_core(fma_pipes=0)
+
+    def test_rejects_bad_fma_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_core().flops_per_cycle(1.5, vector=True)
+
+    def test_describe_mentions_name_and_simd(self):
+        d = make_core().describe()
+        assert "test-core" in d and "512-bit" in d

@@ -1,0 +1,101 @@
+"""Validation-path tests for the NUMA aggregation classes."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+from repro.machine.numa import Chip, Node, NumaDomain
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dom = catalog.a64fx().node.chips[0].domains[0]
+    chip = catalog.a64fx().node.chips[0]
+    return dom, chip
+
+
+class TestNumaDomainValidation:
+    def test_rejects_zero_cores(self, parts):
+        dom, _ = parts
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(dom, n_cores=0)
+
+    def test_rejects_shared_l1(self, parts):
+        dom, _ = parts
+        bad_l1 = dataclasses.replace(dom.l1d, shared=True)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(dom, l1d=bad_l1)
+
+    def test_rejects_wrong_levels(self, parts):
+        dom, _ = parts
+        l3 = dataclasses.replace(dom.l2, level=3)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(dom, l2=l3)
+
+    def test_l2_share_validation(self, parts):
+        dom, _ = parts
+        with pytest.raises(ConfigurationError):
+            dom.l2_bandwidth_share(0)
+
+    def test_private_l2_not_divided(self):
+        dom = catalog.xeon_skylake().node.chips[0].domains[0]
+        assert dom.l2_bandwidth_share(1) == dom.l2_bandwidth_share(20)
+
+    def test_shared_l2_single_core_cap(self, parts):
+        dom, _ = parts
+        # one core cannot monopolize the shared L2 (per-port limit ~1/3)
+        assert dom.l2_bandwidth_share(1) == pytest.approx(
+            dom.l2.bytes_per_cycle * dom.core.freq_hz / 3.0)
+
+
+class TestChipValidation:
+    def test_rejects_empty_chip(self, parts):
+        dom, chip = parts
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(chip, domains=())
+
+    def test_rejects_multi_domain_without_ring(self, parts):
+        dom, chip = parts
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(chip, inter_domain_bandwidth=0.0)
+
+    def test_rejects_bad_remote_fraction(self, parts):
+        _, chip = parts
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(chip, remote_access_fraction=0.0)
+
+    def test_single_domain_chip_needs_no_ring(self, parts):
+        dom, _ = parts
+        chip = Chip(name="solo", domains=(dom,), inter_domain_bandwidth=0.0,
+                    inter_domain_latency_s=0.0)
+        assert chip.n_cores == 12
+
+    def test_domain_of_core_bounds(self, parts):
+        _, chip = parts
+        with pytest.raises(ConfigurationError):
+            chip.domain_of_core(-1)
+
+
+class TestNodeValidation:
+    def test_rejects_empty_node(self, parts):
+        _, chip = parts
+        with pytest.raises(ConfigurationError):
+            Node(name="empty", chips=())
+
+    def test_rejects_multi_chip_without_link(self, parts):
+        _, chip = parts
+        with pytest.raises(ConfigurationError):
+            Node(name="dual", chips=(chip, chip), inter_chip_bandwidth=0.0)
+
+    def test_flat_domains_order(self):
+        node = catalog.xeon_skylake().node
+        doms = node.flat_domains()
+        assert len(doms) == 2
+        assert node.cores_of_domain(1) == range(20, 40)
+
+    def test_cores_of_domain_bounds(self, parts):
+        node = catalog.a64fx().node
+        with pytest.raises(ConfigurationError):
+            node.cores_of_domain(4)

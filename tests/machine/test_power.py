@@ -1,0 +1,109 @@
+"""Tests for the power model and power-control modes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+from repro.machine.power import MODES, POWER_SPECS, PowerSpec, power_spec
+
+
+@pytest.fixture(scope="module")
+def a64fx_power():
+    return power_spec("A64FX")
+
+
+class TestPowerSpec:
+    def test_all_catalog_processors_have_specs(self):
+        assert set(POWER_SPECS) == set(catalog.PROCESSORS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            power_spec("Pentium")
+
+    def test_core_power_interpolates(self, a64fx_power):
+        p = a64fx_power
+        assert p.core_power(0.0) == p.core_active_idle_watts
+        assert p.core_power(1.0) == p.core_max_watts
+        assert p.core_power(0.0) < p.core_power(0.5) < p.core_power(1.0)
+
+    def test_core_power_rejects_bad_utilization(self, a64fx_power):
+        with pytest.raises(ConfigurationError):
+            a64fx_power.core_power(1.5)
+
+    def test_a64fx_loaded_node_power_plausible(self, a64fx_power):
+        """Published A64FX figures: ~110-160 W under load."""
+        watts = a64fx_power.node_power(48, 48, 0.9,
+                                       dram_bytes_per_s=800e9)
+        assert 100 < watts < 170
+
+    def test_idle_node_power_much_lower(self, a64fx_power):
+        idle = a64fx_power.node_power(0, 48, 0.0)
+        loaded = a64fx_power.node_power(48, 48, 1.0, 800e9)
+        assert idle < 0.5 * loaded
+
+    def test_core_retention_saves_power(self, a64fx_power):
+        half = a64fx_power.node_power(24, 48, 1.0)
+        full = a64fx_power.node_power(48, 48, 1.0)
+        assert half < full
+
+    def test_node_power_validation(self, a64fx_power):
+        with pytest.raises(ConfigurationError):
+            a64fx_power.node_power(49, 48, 0.5)
+        with pytest.raises(ConfigurationError):
+            a64fx_power.node_power(4, 48, 0.5, dram_bytes_per_s=-1)
+
+    @given(active=st.integers(0, 48), util=st.floats(0, 1),
+           bw=st.floats(0, 1e12))
+    def test_power_non_negative_and_monotone_in_activity(self, active, util, bw):
+        p = power_spec("A64FX")
+        w = p.node_power(active, 48, util, bw)
+        assert w >= 0
+        if active < 48:
+            assert p.node_power(active + 1, 48, util, bw) >= w
+
+
+class TestModes:
+    def test_mode_names(self):
+        assert MODES == ("normal", "eco", "boost")
+
+    def test_normal_is_identity(self, a64fx_power):
+        assert a64fx_power.with_mode("normal") is a64fx_power
+
+    def test_eco_lowers_core_power(self, a64fx_power):
+        eco = a64fx_power.with_mode("eco")
+        assert eco.core_max_watts < a64fx_power.core_max_watts
+        assert eco.uncore_watts == a64fx_power.uncore_watts
+
+    def test_boost_raises_core_power(self, a64fx_power):
+        boost = a64fx_power.with_mode("boost")
+        assert boost.core_max_watts == pytest.approx(
+            1.17 * a64fx_power.core_max_watts)
+
+    def test_unknown_mode_rejected(self, a64fx_power):
+        with pytest.raises(ConfigurationError):
+            a64fx_power.with_mode("turbo")
+
+    def test_validation_of_spec_fields(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(name="bad", uncore_watts=-1, mem_static_watts=0,
+                      core_max_watts=1, core_active_idle_watts=0.5,
+                      core_retention_watts=0.1, dram_pj_per_byte=30)
+        with pytest.raises(ConfigurationError):
+            PowerSpec(name="bad", uncore_watts=10, mem_static_watts=0,
+                      core_max_watts=1, core_active_idle_watts=2,
+                      core_retention_watts=0.1, dram_pj_per_byte=30)
+
+
+class TestCatalogModes:
+    def test_eco_halves_fma_pipes(self):
+        normal = catalog.a64fx()
+        eco = catalog.a64fx(eco=True)
+        assert eco.node.peak_flops_fp64 == pytest.approx(
+            0.5 * normal.node.peak_flops_fp64)
+        assert eco.node.peak_memory_bandwidth == \
+            normal.node.peak_memory_bandwidth
+
+    def test_boost_and_eco_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            catalog.a64fx(boost=True, eco=True)

@@ -1,0 +1,94 @@
+"""Tests for the parallel-filesystem model and the I/O ops."""
+
+import pytest
+
+from repro.compile import PRESETS
+from repro.errors import ConfigurationError
+from repro.kernels import presets
+from repro.machine import catalog
+from repro.machine.storage import StorageSpec, fefs, lustre
+from repro.runtime import Job, JobPlacement, run_job
+from repro.runtime.program import FileRead, FileWrite
+from repro.units import GB_S
+
+
+class TestStorageSpec:
+    def test_transfer_seconds(self):
+        spec = StorageSpec("t", aggregate_bandwidth=100 * GB_S,
+                           per_node_bandwidth=2 * GB_S, open_latency_s=1e-3)
+        assert spec.transfer_seconds(2e9) == pytest.approx(1.001)
+
+    def test_aggregate_seconds(self):
+        spec = fefs()
+        assert spec.aggregate_seconds(150e9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageSpec("bad", aggregate_bandwidth=1 * GB_S,
+                        per_node_bandwidth=2 * GB_S, open_latency_s=0)
+        with pytest.raises(ConfigurationError):
+            fefs().transfer_seconds(-1)
+
+    def test_presets(self):
+        assert fefs().aggregate_bandwidth > lustre().aggregate_bandwidth
+
+    def test_clusters_carry_storage(self):
+        assert catalog.a64fx().storage.name == "FEFS"
+
+
+class TestIoOps:
+    @staticmethod
+    def run(program, n_ranks=2):
+        cluster = catalog.a64fx()
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, n_ranks, 1),
+                  kernels={"k": presets.stream_triad()}, program=program,
+                  options=PRESETS["kfast"])
+        return run_job(job)
+
+    def test_file_read_takes_time_and_is_traced(self):
+        def program(rank, size):
+            if rank == 0:
+                yield FileRead(size_bytes=3e9)
+
+        res = self.run(program)
+        assert res.elapsed >= 1.0               # 3 GB at 3 GB/s per node
+        assert res.io_bytes == 3e9
+        assert res.traces[0].total("io") > 0
+
+    def test_reads_share_aggregate_bandwidth(self):
+        """Many concurrent readers are bounded by the aggregate channel."""
+        per_rank = 30e9
+
+        def program(rank, size):
+            yield FileRead(size_bytes=per_rank)
+
+        res = self.run(program, n_ranks=8)
+        # 8 x 30 GB over a 150 GB/s aggregate: >= 1.6 s even though each
+        # node alone would finish in 10 s... per-node = 30/3 = 10 s baseline
+        agg_bound = 8 * per_rank / fefs().aggregate_bandwidth
+        assert res.elapsed >= agg_bound * 0.99
+
+    def test_write_accounted(self):
+        def program(rank, size):
+            yield FileWrite(size_bytes=1e9)
+
+        res = self.run(program, n_ranks=1)
+        assert res.io_bytes == 1e9
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FileRead(size_bytes=-1)
+
+
+class TestNgsaPipelineIo:
+    def test_ngsa_includes_io_phases(self):
+        from repro.miniapps import by_name
+
+        cluster = catalog.a64fx()
+        app = by_name("ngsa")
+        res = run_job(app.build_job(cluster, JobPlacement(cluster, 4, 12),
+                                    "as-is"))
+        assert res.io_bytes > 0
+        assert res.traces[0].total("io") > 0
+        # but compute still dominates the as-is pipeline
+        assert res.traces[0].total("io") < res.elapsed * 0.5

@@ -1,0 +1,167 @@
+"""Tests for NUMA aggregation, cluster addressing, and transfer costs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+from repro.machine.topology import CoreAddress
+
+
+@pytest.fixture(scope="module")
+def a64fx4():
+    return catalog.a64fx(n_nodes=4)
+
+
+class TestNodeStructure:
+    def test_a64fx_core_count(self, a64fx4):
+        assert a64fx4.node.n_cores == 48
+        assert a64fx4.node.n_domains == 4
+
+    def test_xeon_is_dual_socket(self):
+        node = catalog.xeon_skylake().node
+        assert len(node.chips) == 2
+        assert node.n_cores == 40
+
+    def test_peak_flops_a64fx(self, a64fx4):
+        # 48 cores x 70.4 GF at 2.2 GHz
+        assert a64fx4.node.peak_flops_fp64 == pytest.approx(3.3792e12)
+
+    def test_a64fx_memory_bandwidth(self, a64fx4):
+        assert a64fx4.node.peak_memory_bandwidth == pytest.approx(1024e9)
+
+    def test_boost_raises_frequency_only(self):
+        normal = catalog.a64fx()
+        boost = catalog.a64fx(boost=True)
+        assert boost.node.peak_flops_fp64 > normal.node.peak_flops_fp64
+        assert boost.node.peak_memory_bandwidth == normal.node.peak_memory_bandwidth
+
+    def test_domain_of_core(self, a64fx4):
+        node = a64fx4.node
+        assert node.domain_of_core(0) == 0
+        assert node.domain_of_core(11) == 0
+        assert node.domain_of_core(12) == 1
+        assert node.domain_of_core(47) == 3
+
+    def test_cores_of_domain_roundtrip(self, a64fx4):
+        node = a64fx4.node
+        for dom in range(4):
+            for c in node.cores_of_domain(dom):
+                assert node.domain_of_core(c) == dom
+
+    def test_domain_of_core_out_of_range(self, a64fx4):
+        with pytest.raises(ConfigurationError):
+            a64fx4.node.domain_of_core(48)
+
+
+class TestAddressing:
+    @given(core=st.integers(0, 4 * 48 - 1))
+    def test_roundtrip(self, core):
+        cluster = catalog.a64fx(n_nodes=4)
+        addr = cluster.address_of(core)
+        assert cluster.global_core(addr) == core
+
+    def test_structured_fields(self, a64fx4):
+        addr = a64fx4.address_of(48 + 13)   # node 1, CMG 1, core 1
+        assert addr == CoreAddress(node=1, chip=0, domain=1, core=1)
+
+    def test_xeon_addressing_crosses_chips(self):
+        cluster = catalog.xeon_skylake(n_nodes=2)
+        addr = cluster.address_of(25)  # second socket, core 5
+        assert addr.chip == 1 and addr.domain == 0 and addr.core == 5
+
+    def test_out_of_range(self, a64fx4):
+        with pytest.raises(ConfigurationError):
+            a64fx4.address_of(4 * 48)
+
+    def test_node_global_domain(self, a64fx4):
+        addr = a64fx4.address_of(30)
+        assert a64fx4.node_global_domain(addr) == 2
+
+    def test_node_global_domain_dual_socket(self):
+        cluster = catalog.xeon_skylake()
+        addr = cluster.address_of(25)
+        assert cluster.node_global_domain(addr) == 1
+
+
+class TestTransferCosts:
+    def test_locality_ordering(self, a64fx4):
+        """intra-CMG < inter-CMG < inter-node for the same payload."""
+        src = CoreAddress(0, 0, 0, 0)
+        same_cmg = a64fx4.transfer_time(src, CoreAddress(0, 0, 0, 5), 1 << 20)
+        cross_cmg = a64fx4.transfer_time(src, CoreAddress(0, 0, 2, 3), 1 << 20)
+        cross_node = a64fx4.transfer_time(src, CoreAddress(1, 0, 0, 0), 1 << 20)
+        assert same_cmg < cross_cmg < cross_node
+
+    def test_zero_bytes_is_latency_only(self, a64fx4):
+        src, dst = CoreAddress(0, 0, 0, 0), CoreAddress(0, 0, 0, 1)
+        assert a64fx4.transfer_time(src, dst, 0) == pytest.approx(
+            a64fx4.shm_latency_s
+        )
+
+    @given(size=st.floats(0, 1e9))
+    def test_monotone_in_size(self, size):
+        cluster = catalog.a64fx(n_nodes=2)
+        src, dst = CoreAddress(0, 0, 0, 0), CoreAddress(1, 0, 0, 0)
+        assert cluster.transfer_time(src, dst, size + 1024) >= \
+            cluster.transfer_time(src, dst, size)
+
+    def test_negative_size_rejected(self, a64fx4):
+        with pytest.raises(ConfigurationError):
+            a64fx4.transfer_time(CoreAddress(0, 0, 0, 0),
+                                 CoreAddress(0, 0, 0, 1), -1)
+
+
+class TestInterconnect:
+    def test_tofu_hops_symmetric(self):
+        net = catalog.a64fx(n_nodes=27).network
+        assert net.hops(0, 13, 27) == net.hops(13, 0, 27)
+
+    def test_zero_hops_same_node(self):
+        net = catalog.a64fx(n_nodes=8).network
+        assert net.hops(3, 3, 8) == 0
+
+    def test_fat_tree_hops_grow_with_system(self):
+        net = catalog.xeon_skylake().network
+        small = net.hops(0, 1, 16)
+        large = net.hops(0, 1, 10_000)
+        assert large >= small
+
+    def test_rendezvous_surcharge(self):
+        net = catalog.a64fx().network
+        below = net.message_time(net.rendezvous_threshold_bytes - 1, 1)
+        above = net.message_time(net.rendezvous_threshold_bytes, 1)
+        assert above - below > net.rendezvous_latency_s * 0.9
+
+    def test_message_time_monotone_in_hops(self):
+        net = catalog.a64fx().network
+        assert net.message_time(1024, 5) > net.message_time(1024, 1)
+
+
+class TestCatalogRegistry:
+    def test_all_registered_processors_build(self):
+        for name in catalog.PROCESSORS:
+            cluster = catalog.by_name(name)
+            assert cluster.total_cores > 0
+            assert cluster.peak_flops_fp64 > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            catalog.by_name("Itanium")
+
+    def test_fx700_variant(self):
+        """The commercial part: lower clock, same memory, IB network."""
+        fugaku = catalog.a64fx()
+        fx700 = catalog.by_name("A64FX-FX700")
+        assert fx700.node.peak_flops_fp64 == pytest.approx(
+            fugaku.node.peak_flops_fp64 * 1.8 / 2.2)
+        assert fx700.node.peak_memory_bandwidth == \
+            fugaku.node.peak_memory_bandwidth
+        assert fx700.network.name == "InfiniBand-EDR"
+        assert fx700.cores_per_node == 48
+
+    def test_a64fx_beats_xeon_on_bandwidth_not_flops(self):
+        a = catalog.a64fx().node
+        x = catalog.xeon_skylake().node
+        assert a.peak_memory_bandwidth > 3 * x.peak_memory_bandwidth
+        assert a.peak_flops_fp64 == pytest.approx(x.peak_flops_fp64, rel=0.25)

@@ -1,0 +1,149 @@
+"""Physics validation for the clover term and even-odd preconditioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ccs_qcd import clover as cl
+from repro.miniapps.ccs_qcd import physics as qcd
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(31415)
+    shape = (4, 4, 4, 4)
+    return shape, qcd.random_su3_field(shape, rng), rng
+
+
+KAPPA, CSW = 0.12, 1.0
+
+
+class TestSigmaAlgebra:
+    def test_sigma_hermitian(self):
+        for mu in range(4):
+            for nu in range(4):
+                s = cl.SIGMA[mu, nu]
+                assert np.allclose(s, s.conj().T)
+
+    def test_sigma_antisymmetric(self):
+        for mu in range(4):
+            assert np.allclose(cl.SIGMA[mu, mu], 0.0)
+            for nu in range(4):
+                assert np.allclose(cl.SIGMA[mu, nu], -cl.SIGMA[nu, mu])
+
+    def test_sigma_commutes_with_gamma5(self):
+        for mu in range(4):
+            for nu in range(4):
+                s = cl.SIGMA[mu, nu]
+                assert np.allclose(qcd.GAMMA5 @ s, s @ qcd.GAMMA5)
+
+
+class TestFieldStrength:
+    def test_hermitian_and_traceless(self, system):
+        _, gauge, _ = system
+        f = cl.field_strength(gauge, 0, 2)
+        assert np.allclose(f, np.conj(np.swapaxes(f, -1, -2)))
+        assert np.allclose(np.einsum("...aa->...", f), 0.0, atol=1e-12)
+
+    def test_antisymmetric_in_indices(self, system):
+        _, gauge, _ = system
+        assert np.allclose(cl.field_strength(gauge, 1, 3),
+                           -cl.field_strength(gauge, 3, 1))
+
+    def test_vanishes_on_unit_gauge(self):
+        shape = (4, 4, 4, 4)
+        unit = np.broadcast_to(np.eye(3, dtype=complex),
+                               (4, *shape, 3, 3)).copy()
+        f = cl.field_strength(unit, 0, 1)
+        assert np.allclose(f, 0.0, atol=1e-14)
+
+    def test_rejects_equal_directions(self, system):
+        _, gauge, _ = system
+        with pytest.raises(ConfigurationError):
+            cl.field_strength(gauge, 2, 2)
+
+
+class TestCloverTerm:
+    def test_hermitian(self, system):
+        _, gauge, _ = system
+        a = cl.clover_term(gauge, KAPPA, CSW)
+        assert np.allclose(a, np.conj(np.swapaxes(a, -1, -2)))
+
+    def test_identity_on_unit_gauge(self):
+        shape = (4, 4, 4, 4)
+        unit = np.broadcast_to(np.eye(3, dtype=complex),
+                               (4, *shape, 3, 3)).copy()
+        a = cl.clover_term(unit, KAPPA, CSW)
+        assert np.allclose(a, np.eye(12), atol=1e-14)
+
+    def test_csw_zero_is_identity(self, system):
+        _, gauge, _ = system
+        a = cl.clover_term(gauge, KAPPA, c_sw=0.0)
+        assert np.allclose(a, np.eye(12))
+
+    def test_invertible(self, system):
+        _, gauge, _ = system
+        a = cl.clover_term(gauge, KAPPA, CSW)
+        inv = np.linalg.inv(a)
+        assert np.allclose(np.einsum("...ij,...jk->...ik", a, inv),
+                           np.eye(12), atol=1e-10)
+
+    def test_rejects_negative_csw(self, system):
+        _, gauge, _ = system
+        with pytest.raises(ConfigurationError):
+            cl.clover_term(gauge, KAPPA, c_sw=-1.0)
+
+
+class TestCloverOperator:
+    def test_gamma5_hermiticity(self, system):
+        shape, gauge, rng = system
+        a = cl.clover_term(gauge, KAPPA, CSW)
+        psi = qcd.random_spinor(shape, rng)
+        phi = qcd.random_spinor(shape, rng)
+        lhs = np.vdot(phi, cl.wilson_clover_dirac(psi, gauge, KAPPA, a))
+        rhs = np.vdot(
+            qcd.apply_gamma5(cl.wilson_clover_dirac(
+                qcd.apply_gamma5(phi), gauge, KAPPA, a)), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_reduces_to_wilson_at_csw_zero(self, system):
+        shape, gauge, rng = system
+        a0 = cl.clover_term(gauge, KAPPA, c_sw=0.0)
+        psi = qcd.random_spinor(shape, rng)
+        assert np.allclose(
+            cl.wilson_clover_dirac(psi, gauge, KAPPA, a0),
+            qcd.wilson_dirac(psi, gauge, KAPPA))
+
+
+class TestEvenOddSolve:
+    def test_parity_masks_partition(self):
+        even, odd = cl.parity_masks((4, 4, 4, 4))
+        assert even.sum() + odd.sum() == 256
+        assert not np.any(even & odd)
+
+    def test_solution_solves_the_full_system(self, system):
+        shape, gauge, rng = system
+        b = qcd.random_spinor(shape, rng)
+        x, iters, res = cl.solve_eo_preconditioned(gauge, b, KAPPA, CSW,
+                                                   tol=1e-10)
+        assert res < 1e-8
+        assert 0 < iters < 100
+
+    def test_matches_unpreconditioned_wilson(self, system):
+        """With c_sw = 0 both solvers target the same operator."""
+        shape, gauge, rng = system
+        b = qcd.random_spinor(shape, rng)
+        x_eo, _, _ = cl.solve_eo_preconditioned(gauge, b, KAPPA, c_sw=0.0,
+                                                tol=1e-11)
+        x_full, _, _ = qcd.bicgstab(gauge, b, KAPPA, tol=1e-11)
+        assert np.allclose(x_eo, x_full, atol=1e-7)
+
+    def test_preconditioning_reduces_iterations(self, system):
+        """The Schur system is better conditioned: fewer iterations than
+        the unpreconditioned solve at the same kappa."""
+        shape, gauge, rng = system
+        b = qcd.random_spinor(shape, rng)
+        _, it_eo, _ = cl.solve_eo_preconditioned(gauge, b, 0.14, c_sw=0.0,
+                                                 tol=1e-9)
+        _, it_full, _ = qcd.bicgstab(gauge, b, 0.14, tol=1e-9)
+        assert it_eo <= it_full

@@ -1,0 +1,174 @@
+"""Physics validation for the CCS-QCD miniature: gamma algebra, operator
+identities, and solver convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ccs_qcd import physics as qcd
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20210901)
+
+
+@pytest.fixture(scope="module")
+def small_system(rng):
+    shape = (4, 4, 4, 4)
+    gauge = qcd.random_su3_field(shape, rng)
+    return shape, gauge
+
+
+class TestGammaAlgebra:
+    def test_gammas_are_hermitian(self):
+        for mu in range(4):
+            assert np.allclose(qcd.GAMMA[mu], qcd.GAMMA[mu].conj().T)
+
+    def test_gammas_square_to_identity(self):
+        for mu in range(4):
+            assert np.allclose(qcd.GAMMA[mu] @ qcd.GAMMA[mu], np.eye(4))
+
+    def test_gammas_anticommute(self):
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                anti = qcd.GAMMA[mu] @ qcd.GAMMA[nu] \
+                    + qcd.GAMMA[nu] @ qcd.GAMMA[mu]
+                assert np.allclose(anti, 0.0, atol=1e-14)
+
+    def test_gamma5_properties(self):
+        g5 = qcd.GAMMA5
+        assert np.allclose(g5, g5.conj().T)
+        assert np.allclose(g5 @ g5, np.eye(4))
+        for mu in range(4):
+            assert np.allclose(g5 @ qcd.GAMMA[mu] + qcd.GAMMA[mu] @ g5, 0.0,
+                               atol=1e-14)
+
+
+class TestGaugeField:
+    def test_links_are_unitary(self, small_system):
+        _, gauge = small_system
+        uu = np.einsum("...ab,...cb->...ac", gauge, np.conj(gauge))
+        assert np.allclose(uu, np.eye(3), atol=1e-12)
+
+    def test_field_shape(self, small_system):
+        shape, gauge = small_system
+        assert gauge.shape == (4, *shape, 3, 3)
+
+
+class TestWilsonOperator:
+    def test_gamma5_hermiticity(self, small_system, rng):
+        """D^dagger = gamma5 D gamma5 — the benchmark's own check."""
+        shape, gauge = small_system
+        psi = qcd.random_spinor(shape, rng)
+        phi = qcd.random_spinor(shape, rng)
+        kappa = 0.12
+        lhs = np.vdot(phi, qcd.wilson_dirac(psi, gauge, kappa))
+        rhs = np.vdot(
+            qcd.apply_gamma5(
+                qcd.wilson_dirac(qcd.apply_gamma5(phi), gauge, kappa)
+            ),
+            psi,
+        )
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_linearity(self, small_system, rng):
+        shape, gauge = small_system
+        a, b = qcd.random_spinor(shape, rng), qcd.random_spinor(shape, rng)
+        kappa = 0.1
+        lhs = qcd.wilson_dirac(2.0 * a + 3.0j * b, gauge, kappa)
+        rhs = 2.0 * qcd.wilson_dirac(a, gauge, kappa) \
+            + 3.0j * qcd.wilson_dirac(b, gauge, kappa)
+        assert np.allclose(lhs, rhs)
+
+    def test_free_field_zero_mode(self, rng):
+        """With unit links, a constant spinor is an eigenvector with
+        eigenvalue 1 - 8 kappa (all gammas cancel pairwise)."""
+        shape = (4, 4, 4, 4)
+        gauge = np.broadcast_to(
+            np.eye(3, dtype=complex), (4, *shape, 3, 3)
+        ).copy()
+        psi = np.ones((*shape, 4, 3), dtype=complex)
+        kappa = 0.11
+        out = qcd.wilson_dirac(psi, gauge, kappa)
+        assert np.allclose(out, (1 - 8 * kappa) * psi)
+
+    def test_kappa_validation(self, small_system, rng):
+        shape, gauge = small_system
+        psi = qcd.random_spinor(shape, rng)
+        with pytest.raises(ConfigurationError):
+            qcd.wilson_dirac(psi, gauge, 0.3)
+
+    def test_shape_validation(self, small_system, rng):
+        _, gauge = small_system
+        with pytest.raises(ConfigurationError):
+            qcd.wilson_dirac(np.zeros((4, 4, 4, 4, 2, 3)), gauge, 0.1)
+
+
+class TestBiCGStab:
+    def test_converges_and_true_residual(self, small_system, rng):
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        kappa = 0.12
+        x, iters, rel = qcd.bicgstab(gauge, b, kappa, tol=1e-9)
+        assert rel < 1e-9
+        assert iters < 100
+        true_rel = np.linalg.norm(
+            qcd.wilson_dirac(x, gauge, kappa) - b
+        ) / np.linalg.norm(b)
+        assert true_rel < 1e-8
+
+    def test_zero_rhs_returns_zero(self, small_system):
+        shape, gauge = small_system
+        b = np.zeros((*shape, 4, 3), dtype=complex)
+        x, iters, rel = qcd.bicgstab(gauge, b, 0.12)
+        assert iters == 0 and np.all(x == 0)
+
+    def test_harder_kappa_takes_more_iterations(self, small_system, rng):
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        _, easy, _ = qcd.bicgstab(gauge, b, 0.05, tol=1e-9)
+        _, hard, _ = qcd.bicgstab(gauge, b, 0.14, tol=1e-9)
+        assert hard >= easy
+
+    def test_flop_count_constant(self):
+        assert qcd.flops_per_site_dirac() == 1344.0
+
+
+class TestMixedPrecision:
+    def test_reaches_fp64_tolerance(self, small_system, rng):
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        x, outer, inner, rel = qcd.bicgstab_mixed(gauge, b, 0.12, tol=1e-10)
+        assert rel < 1e-10
+        true_rel = np.linalg.norm(
+            qcd.wilson_dirac(x, gauge, 0.12) - b) / np.linalg.norm(b)
+        assert true_rel < 1e-9
+
+    def test_matches_fp64_solution(self, small_system, rng):
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        x_mixed, _, _, _ = qcd.bicgstab_mixed(gauge, b, 0.12, tol=1e-10)
+        x_full, _, _ = qcd.bicgstab(gauge, b, 0.12, tol=1e-10)
+        assert np.max(np.abs(x_mixed - x_full)) < 1e-7
+
+    def test_most_work_runs_in_fp32(self, small_system, rng):
+        """The point of the strategy: only a couple of fp64 refinement
+        steps wrap many cheap fp32 inner iterations."""
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        _, outer, inner, _ = qcd.bicgstab_mixed(gauge, b, 0.12, tol=1e-10)
+        assert outer <= 5
+        assert inner >= 2 * outer
+
+    def test_zero_rhs(self, small_system):
+        shape, gauge = small_system
+        b = np.zeros((*shape, 4, 3), dtype=complex)
+        x, outer, inner, rel = qcd.bicgstab_mixed(gauge, b, 0.12)
+        assert outer == inner == 0 and rel == 0.0
+
+    def test_inner_tol_validation(self, small_system, rng):
+        shape, gauge = small_system
+        b = qcd.random_spinor(shape, rng)
+        with pytest.raises(ConfigurationError):
+            qcd.bicgstab_mixed(gauge, b, 0.12, inner_tol=2.0)

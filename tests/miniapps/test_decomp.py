@@ -1,0 +1,152 @@
+"""Tests for the domain-decomposition helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.miniapps import decomp
+
+
+class TestSplit1d:
+    def test_even_split(self):
+        assert [decomp.split_1d(12, 4, i) for i in range(4)] == [3, 3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert [decomp.split_1d(10, 4, i) for i in range(4)] == [3, 3, 2, 2]
+
+    @given(total=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_partition_property(self, total, parts):
+        chunks = [decomp.split_1d(total, parts, i) for i in range(parts)]
+        assert sum(chunks) == total
+        assert max(chunks) - min(chunks) <= 1
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ConfigurationError):
+            decomp.split_1d(10, 4, 4)
+
+
+class TestFactorization:
+    @given(n=st.integers(1, 4096))
+    def test_factor3_is_exact(self, n):
+        px, py, pz = decomp.factor3(n)
+        assert px * py * pz == n
+        assert px >= py >= pz >= 1
+
+    def test_factor3_near_cubic(self):
+        assert decomp.factor3(64) == (4, 4, 4)
+        assert decomp.factor3(48) in ((4, 4, 3), (6, 4, 2))
+
+    @given(n=st.integers(1, 4096))
+    def test_factor2_is_exact(self, n):
+        px, py = decomp.factor2(n)
+        assert px * py == n and px >= py
+
+    def test_factor2_near_square(self):
+        assert decomp.factor2(48) == (8, 6)
+        assert decomp.factor2(49) == (7, 7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            decomp.factor3(0)
+
+
+class TestShapeAwareFactorization:
+    def test_long_axis_gets_the_ranks(self):
+        # a 256 x 32 plane over 16 ranks: split only the long axis
+        assert decomp.best_factor2(16, (256, 32)) == (16, 1)
+
+    def test_square_domain_gets_square_grid(self):
+        p0, p1 = decomp.best_factor2(16, (128, 128))
+        assert {p0, p1} == {4}
+
+    def test_respects_extent_bounds(self):
+        # 8 ranks cannot all go on an axis of extent 4
+        p = decomp.best_factor2(8, (4, 64))
+        assert p[0] <= 4
+
+    def test_single_rank_trivial(self):
+        assert decomp.best_factor2(1, (10, 10)) == (1, 1)
+        assert decomp.best_factor3(1, (4, 4, 4)) == (1, 1, 1)
+
+    def test_3d_prefers_long_axis(self):
+        px, py, pz = decomp.best_factor3(8, (1024, 32, 32))
+        assert px == 8
+
+    def test_3d_cubic_domain_balanced(self):
+        assert decomp.best_factor3(64, (256, 256, 256)) == (4, 4, 4)
+
+    @given(n=st.integers(1, 128))
+    def test_best_factor3_exact(self, n):
+        px, py, pz = decomp.best_factor3(n, (512, 512, 512))
+        assert px * py * pz == n
+
+    def test_impossible_decomposition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decomp.best_factor2(7, (2, 3))
+
+    def test_surface_strictly_better_than_naive(self):
+        """The motivating case: naive near-square beats shape-aware by a
+        wide margin on an elongated lattice."""
+        extents = (256, 32)
+        naive = decomp.factor2(16)
+        smart = decomp.best_factor2(16, extents)
+
+        def cost(p):
+            c = 0.0
+            if p[0] > 1:
+                c += 2 * extents[1] / p[1]
+            if p[1] > 1:
+                c += 2 * extents[0] / p[0]
+            return c
+
+        assert cost(smart) < 0.6 * cost(naive)
+
+
+class TestRankGrids:
+    @given(n=st.integers(1, 512))
+    def test_coords_roundtrip(self, n):
+        grid = decomp.factor3(n)
+        for rank in range(0, n, max(1, n // 7)):
+            coords = decomp.rank_to_coords3(rank, grid)
+            assert decomp.coords_to_rank3(coords, grid) == rank
+
+    def test_neighbors_symmetric(self):
+        grid = (4, 3, 2)
+        for rank in range(24):
+            nbrs = decomp.neighbors3(rank, grid)
+            assert decomp.neighbors3(nbrs["x+"], grid)["x-"] == rank
+            assert decomp.neighbors3(nbrs["y+"], grid)["y-"] == rank
+
+    def test_single_rank_axis_maps_to_self(self):
+        nbrs = decomp.neighbors3(0, (1, 1, 1))
+        assert all(v == 0 for v in nbrs.values())
+
+    def test_rank_out_of_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decomp.rank_to_coords3(24, (4, 3, 2))
+
+
+class TestLocalBoxes:
+    @given(n=st.integers(1, 64))
+    def test_boxes_tile_the_domain(self, n):
+        global_shape = (64, 48, 32)
+        grid = decomp.factor3(n)
+        total = 0
+        for rank in range(n):
+            coords = decomp.rank_to_coords3(rank, grid)
+            box = decomp.local_box(global_shape, grid, coords)
+            total += box[0] * box[1] * box[2]
+        assert total == 64 * 48 * 32
+
+    def test_halo_bytes_match_faces(self):
+        halos = decomp.halo_bytes_3d((10, 20, 30), fields=2, elem_bytes=8)
+        assert halos["x-"] == halos["x+"] == 20 * 30 * 2 * 8
+        assert halos["z-"] == 10 * 20 * 2 * 8
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decomp.local_box((8, 8), (2, 2, 2), (0, 0, 0))
+
+    def test_bad_halo_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decomp.halo_bytes_3d((0, 4, 4), fields=1)

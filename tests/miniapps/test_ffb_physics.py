@@ -1,0 +1,163 @@
+"""Physics validation for the FFB miniature: FEM assembly vs SciPy, CG vs
+direct solves, and O(h^2) convergence."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ffb import physics as fem
+
+
+class TestMesh:
+    def test_counts(self):
+        nodes, tris = fem.unit_square_mesh(5)
+        assert len(nodes) == 25
+        assert len(tris) == 2 * 4 * 4
+
+    def test_total_area_is_one(self):
+        nodes, tris = fem.unit_square_mesh(6)
+        area = sum(fem.element_stiffness(nodes[t])[1] for t in tris)
+        assert area == pytest.approx(1.0, rel=1e-12)
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ConfigurationError):
+            fem.unit_square_mesh(1)
+
+
+class TestElementStiffness:
+    def test_rows_sum_to_zero(self):
+        """Stiffness annihilates constants."""
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.3, 0.8]])
+        ke, _ = fem.element_stiffness(coords)
+        assert np.allclose(ke.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_symmetric_positive_semidefinite(self):
+        coords = np.array([[0.0, 0.0], [2.0, 0.1], [0.5, 1.5]])
+        ke, _ = fem.element_stiffness(coords)
+        assert np.allclose(ke, ke.T)
+        eigs = np.linalg.eigvalsh(ke)
+        assert eigs.min() > -1e-12
+
+    def test_reference_triangle(self):
+        """Unit right triangle has the known P1 stiffness matrix."""
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        ke, area = fem.element_stiffness(coords)
+        expected = 0.5 * np.array([[2.0, -1.0, -1.0],
+                                   [-1.0, 1.0, 0.0],
+                                   [-1.0, 0.0, 1.0]])
+        assert area == pytest.approx(0.5)
+        assert np.allclose(ke, expected)
+
+    def test_degenerate_element_rejected(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            fem.element_stiffness(coords)
+
+
+class TestAssembly:
+    def test_global_matrix_symmetric(self):
+        nodes, tris = fem.unit_square_mesh(7)
+        k, _ = fem.assemble(nodes, tris, np.ones(len(nodes)))
+        assert abs(k - k.T).max() < 1e-12
+
+    def test_constant_in_null_space(self):
+        nodes, tris = fem.unit_square_mesh(6)
+        k, _ = fem.assemble(nodes, tris, np.ones(len(nodes)))
+        ones = np.ones(k.shape[0])
+        assert np.abs(k @ ones).max() < 1e-10
+
+
+class TestCg:
+    def test_matches_direct_solve(self):
+        nodes, tris = fem.unit_square_mesh(9)
+        x, y = nodes[:, 0], nodes[:, 1]
+        f = np.sin(np.pi * x) * np.sin(np.pi * y)
+        k, rhs = fem.assemble(nodes, tris, f)
+        boundary = np.nonzero((x == 0) | (x == 1) | (y == 0) | (y == 1))[0]
+        k, rhs = fem.apply_dirichlet(k, rhs, boundary)
+        u_cg, iters, rel = fem.conjugate_gradient(k, rhs, tol=1e-12)
+        u_direct = spla.spsolve(sp.csc_matrix(k), rhs)
+        assert rel < 1e-12
+        assert np.allclose(u_cg, u_direct, atol=1e-8)
+        assert iters < k.shape[0]
+
+    def test_identity_system_converges_in_one_iteration(self):
+        n = 20
+        a = sp.identity(n, format="csr")
+        b = np.arange(1.0, n + 1.0)
+        x, iters, _ = fem.conjugate_gradient(a, b)
+        assert iters == 1
+        assert np.allclose(x, b)
+
+
+class TestUnstructuredMesh:
+    def test_mesh_covers_unit_square(self):
+        nodes, tris = fem.unstructured_mesh(100, seed=3)
+        area = sum(fem.element_stiffness(nodes[t])[1] for t in tris)
+        assert area == pytest.approx(1.0, abs=1e-9)
+
+    def test_mesh_is_irregular(self):
+        """Node valences vary — the gather/scatter signature of FFB."""
+        nodes, tris = fem.unstructured_mesh(150, seed=1)
+        valence = np.zeros(len(nodes), dtype=int)
+        for t in tris:
+            valence[t] += 1
+        interior = np.setdiff1d(np.arange(len(nodes)),
+                                fem.boundary_nodes(nodes))
+        assert valence[interior].max() - valence[interior].min() >= 3
+
+    def test_boundary_detection(self):
+        nodes, _ = fem.unstructured_mesh(50)
+        b = fem.boundary_nodes(nodes)
+        assert len(b) >= 4
+        x, y = nodes[b, 0], nodes[b, 1]
+        on_edge = (x < 1e-9) | (x > 1 - 1e-9) | (y < 1e-9) | (y > 1 - 1e-9)
+        assert on_edge.all()
+
+    def test_solution_accuracy(self):
+        _, _, err = fem.solve_poisson_unstructured(200, seed=1)
+        assert err < 0.05
+
+    def test_refinement_reduces_error(self):
+        _, _, coarse = fem.solve_poisson_unstructured(50, seed=2)
+        _, _, fine = fem.solve_poisson_unstructured(800, seed=2)
+        assert fine < 0.3 * coarse
+
+    def test_assembled_matrix_spd_on_unstructured(self):
+        nodes, tris = fem.unstructured_mesh(60, seed=4)
+        k, rhs = fem.assemble(nodes, tris, np.ones(len(nodes)))
+        k, rhs = fem.apply_dirichlet(k, rhs, fem.boundary_nodes(nodes))
+        dense = k.toarray()
+        assert np.allclose(dense, dense.T, atol=1e-12)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            fem.unstructured_mesh(0)
+
+
+class TestPoissonSolution:
+    def test_solution_matches_analytic(self):
+        _, _, err = fem.solve_poisson_fem(17)
+        assert err < 0.02
+
+    def test_h2_convergence(self):
+        """Halving h quarters the max error (P1 elements)."""
+        _, _, err_coarse = fem.solve_poisson_fem(9)
+        _, _, err_fine = fem.solve_poisson_fem(17)
+        rate = err_coarse / err_fine
+        assert 3.0 < rate < 5.5
+
+    def test_dirichlet_rows_are_identities(self):
+        nodes, tris = fem.unit_square_mesh(5)
+        k, rhs = fem.assemble(nodes, tris, np.ones(len(nodes)))
+        x, y = nodes[:, 0], nodes[:, 1]
+        boundary = np.nonzero((x == 0) | (x == 1) | (y == 0) | (y == 1))[0]
+        k, rhs = fem.apply_dirichlet(k, rhs, boundary)
+        for node in boundary:
+            row = k.getrow(node).toarray().ravel()
+            assert row[node] == pytest.approx(1.0)
+            assert np.abs(np.delete(row, node)).max() == 0.0
+            assert rhs[node] == 0.0

@@ -1,0 +1,159 @@
+"""Physics validation for the FFVC miniature: Poisson solver and
+divergence-free projection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ffvc import physics as cfd
+
+
+class TestOperators:
+    def test_laplacian_of_constant_is_zero(self):
+        f = np.full((8, 8, 8), 3.7)
+        assert np.allclose(cfd.laplacian(f, 0.1), 0.0)
+
+    def test_laplacian_matches_fourier_eigenvalue(self):
+        """lap of a plane wave = -k_h^2 * wave (discrete eigenvalue)."""
+        n, h = 16, 1.0
+        x = np.arange(n) * h
+        X = np.meshgrid(x, x, x, indexing="ij")[0]
+        k = 2 * np.pi / (n * h)
+        f = np.sin(k * X)
+        eig = -(2.0 - 2.0 * np.cos(k * h)) / (h * h)
+        assert np.allclose(cfd.laplacian(f, h), eig * f, atol=1e-12)
+
+    def test_div_grad_equals_laplacian(self):
+        """The projection identity the scheme relies on."""
+        rng = np.random.default_rng(0)
+        p = rng.standard_normal((8, 8, 8))
+        gx, gy, gz = cfd.gradient(p, 0.5)
+        div = cfd.divergence(gx, gy, gz, 0.5)
+        assert np.allclose(div, cfd.laplacian(p, 0.5), atol=1e-12)
+
+    def test_divergence_free_field(self):
+        n = 32
+        u, v, w = cfd.taylor_green(n, 2 * np.pi / n)
+        div = cfd.divergence(u, v, w, 2 * np.pi / n)
+        # one-sided differences leave an O(h) residual on the analytic field
+        assert np.max(np.abs(div)) < 0.25
+
+
+class TestPoissonSolver:
+    def test_matches_spectral_solution(self):
+        """SOR solution equals the exact (FFT) solution of the discrete
+        periodic Poisson problem."""
+        n, h = 12, 0.3
+        rng = np.random.default_rng(7)
+        rhs = rng.standard_normal((n, n, n))
+        rhs -= rhs.mean()
+        p, sweeps, res = cfd.solve_poisson_sor(rhs, h, tol=1e-10)
+        assert res < 1e-10
+        # spectral reference
+        k = np.fft.fftfreq(n) * n
+        eig = np.zeros((n, n, n))
+        for axis, kk in enumerate(np.meshgrid(k, k, k, indexing="ij")):
+            eig += (2.0 - 2.0 * np.cos(2 * np.pi * kk / n)) / (h * h)
+        eig[0, 0, 0] = 1.0
+        ref = np.fft.ifftn(np.fft.fftn(rhs) / (-eig)).real
+        ref[0, 0, 0] = ref[0, 0, 0]
+        ref -= ref.mean()
+        assert np.allclose(p, ref, atol=1e-6)
+
+    def test_residual_decreases_monotonically_enough(self):
+        n, h = 8, 0.5
+        rng = np.random.default_rng(3)
+        rhs = rng.standard_normal((n, n, n))
+        _, s_loose, r_loose = cfd.solve_poisson_sor(rhs, h, tol=1e-3)
+        _, s_tight, r_tight = cfd.solve_poisson_sor(rhs, h, tol=1e-8)
+        assert s_tight >= s_loose
+        assert r_tight < r_loose
+
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ConfigurationError):
+            cfd.solve_poisson_sor(np.zeros((4, 4, 4)), 0.1, omega=2.5)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ConfigurationError):
+            cfd.solve_poisson_sor(np.zeros((4, 4)), 0.1)
+
+
+class TestFractionalStep:
+    def test_projection_reduces_divergence(self):
+        n = 12
+        h = 2 * np.pi / n
+        u, v, w = cfd.taylor_green(n, h)
+        # perturb to create divergence
+        rng = np.random.default_rng(1)
+        u = u + 0.1 * rng.standard_normal(u.shape)
+        u2, v2, w2, p, sweeps = cfd.step(u, v, w, dt=1e-3, h=h, nu=1e-2)
+        div_before = np.max(np.abs(cfd.divergence(u, v, w, h)))
+        div_after = np.max(np.abs(cfd.divergence(u2, v2, w2, h)))
+        assert div_after < 0.01 * div_before
+        assert sweeps > 0
+
+    def test_momentum_preserved_without_forcing(self):
+        n = 8
+        h = 2 * np.pi / n
+        u, v, w = cfd.taylor_green(n, h)
+        u2, v2, w2, _, _ = cfd.step(u, v, w, dt=1e-3, h=h, nu=0.0)
+        # periodic box: total momentum is conserved by the projection
+        assert u2.sum() == pytest.approx(u.sum(), abs=1e-8)
+        assert v2.sum() == pytest.approx(v.sum(), abs=1e-8)
+
+    def test_rejects_bad_dt(self):
+        u, v, w = cfd.taylor_green(8, 0.5)
+        with pytest.raises(ConfigurationError):
+            cfd.step(u, v, w, dt=-1.0, h=0.5, nu=0.0)
+
+
+class TestThermalStep:
+    @staticmethod
+    def hot_blob(n):
+        h = 2 * np.pi / n
+        u, v, w = cfd.taylor_green(n, h)
+        u *= 0.0
+        v *= 0.0
+        x = (np.arange(n) - n / 2) * h
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        temp = np.exp(-(X ** 2 + Y ** 2 + Z ** 2))
+        return u, v, w, temp, h
+
+    def test_heat_conserved_without_diffusion_sources(self):
+        """Periodic advection conserves total heat (upwind flux form does
+        to first order; diffusion conserves exactly)."""
+        u, v, w, temp, h = self.hot_blob(12)
+        total0 = float(temp.sum())
+        for _ in range(5):
+            u, v, w, temp, _, _ = cfd.step_thermal(
+                u, v, w, temp, dt=5e-4, h=h, nu=1e-2, kappa_t=1e-2)
+        assert float(temp.sum()) == pytest.approx(total0, rel=1e-6)
+
+    def test_diffusion_smooths_temperature(self):
+        u, v, w, temp, h = self.hot_blob(12)
+        var0 = float(temp.var())
+        for _ in range(10):
+            u, v, w, temp, _, _ = cfd.step_thermal(
+                u, v, w, temp, dt=5e-4, h=h, nu=0.0, kappa_t=0.05)
+        assert float(temp.var()) < var0
+
+    def test_buoyancy_induces_vertical_motion(self):
+        u, v, w, temp, h = self.hot_blob(12)
+        assert np.allclose(w, 0.0)
+        u, v, w, temp, _, _ = cfd.step_thermal(
+            u, v, w, temp, dt=1e-3, h=h, nu=1e-2, kappa_t=1e-2,
+            buoyancy=9.8, t_ref=float(temp.mean()))
+        assert np.abs(w).max() > 1e-4
+
+    def test_projection_still_divergence_free(self):
+        u, v, w, temp, h = self.hot_blob(12)
+        u2, v2, w2, _, _, _ = cfd.step_thermal(
+            u, v, w, temp, dt=1e-3, h=h, nu=1e-2, kappa_t=1e-2,
+            buoyancy=9.8)
+        assert np.max(np.abs(cfd.divergence(u2, v2, w2, h))) < 1e-5
+
+    def test_rejects_negative_diffusivity(self):
+        u, v, w, temp, h = self.hot_blob(8)
+        with pytest.raises(ConfigurationError):
+            cfd.step_thermal(u, v, w, temp, dt=1e-3, h=h, nu=0.0,
+                             kappa_t=-1.0)

@@ -1,0 +1,125 @@
+"""Tests for the Barnes-Hut multipole tree against direct summation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.modylas import multipole as mp
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(42)
+    n = 200
+    pos = rng.uniform(0.0, 10.0, (n, 3))
+    q = rng.uniform(0.5, 1.5, n)
+    return pos, q
+
+
+class TestDirectOracles:
+    def test_two_charge_energy(self):
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        q = np.array([3.0, 4.0])
+        assert mp.direct_potential_energy(pos, q) == pytest.approx(6.0)
+
+    def test_two_charge_force(self):
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        q = np.array([1.0, 1.0])
+        f = mp.direct_forces(pos, q)
+        assert f[0, 0] == pytest.approx(-0.25)     # pushed apart
+        assert f[1, 0] == pytest.approx(+0.25)
+
+    def test_forces_sum_to_zero(self, system):
+        pos, q = system
+        f = mp.direct_forces(pos, q)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+
+class TestOctree:
+    def test_tree_partitions_particles(self, system):
+        pos, q = system
+        tree = mp.Octree(pos, q, leaf_size=8)
+        collected = sorted(tree._collect(tree.root).tolist())
+        assert collected == list(range(len(pos)))
+
+    def test_root_moments(self, system):
+        pos, q = system
+        tree = mp.Octree(pos, q)
+        root = tree.root
+        assert root.charge == pytest.approx(float(q.sum()))
+        # dipole about the charge centroid vanishes for same-sign charges
+        assert np.allclose(root.dipole, 0.0, atol=1e-9)
+        # quadrupole is traceless
+        assert np.trace(root.quadrupole) == pytest.approx(0.0, abs=1e-9)
+
+    def test_leaf_size_controls_depth(self, system):
+        pos, q = system
+        small = mp.Octree(pos, q, leaf_size=4).n_cells()
+        large = mp.Octree(pos, q, leaf_size=32).n_cells()
+        assert small > large
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            mp.Octree(np.zeros((4, 2)), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            mp.Octree(np.zeros((4, 3)), np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            mp.Octree(np.zeros((4, 3)), np.zeros(4), leaf_size=0)
+
+
+class TestBarnesHut:
+    def test_theta_zero_recovers_direct(self, system):
+        pos, q = system
+        f_tree = mp.tree_forces(pos, q, theta=0.0)
+        f_direct = mp.direct_forces(pos, q)
+        assert np.allclose(f_tree, f_direct, atol=1e-10)
+
+    def test_accuracy_improves_with_smaller_theta(self, system):
+        pos, q = system
+        f_direct = mp.direct_forces(pos, q)
+        errs = []
+        for theta in (0.8, 0.5, 0.3):
+            f = mp.tree_forces(pos, q, theta=theta)
+            errs.append(np.linalg.norm(f - f_direct)
+                        / np.linalg.norm(f_direct))
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-3
+
+    def test_typical_theta_accuracy(self, system):
+        """theta = 0.5 with quadrupole moments: < 0.1% force error."""
+        pos, q = system
+        f = mp.tree_forces(pos, q, theta=0.5)
+        f_direct = mp.direct_forces(pos, q)
+        rel = np.linalg.norm(f - f_direct) / np.linalg.norm(f_direct)
+        assert rel < 1e-3
+
+    def test_distant_probe_sees_aggregate(self):
+        """A probe 30 box-lengths away must see the cluster's multipole to
+        ~single-precision accuracy even at theta = 1."""
+        rng = np.random.default_rng(1)
+        pos = np.concatenate([rng.uniform(0, 1, (50, 3)),
+                              [[30.0, 0.0, 0.0]]])
+        q = np.concatenate([rng.uniform(0.5, 1.5, 50), [1.0]])
+        f_tree = mp.tree_forces(pos, q, theta=1.0)
+        f_direct = mp.direct_forces(pos, q)
+        rel = np.abs(f_tree[-1] - f_direct[-1]).max() \
+            / np.abs(f_direct[-1]).max()
+        assert rel < 1e-5
+
+    def test_mixed_charges_still_converge(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 10, (150, 3))
+        q = rng.choice([-1.0, 1.0], 150)
+        f_tree = mp.tree_forces(pos, q, theta=0.3)
+        f_direct = mp.direct_forces(pos, q)
+        # near-neutral cells make *relative* errors look large even when
+        # the absolute error is tiny; check both at realistic tolerances
+        rel = np.linalg.norm(f_tree - f_direct) / np.linalg.norm(f_direct)
+        assert rel < 5e-2
+        assert np.abs(f_tree - f_direct).max() < 0.05 * np.abs(f_direct).max()
+
+    def test_invalid_theta_rejected(self, system):
+        pos, q = system
+        tree = mp.Octree(pos, q)
+        with pytest.raises(ConfigurationError):
+            tree.force_at(0, theta=2.5)

@@ -1,0 +1,107 @@
+"""Physics validation for the MODYLAS miniature: cell-list forces against
+brute force, Newton's third law, and NVE energy conservation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.modylas import physics as md
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(99)
+    pos, box = md.init_lattice(4, 1.2, rng, jitter=0.05)
+    return pos, box
+
+
+CUTOFF = 2.5
+
+
+class TestSetup:
+    def test_lattice_inside_box(self, system):
+        pos, box = system
+        assert np.all(pos >= 0) and np.all(pos < box)
+        assert len(pos) == 64
+
+    def test_rejects_tiny_lattice(self):
+        with pytest.raises(ConfigurationError):
+            md.init_lattice(1, 1.0)
+
+    def test_minimum_image_bounds(self):
+        rng = np.random.default_rng(1)
+        dr = rng.uniform(-10, 10, (100, 3))
+        wrapped = md.minimum_image(dr, 4.0)
+        assert np.all(np.abs(wrapped) <= 2.0 + 1e-12)
+
+
+class TestForces:
+    def test_cells_match_bruteforce(self, system):
+        pos, box = system
+        f_cells, e_cells = md.lj_forces_cells(pos, box, CUTOFF)
+        f_brute, e_brute = md.lj_forces_bruteforce(pos, box, CUTOFF)
+        assert np.allclose(f_cells, f_brute, atol=1e-9)
+        assert e_cells == pytest.approx(e_brute, rel=1e-12)
+
+    def test_newtons_third_law(self, system):
+        pos, box = system
+        forces, _ = md.lj_forces_cells(pos, box, CUTOFF)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_two_particles_at_minimum(self):
+        """At r = 2^(1/6) sigma the LJ force vanishes."""
+        r_min = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[1.0, 1.0, 1.0], [1.0 + r_min, 1.0, 1.0]])
+        forces, energy = md.lj_forces_bruteforce(pos, 10.0, 3.0)
+        assert np.allclose(forces, 0.0, atol=1e-10)
+        assert energy == pytest.approx(-1.0, rel=1e-12)
+
+    def test_repulsive_at_short_range(self):
+        pos = np.array([[1.0, 1.0, 1.0], [1.9, 1.0, 1.0]])
+        forces, _ = md.lj_forces_bruteforce(pos, 10.0, 3.0)
+        assert forces[0, 0] < 0 < forces[1, 0]
+
+    def test_cell_build_covers_all_particles(self, system):
+        pos, box = system
+        cells, n_cells = md.build_cells(pos, box, CUTOFF)
+        total = sum(len(v) for v in cells.values())
+        assert total == len(pos)
+        assert n_cells >= 1
+
+    def test_bad_cutoff_rejected(self, system):
+        pos, box = system
+        with pytest.raises(ConfigurationError):
+            md.build_cells(pos, box, 0.0)
+
+
+class TestIntegration:
+    def test_energy_conservation(self, system):
+        pos, box = system
+        rng = np.random.default_rng(5)
+        vel = 0.05 * rng.standard_normal(pos.shape)
+        _, _, energies = md.velocity_verlet(pos, vel, box, CUTOFF,
+                                            dt=2e-3, n_steps=50)
+        drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+        assert drift < 5e-3
+
+    def test_positions_stay_in_box(self, system):
+        pos, box = system
+        vel = np.full(pos.shape, 0.3)
+        new_pos, _, _ = md.velocity_verlet(pos, vel, box, CUTOFF,
+                                           dt=1e-2, n_steps=20)
+        assert np.all(new_pos >= 0) and np.all(new_pos < box)
+
+    def test_momentum_conserved(self, system):
+        pos, box = system
+        rng = np.random.default_rng(2)
+        vel = 0.1 * rng.standard_normal(pos.shape)
+        vel -= vel.mean(axis=0)
+        _, new_vel, _ = md.velocity_verlet(pos, vel, box, CUTOFF,
+                                           dt=2e-3, n_steps=30)
+        assert np.allclose(new_vel.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_rejects_bad_steps(self, system):
+        pos, box = system
+        with pytest.raises(ConfigurationError):
+            md.velocity_verlet(pos, np.zeros_like(pos), box, CUTOFF,
+                               dt=1e-3, n_steps=0)

@@ -1,0 +1,125 @@
+"""Hubbard-VMC validation: exact diagonalization oracle, zero-variance
+property, and the variational principle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.mvmc import hubbard as hb
+
+
+@pytest.fixture(scope="module")
+def ring6():
+    return hb.ring_adjacency(6)
+
+
+class TestAdjacency:
+    def test_ring_structure(self, ring6):
+        assert ring6.sum() == 12                  # 6 sites x 2 neighbours
+        assert np.array_equal(ring6, ring6.T)
+        assert not ring6.diagonal().any()
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ConfigurationError):
+            hb.ring_adjacency(2)
+
+
+class TestOrbitals:
+    def test_orbitals_diagonalize_hopping(self, ring6):
+        phi = hb.hopping_orbitals(ring6, 3)
+        h = np.where(ring6, -1.0, 0.0)
+        # each column is an eigenvector
+        for k in range(3):
+            v = phi[:, k]
+            hv = h @ v
+            lam = float(v @ hv)
+            assert np.allclose(hv, lam * v, atol=1e-10)
+
+    def test_band_energies_of_ring(self, ring6):
+        """6-ring levels: -2, -1, -1 for the lowest three."""
+        phi = hb.hopping_orbitals(ring6, 3)
+        h = np.where(ring6, -1.0, 0.0)
+        energies = sorted(np.diag(phi.T @ h @ phi))
+        assert energies[0] == pytest.approx(-2.0)
+        assert energies[1] == pytest.approx(-1.0)
+        assert energies[2] == pytest.approx(-1.0)
+
+
+class TestExactDiagonalization:
+    def test_free_fermion_ground_state(self, ring6):
+        """U = 0: filled lowest levels, 2 x (-2 - 1 - 1) = -8."""
+        assert hb.exact_ground_energy(ring6, 3, 3, u=0.0) == \
+            pytest.approx(-8.0, abs=1e-10)
+
+    def test_interaction_raises_energy(self, ring6):
+        e0 = hb.exact_ground_energy(ring6, 3, 3, u=0.0)
+        e4 = hb.exact_ground_energy(ring6, 3, 3, u=4.0)
+        assert e4 > e0
+
+    def test_atomic_limit_bound(self, ring6):
+        """Large U at half filling: energy stays above -8 and below U."""
+        e = hb.exact_ground_energy(ring6, 3, 3, u=50.0)
+        assert -8.0 < e < 3 * 50.0
+
+    def test_single_electron_sector(self, ring6):
+        """One electron: ground energy = lowest band level = -2t."""
+        assert hb.exact_ground_energy(ring6, 1, 0, t=1.0, u=7.0) == \
+            pytest.approx(-2.0, abs=1e-10)
+
+    def test_dimension_guard(self):
+        adj = hb.ring_adjacency(12)
+        with pytest.raises(ConfigurationError):
+            hb.exact_ground_energy(adj, 6, 6)
+
+    def test_hop_sign_antisymmetry(self):
+        """Fermionic signs: hopping through an occupied region flips sign."""
+        state = (0, 2, 4)
+        new, sign = hb._hop_sign(state, 0, 3)   # passes site 2
+        assert new == (2, 3, 4)
+        assert sign == -1
+        new2, sign2 = hb._hop_sign(state, 0, 1)  # passes nothing
+        assert new2 == (1, 2, 4)
+        assert sign2 == 1
+        _, zero = hb._hop_sign(state, 0, 2)      # target occupied
+        assert zero == 0
+
+
+class TestVmc:
+    def test_zero_variance_at_exact_eigenstate(self, ring6):
+        """U = 0 with hopping orbitals: every local energy is exactly the
+        ground energy — the canonical VMC correctness check."""
+        vmc = hb.HubbardVmc(ring6, 3, 3, u=0.0)
+        mean, err = vmc.run(np.random.default_rng(0), n_sweeps=40)
+        assert mean == pytest.approx(-8.0, abs=1e-9)
+        assert err < 1e-12
+
+    def test_variational_principle(self, ring6):
+        """U > 0 with the free-fermion trial state: E_vmc >= E_exact."""
+        e_exact = hb.exact_ground_energy(ring6, 3, 3, u=4.0)
+        vmc = hb.HubbardVmc(ring6, 3, 3, u=4.0)
+        mean, err = vmc.run(np.random.default_rng(1), n_sweeps=300)
+        assert mean + 3 * err > e_exact
+
+    def test_interaction_energy_counted(self, ring6):
+        vmc = hb.HubbardVmc(ring6, 3, 3, u=10.0)
+        # force full double occupancy
+        vmc.up.occupied = list(vmc.dn.occupied)
+        vmc.up.refresh()
+        e = vmc.local_energy()
+        # 3 doubles at U=10 dominate the (bounded) kinetic part
+        assert e >= 3 * 10.0 - 8.0 - 1e-9
+
+    def test_sampling_moves_accept(self, ring6):
+        vmc = hb.HubbardVmc(ring6, 3, 3, u=1.0)
+        rng = np.random.default_rng(2)
+        accepted = sum(vmc.step(rng) for _ in range(200))
+        assert accepted > 10
+
+    def test_parameter_validation(self, ring6):
+        with pytest.raises(ConfigurationError):
+            hb.HubbardVmc(ring6, 3, 3, t=0.0)
+        with pytest.raises(ConfigurationError):
+            hb.HubbardVmc(ring6, 3, 3, u=-1.0)
+        vmc = hb.HubbardVmc(ring6, 3, 3)
+        with pytest.raises(ConfigurationError):
+            vmc.run(np.random.default_rng(0), n_sweeps=0)

@@ -1,0 +1,88 @@
+"""Physics validation for the mVMC miniature: determinant ratios and
+Sherman-Morrison inverse updates against direct linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.mvmc import physics as vmc
+
+
+@pytest.fixture()
+def walker():
+    phi = vmc.plane_wave_orbitals(12, 5)
+    return vmc.VmcWalker(phi, [0, 2, 4, 6, 8])
+
+
+class TestOrbitals:
+    def test_orthonormal_columns(self):
+        phi = vmc.plane_wave_orbitals(16, 7)
+        assert np.allclose(phi.T @ phi, np.eye(7), atol=1e-12)
+
+    def test_rejects_too_many_electrons(self):
+        with pytest.raises(ConfigurationError):
+            vmc.plane_wave_orbitals(4, 5)
+
+
+class TestWalker:
+    def test_rejects_double_occupancy(self):
+        phi = vmc.plane_wave_orbitals(8, 3)
+        with pytest.raises(ConfigurationError):
+            vmc.VmcWalker(phi, [1, 1, 2])
+
+    def test_inverse_is_correct(self, walker):
+        d = walker.slater_matrix()
+        assert np.allclose(d @ walker.inv, np.eye(5), atol=1e-10)
+
+    def test_ratio_matches_direct_determinant(self, walker):
+        d_old = np.linalg.det(walker.slater_matrix())
+        for electron, new_site in [(0, 1), (3, 11), (4, 9)]:
+            r_fast = walker.ratio(electron, new_site)
+            occ = list(walker.occupied)
+            occ[electron] = new_site
+            d_new = np.linalg.det(walker.phi[occ, :])
+            assert r_fast == pytest.approx(d_new / d_old, rel=1e-10)
+
+    def test_ratio_zero_for_occupied_target(self, walker):
+        assert walker.ratio(0, walker.occupied[1]) == 0.0
+
+    def test_accept_updates_inverse_exactly(self, walker):
+        r = walker.ratio(2, 7)
+        walker.accept(2, 7, r)
+        d = walker.slater_matrix()
+        assert np.allclose(d @ walker.inv, np.eye(5), atol=1e-8)
+
+    def test_accept_tracks_logdet(self, walker):
+        r = walker.ratio(1, 10)
+        sign0, log0 = walker.sign_log
+        walker.accept(1, 10, r)
+        sign1, log1 = walker.sign_log
+        s_direct, l_direct = np.linalg.slogdet(walker.slater_matrix())
+        assert sign1 == pytest.approx(s_direct)
+        assert log1 == pytest.approx(l_direct, abs=1e-9)
+
+    def test_refresh_reports_small_drift(self, walker):
+        for (e, s) in [(0, 1), (1, 3), (2, 7), (3, 9)]:
+            r = walker.ratio(e, s)
+            if r != 0.0:
+                walker.accept(e, s, r)
+        drift = walker.refresh()
+        assert drift < 1e-8
+
+    def test_cannot_accept_forbidden_move(self, walker):
+        with pytest.raises(ConfigurationError):
+            walker.accept(0, walker.occupied[1], 0.0)
+
+
+class TestSampling:
+    def test_sampling_runs_and_is_accurate(self):
+        rng = np.random.default_rng(11)
+        stats = vmc.run_sampling(12, 5, n_sweeps=60, rng=rng)
+        assert 0.05 < stats["acceptance"] < 0.95
+        assert stats["max_drift"] < 1e-6
+        assert stats["proposed"] > 0
+
+    def test_sampling_deterministic_given_seed(self):
+        a = vmc.run_sampling(10, 4, 30, np.random.default_rng(3))
+        b = vmc.run_sampling(10, 4, 30, np.random.default_rng(3))
+        assert a == b

@@ -1,0 +1,185 @@
+"""Physics validation for the NGSA miniature: alignment scores against the
+textbook DP, seed-and-extend behaviour, and SNP calling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ngsa import physics as ngs
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestSmithWaterman:
+    def test_identical_sequences_score_full_match(self):
+        a = np.array([0, 1, 2, 3, 0, 1], dtype=np.int8)
+        assert ngs.smith_waterman(a, a) == 2 * len(a)
+
+    def test_disjoint_alphabet_scores_zero(self):
+        a = np.zeros(5, dtype=np.int8)
+        b = np.full(5, 3, dtype=np.int8)
+        assert ngs.smith_waterman(a, b) == 0
+
+    def test_matches_reference_implementation(self, rng):
+        for _ in range(10):
+            a = ngs.random_sequence(14, rng)
+            b = ngs.random_sequence(18, rng)
+            assert ngs.smith_waterman(a, b) == \
+                ngs.smith_waterman_reference(a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(na=st.integers(1, 12), nb=st.integers(1, 12),
+           seed=st.integers(0, 2**31))
+    def test_property_matches_reference(self, na, nb, seed):
+        r = np.random.default_rng(seed)
+        a, b = ngs.random_sequence(na, r), ngs.random_sequence(nb, r)
+        assert ngs.smith_waterman(a, b) == ngs.smith_waterman_reference(a, b)
+
+    def test_score_symmetric(self, rng):
+        a = ngs.random_sequence(10, rng)
+        b = ngs.random_sequence(12, rng)
+        assert ngs.smith_waterman(a, b) == ngs.smith_waterman(b, a)
+
+    def test_local_alignment_ignores_flanks(self, rng):
+        core = ngs.random_sequence(8, rng)
+        flanked = np.concatenate([ngs.random_sequence(6, rng) % 2,
+                                  core,
+                                  ngs.random_sequence(6, rng) % 2])
+        assert ngs.smith_waterman(core, flanked) >= 2 * len(core) - 4
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            ngs.smith_waterman(np.zeros((2, 2), dtype=np.int8),
+                               np.zeros(4, dtype=np.int8))
+
+
+class TestAlignment:
+    def test_exact_reads_align_at_origin(self, rng):
+        ref = ngs.random_sequence(500, rng)
+        reads = [ref[i:i + 50].copy() for i in (0, 100, 333)]
+        hits = ngs.align_reads(ref, reads)
+        assert [pos for pos, _ in hits] == [0, 100, 333]
+        for _, score in hits:
+            assert score == 100  # 50 matches x 2
+
+    def test_mutated_reads_still_align(self, rng):
+        ref = ngs.random_sequence(400, rng)
+        read = ngs.mutate(ref[60:110].copy(), 0.04, rng)
+        read[:11] = ref[60:71]               # keep the seed exact
+        (pos, score), = ngs.align_reads(ref, [read])
+        assert pos == 60
+        assert score > 70
+
+    def test_garbage_read_does_not_align(self, rng):
+        ref = ngs.random_sequence(300, rng)
+        read = ngs.random_sequence(40, rng)
+        (pos, _), = ngs.align_reads(ref, [read])
+        # a random 11-mer seed almost surely misses a 300 bp reference
+        assert pos in (-1, *range(300))
+
+    def test_short_read_rejected_gracefully(self, rng):
+        ref = ngs.random_sequence(100, rng)
+        (pos, score), = ngs.align_reads(ref, [ngs.random_sequence(5, rng)])
+        assert (pos, score) == (-1, 0)
+
+
+class TestSnpCalling:
+    def test_homozygous_snp_called(self, rng):
+        ref = ngs.random_sequence(200, rng)
+        site, alt = 80, int((ref[80] + 1) % 4)
+        donor = ref.copy()
+        donor[site] = alt
+        reads = [donor[i:i + 60].copy() for i in (30, 40, 50, 60, 70)]
+        positions = [30, 40, 50, 60, 70]
+        snps = ngs.pileup_snps(ref, reads, positions)
+        assert (site, alt) in snps
+
+    def test_no_false_positives_on_clean_reads(self, rng):
+        ref = ngs.random_sequence(200, rng)
+        reads = [ref[i:i + 60].copy() for i in (0, 30, 60, 90, 120)]
+        snps = ngs.pileup_snps(ref, reads, [0, 30, 60, 90, 120])
+        assert snps == []
+
+    def test_low_coverage_not_called(self, rng):
+        ref = ngs.random_sequence(100, rng)
+        donor = ref.copy()
+        donor[50] = (donor[50] + 1) % 4
+        snps = ngs.pileup_snps(ref, [donor[40:80].copy()], [40], min_depth=3)
+        assert snps == []
+
+    def test_unaligned_reads_skipped(self, rng):
+        ref = ngs.random_sequence(100, rng)
+        snps = ngs.pileup_snps(ref, [ngs.random_sequence(20, rng)], [-1])
+        assert snps == []
+
+
+class TestQualityAwareSnpCalling:
+    def test_phred_conversion(self):
+        p = ngs.phred_to_error_probability(np.array([0, 10, 20, 30]))
+        assert np.allclose(p, [1.0, 0.1, 0.01, 0.001])
+
+    def test_negative_phred_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ngs.phred_to_error_probability(np.array([-1]))
+
+    def test_high_quality_snp_called(self, rng):
+        ref = ngs.random_sequence(200, rng)
+        site, alt = 80, int((ref[80] + 1) % 4)
+        donor = ref.copy()
+        donor[site] = alt
+        reads = [donor[i:i + 60].copy() for i in (30, 40, 50, 60, 70)]
+        positions = [30, 40, 50, 60, 70]
+        quals = [np.full(60, 35) for _ in reads]
+        snps = ngs.pileup_snps_quality(ref, reads, quals, positions)
+        assert (site, alt) in snps
+
+    def test_low_quality_mismatches_ignored(self, rng):
+        """The same pileup with Phred-2 bases must not produce a call."""
+        ref = ngs.random_sequence(200, rng)
+        site = 80
+        donor = ref.copy()
+        donor[site] = (donor[site] + 1) % 4
+        reads = [donor[i:i + 60].copy() for i in (30, 40, 50, 60, 70)]
+        positions = [30, 40, 50, 60, 70]
+        quals = [np.full(60, 2) for _ in reads]     # ~37% error each
+        snps = ngs.pileup_snps_quality(ref, reads, quals, positions)
+        assert snps == []
+
+    def test_quality_length_mismatch_rejected(self, rng):
+        ref = ngs.random_sequence(100, rng)
+        with pytest.raises(ConfigurationError):
+            ngs.pileup_snps_quality(ref, [ref[:50].copy()],
+                                    [np.full(10, 30)], [0])
+
+    def test_matches_unweighted_at_high_quality(self, rng):
+        """Phred-40 everywhere: the weighted caller agrees with the
+        plain one."""
+        ref = ngs.random_sequence(300, rng)
+        donor = ref.copy()
+        donor[120] = (donor[120] + 2) % 4
+        starts = [90, 100, 110, 120]
+        reads = [donor[s:s + 60].copy() for s in starts]
+        quals = [np.full(60, 40) for _ in reads]
+        plain = ngs.pileup_snps(ref, reads, starts)
+        weighted = ngs.pileup_snps_quality(ref, reads, quals, starts)
+        assert weighted == plain
+
+
+class TestUtilities:
+    def test_mutation_rate_zero_is_identity(self, rng):
+        s = ngs.random_sequence(50, rng)
+        assert np.array_equal(ngs.mutate(s, 0.0, rng), s)
+
+    def test_mutation_changes_bases(self, rng):
+        s = ngs.random_sequence(200, rng)
+        m = ngs.mutate(s, 1.0, rng)
+        assert np.all(m != s)          # rate 1 mutates every base
+        assert np.all((0 <= m) & (m < 4))
+
+    def test_bad_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ngs.mutate(ngs.random_sequence(10, rng), 1.5, rng)

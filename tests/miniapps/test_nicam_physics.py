@@ -1,0 +1,90 @@
+"""Physics validation for the NICAM miniature (shallow-water dycore)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.nicam import physics as sw
+
+
+def stepped(state, n, dt=1e-3, diff=0.0):
+    for _ in range(n):
+        state = sw.step_rk2(state, dt, diff)
+    return state
+
+
+class TestState:
+    def test_mass_and_energy_positive(self):
+        s = sw.gaussian_hill(16, 1.0)
+        assert s.mass() > 0
+        assert s.energy() > 0
+
+    def test_rejects_negative_depth(self):
+        bad = sw.gaussian_hill(8, 1.0)
+        with pytest.raises(ConfigurationError):
+            sw.SwState(depth=bad.depth - 100.0, mom_x=bad.mom_x,
+                       mom_y=bad.mom_y, dx=1.0)
+
+    def test_rejects_shape_mismatch(self):
+        s = sw.gaussian_hill(8, 1.0)
+        with pytest.raises(ConfigurationError):
+            sw.SwState(depth=s.depth, mom_x=s.mom_x[:4], mom_y=s.mom_y,
+                       dx=1.0)
+
+
+class TestDynamics:
+    def test_mass_conserved_exactly(self):
+        """Flux form conserves total mass to round-off."""
+        s0 = sw.gaussian_hill(24, 1.0)
+        s1 = stepped(s0, 50, dt=2e-3, diff=1e-4)
+        assert s1.mass() == pytest.approx(s0.mass(), rel=1e-12)
+
+    def test_state_of_rest_stays_at_rest(self):
+        n = 16
+        flat = sw.SwState(
+            depth=np.full((n, n), 5.0),
+            mom_x=np.zeros((n, n)),
+            mom_y=np.zeros((n, n)),
+            dx=1.0,
+        )
+        s1 = stepped(flat, 20, dt=1e-2)
+        assert np.allclose(s1.mom_x, 0.0, atol=1e-13)
+        assert np.allclose(s1.mom_y, 0.0, atol=1e-13)
+        assert np.allclose(s1.depth, 5.0, atol=1e-13)
+
+    def test_momentum_conserved_without_diffusion(self):
+        """Periodic flux form: total momentum is invariant."""
+        s0 = sw.gaussian_hill(16, 1.0)
+        s1 = stepped(s0, 30, dt=1e-3)
+        assert float(s1.mom_x.sum()) == pytest.approx(
+            float(s0.mom_x.sum()), abs=1e-9)
+
+    def test_hill_spreads_into_waves(self):
+        """The anomaly radiates: momentum appears, peak height drops."""
+        s0 = sw.gaussian_hill(32, 1.0, bump=0.2)
+        s1 = stepped(s0, 100, dt=2e-3, diff=1e-4)
+        assert np.abs(s1.mom_x).max() > 1e-4
+        assert s1.depth.max() < s0.depth.max()
+
+    def test_energy_bounded_with_diffusion(self):
+        s0 = sw.gaussian_hill(24, 1.0)
+        s1 = stepped(s0, 100, dt=1e-3, diff=1e-3)
+        assert s1.energy() <= s0.energy() * 1.001
+
+    def test_hyperdiffusion_damps_noise(self):
+        rng = np.random.default_rng(5)
+        n = 16
+        noisy = sw.SwState(
+            depth=10.0 + 0.01 * rng.standard_normal((n, n)),
+            mom_x=np.zeros((n, n)),
+            mom_y=np.zeros((n, n)),
+            dx=1.0,
+        )
+        var0 = float(noisy.depth.var())
+        s1 = stepped(noisy, 50, dt=1e-3, diff=5e-3)
+        assert float(s1.depth.var()) < var0
+
+    def test_rejects_bad_dt(self):
+        s = sw.gaussian_hill(8, 1.0)
+        with pytest.raises(ConfigurationError):
+            sw.step_rk2(s, -0.1)

@@ -1,0 +1,106 @@
+"""Tests for the NICAM vertical-column implicit solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.linalg import solve_banded
+
+from repro.errors import ConfigurationError
+from repro.miniapps.nicam.vertical import implicit_diffusion_step, thomas_solve
+
+
+def random_dd_system(rng, n, batch=()):
+    """Random diagonally dominant tridiagonal system."""
+    lower = rng.uniform(-1, 1, (*batch, n))
+    upper = rng.uniform(-1, 1, (*batch, n))
+    diag = 3.0 + rng.uniform(0, 1, (*batch, n))
+    rhs = rng.standard_normal((*batch, n))
+    lower[..., 0] = 0.0
+    upper[..., -1] = 0.0
+    return lower, diag, upper, rhs
+
+
+class TestThomas:
+    def test_matches_scipy_banded(self):
+        rng = np.random.default_rng(0)
+        lower, diag, upper, rhs = random_dd_system(rng, 12)
+        x = thomas_solve(lower, diag, upper, rhs)
+        ab = np.zeros((3, 12))
+        ab[0, 1:] = upper[:-1]
+        ab[1] = diag
+        ab[2, :-1] = lower[1:]
+        ref = solve_banded((1, 1), ab, rhs)
+        assert np.allclose(x, ref, atol=1e-12)
+
+    def test_batched_columns_independent(self):
+        rng = np.random.default_rng(1)
+        lower, diag, upper, rhs = random_dd_system(rng, 8, batch=(5, 3))
+        x = thomas_solve(lower, diag, upper, rhs)
+        # solving one column alone gives the same answer
+        one = thomas_solve(lower[2, 1], diag[2, 1], upper[2, 1], rhs[2, 1])
+        assert np.allclose(x[2, 1], one)
+
+    def test_identity_system(self):
+        n = 6
+        rhs = np.arange(1.0, n + 1)
+        x = thomas_solve(np.zeros(n), np.ones(n), np.zeros(n), rhs)
+        assert np.allclose(x, rhs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 40), seed=st.integers(0, 10_000))
+    def test_property_residual_small(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lower, diag, upper, rhs = random_dd_system(rng, n)
+        x = thomas_solve(lower, diag, upper, rhs)
+        # reconstruct A x
+        ax = diag * x
+        ax[1:] += lower[1:] * x[:-1]
+        ax[:-1] += upper[:-1] * x[1:]
+        assert np.allclose(ax, rhs, atol=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thomas_solve(np.zeros(4), np.ones(5), np.zeros(4), np.ones(4))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thomas_solve(np.zeros(1), np.ones(1), np.zeros(1), np.ones(1))
+
+
+class TestImplicitDiffusion:
+    def test_column_mass_conserved(self):
+        rng = np.random.default_rng(3)
+        f = rng.random((6, 6, 20))
+        f2 = implicit_diffusion_step(f, dt=10.0, dz=1.0, kappa=0.5)
+        assert np.allclose(f2.sum(axis=-1), f.sum(axis=-1), rtol=1e-12)
+
+    def test_stable_at_huge_dt(self):
+        """Backward Euler is unconditionally stable: huge dt -> column mean."""
+        rng = np.random.default_rng(4)
+        f = rng.random((4, 30))
+        f2 = implicit_diffusion_step(f, dt=1e9, dz=1.0, kappa=1.0)
+        means = f.mean(axis=-1, keepdims=True)
+        assert np.allclose(f2, means, atol=1e-5)
+
+    def test_variance_decreases(self):
+        rng = np.random.default_rng(5)
+        f = rng.random((8, 16))
+        f2 = implicit_diffusion_step(f, dt=0.1, dz=1.0, kappa=1.0)
+        assert f2.var(axis=-1).max() < f.var(axis=-1).max()
+
+    def test_uniform_column_is_fixed_point(self):
+        f = np.full((3, 10), 7.5)
+        f2 = implicit_diffusion_step(f, dt=5.0, dz=0.5, kappa=2.0)
+        assert np.allclose(f2, 7.5)
+
+    def test_zero_kappa_is_identity(self):
+        rng = np.random.default_rng(6)
+        f = rng.random((4, 8))
+        assert np.allclose(implicit_diffusion_step(f, 1.0, 1.0, 0.0), f)
+
+    def test_parameter_validation(self):
+        f = np.zeros((4, 8))
+        with pytest.raises(ConfigurationError):
+            implicit_diffusion_step(f, dt=-1, dz=1, kappa=1)
+        with pytest.raises(ConfigurationError):
+            implicit_diffusion_step(np.zeros((4, 1)), 1, 1, 1)

@@ -1,0 +1,81 @@
+"""Physics validation for the NTChem miniature: RI-MP2 against the dense
+four-index contraction and MP2 sanity properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.ntchem import physics as mp2
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(777)
+    return mp2.synthetic_system(n_occ=6, n_vir=10, n_aux=40, rng=rng)
+
+
+class TestSyntheticSystem:
+    def test_shapes(self, system):
+        b, e_occ, e_vir = system
+        assert b.shape == (40, 6, 10)
+        assert len(e_occ) == 6 and len(e_vir) == 10
+
+    def test_orbital_energy_gap(self, system):
+        _, e_occ, e_vir = system
+        assert e_occ.max() < 0 < e_vir.min()
+
+    def test_rejects_empty_spaces(self):
+        with pytest.raises(ConfigurationError):
+            mp2.synthetic_system(0, 4, 10, np.random.default_rng(0))
+
+
+class TestEnergies:
+    def test_ri_matches_dense_reference(self, system):
+        b, e_occ, e_vir = system
+        iajb = mp2.four_index_from_ri(b)
+        dense = mp2.mp2_energy_dense(iajb, e_occ, e_vir)
+        ri = mp2.mp2_energy_ri(b, e_occ, e_vir)
+        assert ri == pytest.approx(dense, rel=1e-12)
+
+    def test_mp2_energy_is_negative(self, system):
+        b, e_occ, e_vir = system
+        assert mp2.mp2_energy_ri(b, e_occ, e_vir) < 0.0
+
+    def test_pair_energies_sum_to_total(self, system):
+        b, e_occ, e_vir = system
+        pe = mp2.pair_energies(b, e_occ, e_vir)
+        assert pe.sum() == pytest.approx(
+            mp2.mp2_energy_ri(b, e_occ, e_vir), rel=1e-12)
+
+    def test_pair_energy_matrix_symmetric(self, system):
+        b, e_occ, e_vir = system
+        pe = mp2.pair_energies(b, e_occ, e_vir)
+        assert np.allclose(pe, pe.T, atol=1e-12)
+
+    def test_size_consistency_of_decoupled_blocks(self):
+        """Two non-interacting copies: E(AB) = E(A) + E(B)."""
+        rng = np.random.default_rng(3)
+        b1, eo1, ev1 = mp2.synthetic_system(3, 5, 20, rng)
+        # build a block-diagonal super-system in the aux AND orbital spaces
+        n_aux, n_occ, n_vir = b1.shape
+        b2 = np.zeros((2 * n_aux, 2 * n_occ, 2 * n_vir))
+        b2[:n_aux, :n_occ, :n_vir] = b1
+        b2[n_aux:, n_occ:, n_vir:] = b1
+        eo2 = np.concatenate([eo1, eo1])
+        ev2 = np.concatenate([ev1, ev1])
+        e_single = mp2.mp2_energy_ri(b1, eo1, ev1)
+        e_double = mp2.mp2_energy_ri(b2, eo2, ev2)
+        assert e_double == pytest.approx(2 * e_single, rel=1e-10)
+
+    def test_denominator_guard(self):
+        rng = np.random.default_rng(1)
+        b, e_occ, e_vir = mp2.synthetic_system(2, 3, 8, rng)
+        iajb = mp2.four_index_from_ri(b)
+        with pytest.raises(ConfigurationError):
+            mp2.mp2_energy_dense(iajb, e_occ + 10.0, e_vir)
+
+    def test_scaling_of_b_scales_energy_quartically(self, system):
+        b, e_occ, e_vir = system
+        e1 = mp2.mp2_energy_ri(b, e_occ, e_vir)
+        e2 = mp2.mp2_energy_ri(2.0 * b, e_occ, e_vir)
+        assert e2 == pytest.approx(16.0 * e1, rel=1e-10)

@@ -1,0 +1,132 @@
+"""Skeleton-level tests: every miniapp builds and runs on the simulator at
+multiple rank counts, with consistent work accounting."""
+
+import pytest
+
+from repro.compile import PRESETS
+from repro.errors import DatasetError
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.runtime import JobPlacement, run_job
+
+
+@pytest.fixture(scope="module")
+def a64fx():
+    return catalog.a64fx()
+
+
+class TestRegistry:
+    def test_all_eight_apps_present(self):
+        assert sorted(SUITE) == [
+            "ccs-qcd", "ffb", "ffvc", "modylas", "mvmc", "ngsa",
+            "nicam-dc", "ntchem",
+        ]
+
+    def test_by_name(self):
+        assert by_name("ffvc").name == "ffvc"
+        with pytest.raises(KeyError):
+            by_name("linpack")
+
+    def test_every_app_has_both_datasets(self):
+        for app in SUITE.values():
+            assert set(app.datasets) >= {"as-is", "large"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            by_name("ffvc").dataset("huge")
+
+    def test_metadata_complete(self):
+        for app in SUITE.values():
+            assert app.full_name and app.description
+            assert app.character in ("memory", "compute", "integer", "mixed")
+
+
+class TestKernels:
+    def test_every_app_exposes_kernels(self):
+        for app in SUITE.values():
+            ks = app.kernels(app.dataset("as-is"))
+            assert len(ks) >= 1
+            for name, k in ks.items():
+                assert k.flops >= 0 and (k.flops > 0 or k.int_ops > 0), name
+
+    def test_kernel_names_match_keys(self):
+        # programs refer to kernels by dict key; keys must be stable strings
+        for app in SUITE.values():
+            ks = app.kernels(app.dataset("as-is"))
+            assert all(isinstance(k, str) and k for k in ks)
+
+    def test_large_dataset_grows_working_sets(self):
+        for app_name in ("ffvc", "ntchem"):
+            app = by_name(app_name)
+            small = app.kernels(app.dataset("as-is"))
+            big = app.kernels(app.dataset("large"))
+            s_ws = max(k.working_set_bytes for k in small.values())
+            b_ws = max(k.working_set_bytes for k in big.values())
+            assert b_ws >= s_ws
+
+
+@pytest.mark.parametrize("app_name", sorted(SUITE))
+class TestExecution:
+    @pytest.mark.parametrize("n_ranks,n_threads", [(1, 48), (4, 12), (48, 1)])
+    def test_runs_to_completion(self, app_name, n_ranks, n_threads, a64fx):
+        app = by_name(app_name)
+        pl = JobPlacement(a64fx, n_ranks, n_threads)
+        res = run_job(app.build_job(a64fx, pl, "as-is"))
+        assert res.elapsed > 0
+        assert res.total_flops > 0
+
+    def test_flops_consistent_across_rank_counts(self, app_name, a64fx):
+        """Decomposition must conserve total work (within the serial-region
+        and surface-term variation, which legitimately grows with ranks)."""
+        app = by_name(app_name)
+        flops = []
+        for nr, nt in [(1, 48), (4, 12), (16, 3)]:
+            pl = JobPlacement(a64fx, nr, nt)
+            res = run_job(app.build_job(a64fx, pl, "as-is"))
+            flops.append(res.total_flops)
+        lo, hi = min(flops), max(flops)
+        assert hi <= lo * 1.25
+
+
+class TestMultiNode:
+    def test_qcd_scales_across_nodes(self):
+        cluster = catalog.a64fx(n_nodes=4)
+        app = by_name("ccs-qcd")
+        times = []
+        for nodes in (1, 4):
+            pl = JobPlacement(cluster, 4 * nodes, 12)
+            res = run_job(app.build_job(cluster, pl, "large"))
+            times.append(res.elapsed)
+        assert times[1] < times[0]  # strong scaling helps
+
+    def test_comm_fraction_grows_with_ranks(self):
+        cluster = catalog.a64fx()
+        app = by_name("ccs-qcd")
+        fracs = []
+        for nr, nt in [(2, 24), (16, 3)]:
+            pl = JobPlacement(cluster, nr, nt)
+            res = run_job(app.build_job(cluster, pl, "as-is"))
+            fracs.append(res.communication_fraction())
+        assert fracs[1] > fracs[0]
+
+
+class TestCompilerSensitivity:
+    @pytest.mark.parametrize("app_name", ["ngsa", "mvmc"])
+    def test_tuning_recovers_asis_deficit(self, app_name, a64fx):
+        """The paper's F4 shape: as-is much slower, tuned within 3x."""
+        app = by_name(app_name)
+        pl = JobPlacement(a64fx, 4, 12)
+        asis = run_job(app.build_job(a64fx, pl, "as-is",
+                                     options=PRESETS["as-is"]))
+        tuned = run_job(app.build_job(a64fx, pl, "as-is",
+                                      options=PRESETS["tuned"]))
+        assert 1.5 < asis.elapsed / tuned.elapsed < 6.0
+
+    def test_memory_bound_app_insensitive_to_tuning(self, a64fx):
+        app = by_name("ffvc")
+        pl = JobPlacement(a64fx, 4, 12)
+        asis = run_job(app.build_job(a64fx, pl, "as-is",
+                                     options=PRESETS["+simd"]))
+        tuned = run_job(app.build_job(a64fx, pl, "as-is",
+                                      options=PRESETS["tuned"]))
+        assert asis.elapsed / tuned.elapsed < 1.4

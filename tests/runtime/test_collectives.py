@@ -1,0 +1,170 @@
+"""Tests for the collective cost models and communicator profiling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError
+from repro.machine import catalog
+from repro.runtime import program as ops
+from repro.runtime.collectives import (
+    CommProfile,
+    collective_time,
+    profile_communicator,
+)
+
+PROFILE = CommProfile(alpha_s=1e-6, bandwidth=10e9, span="network")
+
+
+class TestProfiling:
+    def test_span_classification(self):
+        cluster = catalog.a64fx(n_nodes=2)
+        same_domain = tuple(cluster.address_of(c) for c in (0, 3, 7))
+        same_node = tuple(cluster.address_of(c) for c in (0, 13, 40))
+        multi_node = tuple(cluster.address_of(c) for c in (0, 50))
+        assert profile_communicator(cluster, same_domain).span == "domain"
+        assert profile_communicator(cluster, same_node).span == "node"
+        assert profile_communicator(cluster, multi_node).span == "network"
+
+    def test_network_latency_exceeds_domain(self):
+        cluster = catalog.a64fx(n_nodes=2)
+        dom = profile_communicator(cluster,
+                                   tuple(cluster.address_of(c) for c in (0, 1)))
+        net = profile_communicator(cluster,
+                                   tuple(cluster.address_of(c) for c in (0, 60)))
+        assert net.alpha_s > dom.alpha_s
+
+    def test_empty_communicator_rejected(self):
+        cluster = catalog.a64fx()
+        with pytest.raises(CommunicatorError):
+            profile_communicator(cluster, ())
+
+
+class TestCostModels:
+    def test_single_rank_is_overhead_only(self):
+        t = collective_time(ops.Allreduce(size_bytes=1 << 20), 1, PROFILE)
+        assert t < 1e-6
+
+    def test_barrier_scales_logarithmically(self):
+        t4 = collective_time(ops.Barrier(), 4, PROFILE)
+        t64 = collective_time(ops.Barrier(), 64, PROFILE)
+        assert t64 == pytest.approx(3 * t4, rel=0.01)
+
+    def test_allreduce_algorithm_switch(self):
+        """Large payloads must use the Rabenseifner form (cheaper than
+        recursive doubling by ~ log(p)/2 in the bandwidth term)."""
+        p = 64
+        small = collective_time(ops.Allreduce(size_bytes=64), p, PROFILE)
+        large = collective_time(ops.Allreduce(size_bytes=1 << 26), p, PROFILE)
+        recursive_large = 6 * (PROFILE.alpha_s + 2 * (1 << 26) / PROFILE.bandwidth)
+        assert large < recursive_large * 0.7
+        assert small < large
+
+    def test_bcast_vdg_for_large(self):
+        p = 32
+        large = collective_time(ops.Bcast(size_bytes=1 << 26), p, PROFILE)
+        binomial = 5 * (PROFILE.alpha_s + (1 << 26) / PROFILE.bandwidth)
+        assert large < binomial
+
+    def test_reduce_scatter_cheaper_than_allreduce(self):
+        p = 16
+        n = 1 << 22
+        rs = collective_time(ops.ReduceScatter(size_bytes=n), p, PROFILE)
+        ar = collective_time(ops.Allreduce(size_bytes=n), p, PROFILE)
+        assert rs < ar
+
+    def test_scan_completes(self):
+        t = collective_time(ops.Scan(size_bytes=4096), 16, PROFILE)
+        assert t > 0
+
+    def test_alltoall_scales_with_volume(self):
+        p = 8
+        t1 = collective_time(ops.Alltoall(size_bytes=1 << 12), p, PROFILE)
+        t2 = collective_time(ops.Alltoall(size_bytes=1 << 22), p, PROFILE)
+        assert t2 > t1
+
+    def test_non_collective_rejected(self):
+        with pytest.raises(CommunicatorError):
+            collective_time(ops.Send(dst=0, tag=0, size_bytes=8), 4, PROFILE)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(CommunicatorError):
+            collective_time(ops.Barrier(), 0, PROFILE)
+
+    @settings(max_examples=30)
+    @given(p=st.integers(2, 512), n=st.floats(0, 1e9))
+    def test_all_costs_positive_and_monotone_in_size(self, p, n):
+        for op_cls in (ops.Bcast, ops.Allreduce, ops.Allgather,
+                       ops.ReduceScatter, ops.Scan):
+            t_small = collective_time(op_cls(size_bytes=n), p, PROFILE)
+            t_big = collective_time(op_cls(size_bytes=n + 1024), p, PROFILE)
+            assert 0 < t_small <= t_big * (1 + 1e-12)
+
+
+class TestNonBlockingCollectives:
+    @staticmethod
+    def run(program, n_ranks=4):
+        from repro.compile import PRESETS
+        from repro.kernels import presets
+        from repro.runtime import Job, JobPlacement, run_job
+
+        cluster = catalog.a64fx()
+        job = Job(cluster=cluster,
+                  placement=JobPlacement(cluster, n_ranks, 1),
+                  kernels={"k": presets.stream_triad()}, program=program,
+                  options=PRESETS["kfast"])
+        return run_job(job)
+
+    def test_iallreduce_overlaps_compute(self):
+        """A pipelined reduction hides under the compute phase: the
+        non-blocking version finishes faster than the blocking one."""
+        from repro.runtime import Allreduce, Compute, WaitAll
+        iters = 3_000_000
+        nbytes = 8 << 20
+
+        def blocking(rank, size):
+            for _ in range(3):
+                yield Allreduce(size_bytes=nbytes)
+                yield Compute("k", iters=iters)
+
+        def nonblocking(rank, size):
+            for _ in range(3):
+                req = yield ops.IAllreduce(size_bytes=nbytes)
+                yield Compute("k", iters=iters)
+                yield WaitAll([req])
+
+        t_block = self.run(blocking).elapsed
+        t_nonblock = self.run(nonblocking).elapsed
+        assert t_nonblock < t_block * 0.95
+
+    def test_ibarrier_completes(self):
+        from repro.runtime import WaitAll
+
+        def program(rank, size):
+            req = yield ops.IBarrier()
+            yield WaitAll([req])
+
+        assert self.run(program).elapsed > 0
+
+    def test_nonblocking_costs_the_same_algorithm(self):
+        p = 16
+        t_b = collective_time(ops.Allreduce(size_bytes=1 << 20), p, PROFILE)
+        t_nb = collective_time(ops.IAllreduce(size_bytes=1 << 20), p, PROFILE)
+        assert t_b == t_nb
+
+
+class TestEndToEnd:
+    def test_new_collectives_run_in_programs(self):
+        from repro.compile import PRESETS
+        from repro.kernels import presets
+        from repro.runtime import Job, JobPlacement, run_job
+
+        def program(rank, size):
+            yield ops.ReduceScatter(size_bytes=1 << 16)
+            yield ops.Scan(size_bytes=128)
+
+        cluster = catalog.a64fx()
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, 6, 1),
+                  kernels={"k": presets.stream_triad()}, program=program,
+                  options=PRESETS["kfast"])
+        res = run_job(job)
+        assert res.elapsed > 0

@@ -1,0 +1,99 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.event import Engine
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(3.0, lambda: log.append("c"))
+        e.schedule(1.0, lambda: log.append("a"))
+        e.schedule(2.0, lambda: log.append("b"))
+        e.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        e = Engine()
+        log = []
+        for name in "abcde":
+            e.schedule(1.0, lambda n=name: log.append(n))
+        e.run()
+        assert log == list("abcde")
+
+    def test_clock_advances(self):
+        e = Engine()
+        seen = []
+        e.schedule(5.0, lambda: seen.append(e.now))
+        final = e.run()
+        assert seen == [5.0]
+        assert final == 5.0
+
+    def test_actions_can_schedule_more(self):
+        e = Engine()
+        log = []
+
+        def chain(n):
+            log.append(e.now)
+            if n > 0:
+                e.schedule(1.0, lambda: chain(n - 1))
+
+        e.schedule(0.0, lambda: chain(3))
+        e.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        e = Engine()
+        hit = []
+        e.schedule_at(4.0, lambda: hit.append(e.now))
+        e.run()
+        assert hit == [4.0]
+
+    def test_rejects_past_scheduling(self):
+        e = Engine()
+        with pytest.raises(SimulationError):
+            e.schedule(-1.0, lambda: None)
+        e.schedule(5.0, lambda: None)
+        e.run()
+        with pytest.raises(SimulationError):
+            e.schedule_at(1.0, lambda: None)
+
+    def test_run_until_bounds_clock(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, lambda: log.append(1))
+        e.schedule(10.0, lambda: log.append(10))
+        e.run(until=5.0)
+        assert log == [1]
+        assert e.pending_events == 1
+        e.run()
+        assert log == [1, 10]
+
+    def test_not_reentrant(self):
+        e = Engine()
+        errors = []
+
+        def bad():
+            try:
+                e.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        e.schedule(1.0, bad)
+        e.run()
+        assert len(errors) == 1
+
+    def test_determinism(self):
+        def build_and_run():
+            e = Engine()
+            log = []
+            e.schedule(2.0, lambda: log.append("x"))
+            e.schedule(2.0, lambda: log.append("y"))
+            e.schedule(1.0, lambda: e.schedule(1.0, lambda: log.append("z")))
+            e.run()
+            return log
+
+        assert build_and_run() == build_and_run()

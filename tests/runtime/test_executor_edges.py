@@ -1,0 +1,109 @@
+"""Edge-path tests for Job validation and the MPI request machinery."""
+
+import dataclasses
+
+import pytest
+
+from repro.compile import PRESETS
+from repro.errors import CommunicatorError, ConfigurationError, SimulationError
+from repro.kernels import presets
+from repro.machine import catalog
+from repro.runtime import Job, JobPlacement, WaitAll, run_job
+from repro.runtime.mpi import Request
+
+KERNELS = {"k": presets.stream_triad()}
+
+
+def noop_program(rank, size):
+    if False:  # pragma: no cover - makes this a generator
+        yield None
+
+
+class TestJobValidation:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return catalog.a64fx()
+
+    def test_placement_cluster_mismatch(self, cluster):
+        other = catalog.a64fx()
+        pl = JobPlacement(other, 2, 2)
+        with pytest.raises(ConfigurationError):
+            Job(cluster=cluster, placement=pl, kernels=KERNELS,
+                program=noop_program)
+
+    def test_empty_kernels_rejected(self, cluster):
+        pl = JobPlacement(cluster, 2, 2)
+        with pytest.raises(ConfigurationError):
+            Job(cluster=cluster, placement=pl, kernels={},
+                program=noop_program)
+
+    def test_unknown_data_policy_rejected(self, cluster):
+        pl = JobPlacement(cluster, 2, 2)
+        with pytest.raises(ConfigurationError):
+            Job(cluster=cluster, placement=pl, kernels=KERNELS,
+                program=noop_program, data_policy="psychic")
+
+    def test_duplicate_communicator_ranks_rejected(self, cluster):
+        pl = JobPlacement(cluster, 4, 2)
+        job = Job(cluster=cluster, placement=pl, kernels=KERNELS,
+                  program=noop_program, communicators={"dup": (0, 0, 1)})
+        with pytest.raises(CommunicatorError):
+            run_job(job)
+
+    def test_empty_program_finishes_at_time_zero(self, cluster):
+        pl = JobPlacement(cluster, 2, 2)
+        res = run_job(Job(cluster=cluster, placement=pl, kernels=KERNELS,
+                          program=noop_program))
+        assert res.elapsed == 0.0
+        assert res.total_flops == 0.0
+
+
+class TestRequestMachinery:
+    def test_double_complete_rejected(self):
+        req = Request()
+        req.complete()
+        with pytest.raises(CommunicatorError):
+            req.complete()
+
+    def test_callback_after_completion_fires_immediately(self):
+        req = Request()
+        req.complete()
+        fired = []
+        req.on_complete(lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_waitall_on_non_request_rejected(self):
+        cluster = catalog.a64fx()
+
+        def program(rank, size):
+            yield WaitAll(["not-a-request"])
+
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, 1, 1),
+                  kernels=KERNELS, program=program,
+                  options=PRESETS["kfast"])
+        with pytest.raises(SimulationError):
+            run_job(job)
+
+    def test_unknown_op_rejected(self):
+        cluster = catalog.a64fx()
+
+        def program(rank, size):
+            yield "make it fast please"
+
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, 1, 1),
+                  kernels=KERNELS, program=program)
+        with pytest.raises(SimulationError):
+            run_job(job)
+
+    def test_unknown_communicator_in_op(self):
+        from repro.runtime import Allreduce
+
+        cluster = catalog.a64fx()
+
+        def program(rank, size):
+            yield Allreduce(size_bytes=8, comm="ghost")
+
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, 2, 1),
+                  kernels=KERNELS, program=program)
+        with pytest.raises(CommunicatorError):
+            run_job(job)

@@ -1,0 +1,130 @@
+"""Property/fuzz tests of the runtime: randomly generated communication
+patterns must either complete deterministically or deadlock loudly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compile import PRESETS
+from repro.errors import DeadlockError
+from repro.kernels import presets
+from repro.machine import catalog
+from repro.runtime import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Job,
+    JobPlacement,
+    Sendrecv,
+    WaitAll,
+    run_job,
+)
+
+KERNELS = {"triad": presets.stream_triad()}
+
+
+def make_job(program, n_ranks, cluster=None):
+    cluster = cluster or catalog.a64fx(n_nodes=2)
+    pl = JobPlacement(cluster, n_ranks, 1)
+    return Job(cluster=cluster, placement=pl, kernels=KERNELS,
+               program=program, options=PRESETS["kfast"])
+
+
+class TestRandomRings:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_ranks=st.integers(2, 12),
+        steps=st.integers(1, 5),
+        msg=st.integers(1, 1 << 20),
+        seed=st.integers(0, 1000),
+    )
+    def test_ring_patterns_always_complete(self, n_ranks, steps, msg, seed):
+        """Non-blocking ring exchanges never deadlock, whatever the sizes."""
+        def program(rank, size):
+            left, right = (rank - 1) % size, (rank + 1) % size
+            for step in range(steps):
+                yield Compute("triad", iters=1000 * ((rank + seed) % 7 + 1))
+                r1 = yield Irecv(src=left, tag=step)
+                r2 = yield Irecv(src=right, tag=steps + step)
+                yield Isend(dst=right, tag=step, size_bytes=msg)
+                yield Isend(dst=left, tag=steps + step, size_bytes=msg)
+                yield WaitAll([r1, r2])
+                yield Allreduce(size_bytes=8)
+
+        res = run_job(make_job(program, n_ranks))
+        assert res.messages_sent == 2 * n_ranks * steps
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_ranks=st.integers(2, 10), seed=st.integers(0, 100))
+    def test_determinism_bitwise(self, n_ranks, seed):
+        """Two identical runs produce identical timings."""
+        def program(rank, size):
+            yield Compute("triad", iters=500 * (rank + seed + 1))
+            yield Sendrecv(dst=(rank + 1) % size, send_tag=0,
+                           size_bytes=4096, src=(rank - 1) % size,
+                           recv_tag=0)
+            yield Barrier()
+
+        r1 = run_job(make_job(program, n_ranks))
+        r2 = run_job(make_job(program, n_ranks))
+        assert r1.elapsed == r2.elapsed
+        assert r1.rank_finish == r2.rank_finish
+
+
+class TestDeadlockDetection:
+    @settings(max_examples=10, deadline=None)
+    @given(n_ranks=st.integers(2, 8))
+    def test_blocking_send_cycle_deadlocks(self, n_ranks):
+        """All ranks Send before any Recv: synchronous sends must deadlock
+        and the error must name every rank."""
+        from repro.runtime import Recv, Send
+
+        def program(rank, size):
+            yield Send(dst=(rank + 1) % size, tag=0, size_bytes=1 << 16)
+            yield Recv(src=(rank - 1) % size, tag=0)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_job(make_job(program, n_ranks))
+        msg = str(ei.value)
+        assert "unmatched" in msg
+
+    def test_mismatched_collective_order_detected(self):
+        def program(rank, size):
+            if rank % 2 == 0:
+                yield Barrier()
+                yield Allreduce(size_bytes=8)
+            else:
+                yield Allreduce(size_bytes=8)
+                yield Barrier()
+
+        from repro.errors import CommunicatorError
+        with pytest.raises(CommunicatorError):
+            run_job(make_job(program, 4))
+
+
+class TestCausality:
+    @settings(max_examples=10, deadline=None)
+    @given(n_ranks=st.integers(2, 8), compute=st.integers(100, 100_000))
+    def test_receiver_never_finishes_before_sender_starts(self, n_ranks,
+                                                          compute):
+        """Message causality: rank 1 (receiver) must finish no earlier than
+        rank 0's compute phase ends."""
+        from repro.runtime import Recv, Send
+
+        def program(rank, size):
+            if rank == 0:
+                yield Compute("triad", iters=compute)
+                yield Send(dst=1, tag=0, size_bytes=1024)
+            elif rank == 1:
+                yield Recv(src=0, tag=0)
+
+        res = run_job(make_job(program, n_ranks))
+        assert res.rank_finish[1] >= res.rank_finish[0] - 1e-12
+
+    def test_elapsed_is_max_rank_finish(self):
+        def program(rank, size):
+            yield Compute("triad", iters=(rank + 1) * 10_000)
+
+        res = run_job(make_job(program, 6))
+        assert res.elapsed == max(res.rank_finish.values())

@@ -1,0 +1,258 @@
+"""Tests for the simulated MPI layer: matching, collectives, deadlocks."""
+
+import pytest
+
+from repro.compile import PRESETS
+from repro.errors import CommunicatorError, DeadlockError
+from repro.kernels import presets
+from repro.machine import catalog
+from repro.runtime import (
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    Job,
+    JobPlacement,
+    Recv,
+    Send,
+    Sendrecv,
+    Sleep,
+    WaitAll,
+    run_job,
+)
+from repro.runtime.program import ANY_SOURCE
+
+KERNELS = {"triad": presets.stream_triad()}
+
+
+def make_job(program, n_ranks=2, threads=1, cluster=None, comms=None):
+    cluster = cluster or catalog.a64fx()
+    pl = JobPlacement(cluster, n_ranks, threads)
+    return Job(cluster=cluster, placement=pl, kernels=KERNELS,
+               program=program, options=PRESETS["kfast"],
+               communicators=comms)
+
+
+class TestPointToPoint:
+    def test_blocking_pingpong(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dst=1, tag=7, size_bytes=1024)
+                yield Recv(src=1, tag=8)
+            else:
+                yield Recv(src=0, tag=7)
+                yield Send(dst=0, tag=8, size_bytes=1024)
+
+        res = run_job(make_job(program))
+        assert res.elapsed > 0
+        assert res.messages_sent == 2
+        assert res.bytes_sent == 2048
+
+    def test_small_sends_are_eager(self):
+        """Below the rendezvous threshold, reversed receives are fine —
+        the eager buffer absorbs the sends (real MPI behaviour)."""
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dst=1, tag=1, size_bytes=100)
+                yield Send(dst=1, tag=2, size_bytes=100)
+            else:
+                yield Recv(src=0, tag=2)
+                yield Recv(src=0, tag=1)
+
+        res = run_job(make_job(program))
+        assert res.messages_sent == 2
+
+    def test_large_sends_rendezvous_deadlock(self):
+        """At or above the threshold, the same pattern deadlocks."""
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dst=1, tag=1, size_bytes=1 << 20)
+                yield Send(dst=1, tag=2, size_bytes=1 << 20)
+            else:
+                yield Recv(src=0, tag=2)
+                yield Recv(src=0, tag=1)
+
+        with pytest.raises(DeadlockError):
+            run_job(make_job(program))
+
+    def test_nonblocking_resolves_reversed_tags(self):
+        def program(rank, size):
+            if rank == 0:
+                r1 = yield Isend(dst=1, tag=1, size_bytes=100)
+                r2 = yield Isend(dst=1, tag=2, size_bytes=100)
+                yield WaitAll([r1, r2])
+            else:
+                r1 = yield Irecv(src=0, tag=2)
+                r2 = yield Irecv(src=0, tag=1)
+                yield WaitAll([r1, r2])
+
+        res = run_job(make_job(program))
+        assert res.messages_sent == 2
+
+    def test_any_source(self):
+        def program(rank, size):
+            if rank == 2:
+                yield Recv(src=ANY_SOURCE, tag=0)
+                yield Recv(src=ANY_SOURCE, tag=0)
+            else:
+                yield Send(dst=2, tag=0, size_bytes=64)
+
+        res = run_job(make_job(program, n_ranks=3))
+        assert res.messages_sent == 2
+
+    def test_sendrecv_ring_does_not_deadlock(self):
+        def program(rank, size):
+            right = (rank + 1) % size
+            left = (rank - 1) % size
+            yield Sendrecv(dst=right, send_tag=0, size_bytes=4096,
+                           src=left, recv_tag=0)
+
+        res = run_job(make_job(program, n_ranks=8))
+        assert res.messages_sent == 8
+
+    def test_send_to_self_rejected(self):
+        def program(rank, size):
+            yield Send(dst=rank, tag=0, size_bytes=8)
+
+        with pytest.raises(CommunicatorError):
+            run_job(make_job(program, n_ranks=1))
+
+    def test_send_to_invalid_rank_rejected(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dst=99, tag=0, size_bytes=8)
+            else:
+                yield Sleep(0.0)
+
+        with pytest.raises(CommunicatorError):
+            run_job(make_job(program))
+
+    def test_intra_node_faster_than_inter_node(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dst=1, tag=0, size_bytes=1 << 20)
+            else:
+                yield Recv(src=0, tag=0)
+
+        cluster = catalog.a64fx(n_nodes=2)
+        intra = run_job(make_job(program, cluster=cluster))
+        from repro.runtime.affinity import ProcessAllocation
+        pl = JobPlacement(cluster, 2, 1,
+                          allocation=ProcessAllocation("cyclic"))
+        inter = run_job(Job(cluster=cluster, placement=pl, kernels=KERNELS,
+                            program=program, options=PRESETS["kfast"]))
+        assert intra.elapsed < inter.elapsed
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        finish = {}
+
+        def program(rank, size):
+            # rank 1 computes first; both finish the barrier together
+            if rank == 1:
+                yield Sleep(1e-3)
+            yield Barrier()
+            finish[rank] = True
+
+        res = run_job(make_job(program))
+        assert res.elapsed >= 1e-3
+        assert finish == {0: True, 1: True}
+
+    def test_allreduce_all_arrive(self):
+        def program(rank, size):
+            yield Sleep(rank * 1e-4)
+            yield Allreduce(size_bytes=8)
+
+        res = run_job(make_job(program, n_ranks=4))
+        # bounded below by the latest arrival
+        assert res.elapsed >= 3e-4
+
+    def test_collective_type_mismatch_detected(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Barrier()
+            else:
+                yield Allreduce(size_bytes=8)
+
+        with pytest.raises(CommunicatorError):
+            run_job(make_job(program))
+
+    def test_subcommunicator(self):
+        def program(rank, size):
+            if rank < 2:
+                yield Allreduce(size_bytes=8, comm="pair")
+            else:
+                yield Sleep(0.0)
+
+        res = run_job(make_job(program, n_ranks=4,
+                               comms={"pair": (0, 1)}))
+        assert res.elapsed > 0
+
+    def test_non_member_rejected(self):
+        def program(rank, size):
+            yield Barrier(comm="pair")
+
+        with pytest.raises(CommunicatorError):
+            run_job(make_job(program, n_ranks=4, comms={"pair": (0, 1)}))
+
+    def test_missing_rank_deadlocks(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Barrier()
+            else:
+                yield Sleep(0.0)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_job(make_job(program))
+        assert "Barrier" in str(ei.value)
+
+    def test_alltoall_scales_with_size(self):
+        def mk(nbytes):
+            def program(rank, size):
+                yield Alltoall(size_bytes=nbytes)
+            return program
+
+        small = run_job(make_job(mk(1 << 10), n_ranks=4))
+        large = run_job(make_job(mk(1 << 24), n_ranks=4))
+        assert large.elapsed > small.elapsed
+
+    def test_bcast_allgather_complete(self):
+        def program(rank, size):
+            yield Bcast(size_bytes=4096, root=0)
+            yield Allgather(size_bytes=1024)
+
+        res = run_job(make_job(program, n_ranks=8))
+        assert res.elapsed > 0
+
+
+class TestComputeIntegration:
+    def test_compute_accumulates_flops(self):
+        def program(rank, size):
+            yield Compute("triad", iters=1000)
+
+        res = run_job(make_job(program, threads=4))
+        assert res.total_flops == pytest.approx(2 * 2000)  # 2 ranks x 2 flops x 1000
+
+    def test_unknown_kernel_raises(self):
+        def program(rank, size):
+            yield Compute("nope", iters=10)
+
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            run_job(make_job(program))
+
+    def test_trace_categories_populated(self):
+        def program(rank, size):
+            yield Compute("triad", iters=1000)
+            yield Barrier()
+
+        res = run_job(make_job(program))
+        b = res.breakdown()
+        assert b["compute"] > 0
+        assert b["collective"] >= 0
+        assert res.communication_fraction() <= 1.0

@@ -1,0 +1,135 @@
+"""Tests for torus routing and link-level contention."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.runtime.network import LinkTracker, TorusRouter, TorusShape
+
+
+class TestTorusShape:
+    def test_folding_roundtrip(self):
+        shape = TorusShape.for_nodes(27)
+        assert shape.side == 3
+        for node in range(27):
+            assert shape.node(*shape.coords(node)) == node
+
+    def test_non_cubic_counts_get_enclosing_cube(self):
+        assert TorusShape.for_nodes(10).side == 3
+        assert TorusShape.for_nodes(28).side == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TorusShape.for_nodes(0)
+
+
+class TestRouting:
+    def test_self_route_empty(self):
+        assert TorusRouter(27).route(5, 5) == []
+
+    def test_neighbor_is_one_hop(self):
+        r = TorusRouter(27)
+        assert len(r.route(0, 1)) == 1
+
+    def test_dimension_order(self):
+        r = TorusRouter(27)
+        links = r.route(0, 13)  # coords (1, 1, 1): one hop per dim
+        dims = [d for _, d, _ in links]
+        assert dims == sorted(dims)
+        assert len(links) == 3
+
+    def test_wraparound_takes_short_way(self):
+        r = TorusRouter(64)  # side 4
+        # node 0 -> node 3 along x: distance 3 forward, 1 backward
+        links = r.route(0, 3)
+        assert len(links) == 1
+        assert links[0] == (0, 0, -1)
+
+    @settings(max_examples=30)
+    @given(n=st.integers(2, 64), a=st.integers(0, 63), b=st.integers(0, 63))
+    def test_route_length_matches_manhattan(self, n, a, b):
+        a, b = a % n, b % n
+        r = TorusRouter(n)
+        links = r.route(a, b)
+        s = r.shape.side
+        ca, cb = r.shape.coords(a), r.shape.coords(b)
+        expect = sum(min((y - x) % s, (x - y) % s) for x, y in zip(ca, cb))
+        assert len(links) == expect
+
+    def test_route_ends_at_destination(self):
+        r = TorusRouter(27)
+        for src, dst in ((0, 26), (4, 9), (20, 2)):
+            links = r.route(src, dst)
+            cur = list(r.shape.coords(src))
+            for node, dim, step in links:
+                assert r.shape.node(*cur) == node
+                cur[dim] = (cur[dim] + step) % r.shape.side
+            assert r.shape.node(*cur) == dst
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        r = TorusRouter(8)
+        tracker = LinkTracker(r, link_bandwidth=1e9)
+        # both messages traverse link (0, x, +): 0->1 and 0->1 again
+        t1 = tracker.reserve(0, 1, 1e6, earliest=0.0)
+        t2 = tracker.reserve(0, 1, 1e6, earliest=0.0)
+        assert t1 == 0.0
+        assert t2 == pytest.approx(1e-3)   # waits for the first megabyte
+
+    def test_disjoint_routes_parallel(self):
+        r = TorusRouter(8)
+        tracker = LinkTracker(r, link_bandwidth=1e9)
+        t1 = tracker.reserve(0, 1, 1e6, earliest=0.0)
+        t2 = tracker.reserve(2, 3, 1e6, earliest=0.0)
+        assert t1 == t2 == 0.0
+
+    def test_byte_hops_accounting(self):
+        r = TorusRouter(27)
+        tracker = LinkTracker(r, link_bandwidth=1e9)
+        tracker.reserve(0, 13, 1000.0, earliest=0.0)   # 3 hops
+        assert tracker.byte_hops == pytest.approx(3000.0)
+
+    def test_utilization_snapshot(self):
+        r = TorusRouter(8)
+        tracker = LinkTracker(r, link_bandwidth=1e9)
+        tracker.reserve(0, 1, 1e6, earliest=0.0)
+        assert tracker.utilization_snapshot(0.0) == 1
+        assert tracker.utilization_snapshot(1.0) == 0
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            LinkTracker(TorusRouter(8), link_bandwidth=0.0)
+
+
+class TestEndToEndEffect:
+    def test_many_to_one_contends_on_torus(self):
+        """All ranks sending to rank 0's node: link contention stretches
+        the completion time well beyond a single transfer."""
+        from repro.compile import PRESETS
+        from repro.kernels import presets
+        from repro.machine import catalog
+        from repro.runtime import (Irecv, Isend, Job, JobPlacement, WaitAll,
+                                   run_job)
+        from repro.runtime.affinity import ProcessAllocation
+
+        cluster = catalog.a64fx(n_nodes=8)
+        size_bytes = 4 << 20
+
+        def program(rank, size):
+            if rank == 0:
+                reqs = []
+                for src in range(1, size):
+                    reqs.append((yield Irecv(src=src, tag=0)))
+                yield WaitAll(reqs)
+            else:
+                yield Isend(dst=0, tag=0, size_bytes=size_bytes)
+
+        pl = JobPlacement(cluster, 8, 1,
+                         allocation=ProcessAllocation("cyclic"))
+        job = Job(cluster=cluster, placement=pl,
+                  kernels={"k": presets.stream_triad()}, program=program,
+                  options=PRESETS["kfast"])
+        res = run_job(job)
+        one_transfer = cluster.network.message_time(size_bytes, 1)
+        assert res.elapsed > 2 * one_transfer

@@ -1,0 +1,107 @@
+"""Tests for the OpenMP region model: schedules, NUMA, binding effects."""
+
+import pytest
+
+from repro.compile import Compiler, PRESETS
+from repro.errors import ConfigurationError
+from repro.kernels import presets
+from repro.machine import catalog
+from repro.runtime.affinity import ThreadBinding
+from repro.runtime.openmp import fork_join_overhead, region_time
+from repro.runtime.placement import JobPlacement
+from repro.runtime.program import Compute
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return catalog.a64fx()
+
+
+def region(cluster, op, n_ranks=1, threads=12, binding=None, policy="first-touch",
+           kernel=None):
+    pl = JobPlacement(cluster, n_ranks, threads,
+                      binding=binding or ThreadBinding("compact"))
+    core = cluster.node.chips[0].domains[0].core
+    ck = Compiler(PRESETS["kfast"]).compile(kernel or presets.stream_triad(), core)
+    return region_time(ck, op, pl.thread_cores(0), cluster,
+                       pl.threads_per_domain, pl.home_domain(0), policy)
+
+
+class TestForkJoin:
+    def test_single_thread_is_free(self):
+        assert fork_join_overhead(1, 1) == 0.0
+
+    def test_grows_with_threads_and_domains(self):
+        assert fork_join_overhead(48, 4) > fork_join_overhead(12, 1) > 0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            fork_join_overhead(0, 1)
+
+
+class TestRegionTiming:
+    def test_more_threads_faster_compute_bound(self, cluster):
+        op = Compute("k", iters=1e6)
+        t4 = region(cluster, op, threads=4, kernel=presets.dgemm_blocked())
+        t12 = region(cluster, op, threads=12, kernel=presets.dgemm_blocked())
+        assert t12.seconds < t4.seconds
+
+    def test_bandwidth_bound_saturates_within_cmg(self, cluster):
+        """Triad on one CMG: going 6 -> 12 threads barely helps."""
+        op = Compute("k", iters=1e7)
+        t1 = region(cluster, op, threads=1)
+        t6 = region(cluster, op, threads=6)
+        t12 = region(cluster, op, threads=12)
+        assert t6.seconds < 0.5 * t1.seconds           # some scaling early on
+        assert abs(t12.seconds - t6.seconds) < 0.02 * t6.seconds  # saturated
+
+    def test_scatter_binding_wins_for_bandwidth(self, cluster):
+        """12 triad threads over 4 CMGs get 4x the memory bandwidth."""
+        op = Compute("k", iters=1e7)
+        compact = region(cluster, op, threads=12)
+        scatter = region(cluster, op, threads=12,
+                         binding=ThreadBinding("scatter"))
+        assert scatter.seconds < 0.5 * compact.seconds
+
+    def test_serial_init_penalizes_scatter(self, cluster):
+        """With serial first-touch, remote threads throttle on the home CMG."""
+        op = Compute("k", iters=1e7)
+        local = region(cluster, op, threads=48, policy="first-touch",
+                       binding=ThreadBinding("compact"))
+        remote = region(cluster, op, threads=48, policy="serial-init",
+                        binding=ThreadBinding("compact"))
+        assert remote.seconds > 2 * local.seconds
+
+    def test_serial_region_uses_one_thread(self, cluster):
+        par = region(cluster, Compute("k", iters=1e6))
+        ser = region(cluster, Compute("k", iters=1e6, serial=True))
+        assert ser.seconds > par.seconds
+        assert ser.overhead_seconds == 0.0
+
+    def test_imbalance_slows_static(self, cluster):
+        flat = region(cluster, Compute("k", iters=1e6, imbalance=1.0))
+        skew = region(cluster, Compute("k", iters=1e6, imbalance=1.5))
+        assert skew.seconds == pytest.approx(
+            1.5 * (flat.seconds - flat.overhead_seconds)
+            + flat.overhead_seconds, rel=0.01)
+
+    def test_dynamic_absorbs_imbalance_at_a_cost(self, cluster):
+        static_skew = region(cluster, Compute("k", iters=1e7, imbalance=1.8))
+        dynamic_skew = region(
+            cluster, Compute("k", iters=1e7, imbalance=1.8, schedule="dynamic"))
+        static_flat = region(cluster, Compute("k", iters=1e7))
+        assert dynamic_skew.seconds < static_skew.seconds
+        assert dynamic_skew.seconds > static_flat.seconds
+
+    def test_flops_independent_of_schedule(self, cluster):
+        a = region(cluster, Compute("k", iters=1e6))
+        b = region(cluster, Compute("k", iters=1e6, schedule="dynamic"))
+        assert a.flops == b.flops
+
+    def test_rejects_unknown_policy(self, cluster):
+        with pytest.raises(ConfigurationError):
+            region(cluster, Compute("k", iters=10), policy="telepathy")
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            Compute("k", iters=10, schedule="fractal")

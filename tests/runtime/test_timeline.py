@@ -1,0 +1,88 @@
+"""Tests for timeline rendering and trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import JobPlacement, run_job
+from repro.runtime.timeline import (
+    ascii_timeline,
+    to_chrome_trace,
+    utilization_profile,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    cluster = catalog.a64fx()
+    placement = JobPlacement(cluster, 4, 12)
+    app = by_name("ccs-qcd")
+    return run_job(app.build_job(cluster, placement, "as-is"))
+
+
+class TestAsciiTimeline:
+    def test_contains_all_ranks(self, result):
+        out = ascii_timeline(result)
+        for rank in range(4):
+            assert f"rank {rank:>4}" in out
+
+    def test_rows_have_requested_width(self, result):
+        out = ascii_timeline(result, width=60)
+        rows = [l for l in out.splitlines() if l.startswith("rank")]
+        for row in rows:
+            body = row.split("|")[1]
+            assert len(body) == 60
+
+    def test_compute_glyph_present(self, result):
+        out = ascii_timeline(result)
+        assert "#" in out
+
+    def test_rank_cap(self, result):
+        out = ascii_timeline(result, max_ranks=2)
+        assert "2 more ranks" in out
+
+    def test_rejects_tiny_width(self, result):
+        with pytest.raises(ConfigurationError):
+            ascii_timeline(result, width=5)
+
+
+class TestChromeTrace:
+    def test_structure(self, result):
+        trace = to_chrome_trace(result)
+        assert "traceEvents" in trace
+        events = trace["traceEvents"]
+        names = {e["name"] for e in events}
+        assert "qcd-dirac" in names
+        # one metadata event per rank
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 4
+
+    def test_durations_non_negative_and_ordered(self, result):
+        for e in to_chrome_trace(result)["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+
+    def test_json_serializable_roundtrip(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(result, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["job"] == result.job_name
+
+
+class TestUtilizationProfile:
+    def test_bounds_and_length(self, result):
+        prof = utilization_profile(result, buckets=40)
+        assert len(prof) == 40
+        assert all(0.0 <= u <= 1.0 for u in prof)
+
+    def test_some_buckets_busy(self, result):
+        prof = utilization_profile(result)
+        assert max(prof) > 0.5
+
+    def test_rejects_zero_buckets(self, result):
+        with pytest.raises(ConfigurationError):
+            utilization_profile(result, buckets=0)

@@ -1,0 +1,75 @@
+"""Trace-level invariants: every run's timeline must be physically sane."""
+
+import pytest
+
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.runtime import JobPlacement, run_job
+
+
+@pytest.fixture(scope="module", params=["ccs-qcd", "ffvc", "ngsa", "ntchem"])
+def result(request):
+    cluster = catalog.a64fx()
+    app = by_name(request.param)
+    return run_job(app.build_job(cluster, JobPlacement(cluster, 4, 12),
+                                 "as-is"))
+
+
+class TestTraceInvariants:
+    def test_segments_ordered_and_non_overlapping(self, result):
+        for rank, trace in result.traces.items():
+            prev_end = 0.0
+            for seg in trace.segments:
+                assert seg.start >= prev_end - 1e-12, rank
+                assert seg.end >= seg.start
+                prev_end = seg.end
+
+    def test_segments_within_run_bounds(self, result):
+        for trace in result.traces.values():
+            for seg in trace.segments:
+                assert 0.0 <= seg.start
+                assert seg.end <= result.elapsed + 1e-12
+
+    def test_breakdown_sums_to_at_most_elapsed(self, result):
+        for rank, trace in result.traces.items():
+            busy = sum(trace.breakdown().values())
+            assert busy <= result.elapsed + 1e-9, rank
+
+    def test_rank_finish_covers_last_segment(self, result):
+        for rank, trace in result.traces.items():
+            if trace.segments:
+                assert result.rank_finish[rank] >= trace.segments[-1].end - 1e-12
+
+    def test_labels_reference_known_kernels_or_ops(self, result):
+        app = by_name(result.job_name.split("/")[0])
+        known = set(app.kernels(app.dataset("as-is")))
+        extra = {"sleep", "read", "write", "waitall", "sendrecv"}
+        for trace in result.traces.values():
+            for seg in trace.segments:
+                if seg.category in ("compute", "serial"):
+                    assert seg.label in known, seg.label
+                elif seg.category in ("sleep", "io"):
+                    assert seg.label in extra
+
+
+class TestCrossAppConservation:
+    def test_all_apps_produce_consistent_flop_rates(self):
+        """Achieved FLOP/s never exceeds the node peak."""
+        cluster = catalog.a64fx()
+        peak = cluster.node.peak_flops_fp64
+        for name in SUITE:
+            app = by_name(name)
+            res = run_job(app.build_job(cluster,
+                                        JobPlacement(cluster, 4, 12),
+                                        "as-is"))
+            assert res.achieved_flops_per_s <= peak * 1.001, name
+
+    def test_dram_bandwidth_never_exceeds_chip(self):
+        cluster = catalog.a64fx()
+        chip_bw = cluster.node.peak_memory_bandwidth
+        for name in ("ffvc", "nicam-dc", "ccs-qcd"):
+            app = by_name(name)
+            res = run_job(app.build_job(cluster,
+                                        JobPlacement(cluster, 4, 12),
+                                        "as-is"))
+            assert res.dram_bandwidth <= chip_bw * 1.001, name

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--app", "ffvc"])
+        assert args.processor == "A64FX"
+        assert args.ranks == 4 and args.threads == 12
+
+    def test_invalid_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "hpl"])
+
+    def test_invalid_processor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "ffvc", "--processor", "EPYC"])
+
+
+class TestCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "ccs-qcd" in out and "ntchem" in out
+
+    def test_list_processors(self, capsys):
+        assert main(["list-processors"]) == 0
+        out = capsys.readouterr().out
+        assert "A64FX" in out and "Tofu-D" in out
+
+    def test_run_prints_report(self, capsys):
+        rc = main(["run", "--app", "ffvc", "--ranks", "2",
+                   "--threads", "4", "--breakdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out and "compute" in out
+
+    def test_run_with_stride_and_policy(self, capsys):
+        rc = main(["run", "--app", "ffvc", "--ranks", "1", "--threads", "8",
+                   "--stride", "12", "--data-policy", "serial-init"])
+        assert rc == 0
+        assert "stride-12" in capsys.readouterr().out
+
+    def test_figure_t1(self, capsys):
+        assert main(["figure", "t1"]) == 0
+        assert "A64FX" in capsys.readouterr().out
+
+    def test_figure_csv(self, capsys):
+        assert main(["figure", "t2", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "miniapp,full name" in out
+
+    def test_figure_unknown_id(self, capsys):
+        assert main(["figure", "zz"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "--app", "ntchem"]) == 0
+        out = capsys.readouterr().out
+        assert "dgemm" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--app", "ffvc", "--ranks", "2",
+                     "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "eco" in out and "GF/W" in out

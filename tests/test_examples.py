@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is executed in a subprocess (fresh interpreter, like a user
+would run it); only the cheap ones run here — the full set is exercised
+manually and in the benchmark harness.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py", "placement_study.py", "compiler_tuning.py",
+            "qcd_solver_demo.py", "custom_processor.py",
+            "energy_and_traces.py", "sssp_projection.py",
+        } <= present
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "best configuration" in out
+        assert "GFLOP/s" in out or "TFLOP/s" in out
+
+    def test_custom_processor(self):
+        out = run_example("custom_processor.py")
+        assert "A64FX (baseline)" in out
+        assert "DDR4" in out
+
+    def test_energy_and_traces(self):
+        out = run_example("energy_and_traces.py")
+        assert "eco" in out and "timeline" in out
+        assert "trace written" in out

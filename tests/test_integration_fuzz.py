@@ -1,0 +1,76 @@
+"""Whole-stack fuzz: random placement/option combinations on real miniapps
+must simulate to completion with sane invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compile.options import PRESETS
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import JobPlacement, run_job
+from repro.runtime.affinity import ProcessAllocation, ThreadBinding
+
+#: (ranks, threads) options on a 48-core node.
+_SHAPES = [(1, 48), (2, 24), (4, 12), (6, 8), (8, 6), (12, 4), (48, 1)]
+
+
+@st.composite
+def job_configs(draw):
+    app = draw(st.sampled_from(["ffvc", "mvmc", "nicam-dc"]))
+    nr, nt = draw(st.sampled_from(_SHAPES))
+    stride = draw(st.sampled_from([1, 2, 4, 12]))
+    allocation = draw(st.sampled_from(list(ProcessAllocation.METHODS)))
+    preset = draw(st.sampled_from(list(PRESETS)))
+    policy = draw(st.sampled_from(["first-touch", "serial-init"]))
+    n_nodes = draw(st.sampled_from([1, 2]))
+    return app, nr, nt, stride, allocation, preset, policy, n_nodes
+
+
+class TestWholeStackFuzz:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=job_configs())
+    def test_every_configuration_simulates_sanely(self, cfg):
+        app_name, nr, nt, stride, allocation, preset, policy, n_nodes = cfg
+        cluster = catalog.a64fx(n_nodes=n_nodes)
+        binding = (ThreadBinding("compact") if stride == 1
+                   else ThreadBinding("stride", stride=stride))
+        placement = JobPlacement(
+            cluster, nr * n_nodes, nt,
+            allocation=ProcessAllocation(allocation), binding=binding)
+        app = by_name(app_name)
+        result = run_job(app.build_job(
+            cluster, placement, "as-is",
+            options=PRESETS[preset], data_policy=policy))
+
+        # invariants that must hold for any valid configuration
+        assert result.elapsed > 0
+        assert result.total_flops > 0
+        assert result.achieved_flops_per_s <= \
+            cluster.peak_flops_fp64 * 1.001
+        assert 0.0 <= result.communication_fraction() <= 1.0
+        assert set(result.rank_finish) == set(range(nr * n_nodes))
+        assert result.elapsed == max(result.rank_finish.values())
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=job_configs())
+    def test_determinism_across_repeats(self, cfg):
+        app_name, nr, nt, stride, allocation, preset, policy, n_nodes = cfg
+        cluster = catalog.a64fx(n_nodes=n_nodes)
+        binding = (ThreadBinding("compact") if stride == 1
+                   else ThreadBinding("stride", stride=stride))
+
+        def once():
+            placement = JobPlacement(
+                cluster, nr * n_nodes, nt,
+                allocation=ProcessAllocation(allocation), binding=binding)
+            app = by_name(app_name)
+            return run_job(app.build_job(
+                cluster, placement, "as-is",
+                options=PRESETS[preset], data_policy=policy))
+
+        a, b = once(), once()
+        assert a.elapsed == b.elapsed
+        assert a.total_flops == b.total_flops
+        assert a.rank_finish == b.rank_finish

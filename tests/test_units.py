@@ -1,0 +1,46 @@
+"""Tests for repro.units formatting and constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GIB == 1024 ** 3
+
+    def test_decimal_prefixes(self):
+        assert units.GHZ == 1_000_000_000
+        assert units.GB_S == 1_000_000_000
+        assert units.TERA == 1000 * units.GIGA
+
+    def test_time_units(self):
+        assert units.US == pytest.approx(1e-6)
+        assert units.NS == pytest.approx(1e-9)
+
+    def test_fp_sizes(self):
+        assert units.FP64_BYTES == 8
+        assert units.FP32_BYTES == 4
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(8 * units.MIB) == "8.0 MiB"
+        assert units.fmt_bytes(32 * units.GIB) == "32.0 GiB"
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(3.072e12) == "3.07 TFLOP/s"
+        assert units.fmt_rate(5e9) == "5.00 GFLOP/s"
+        assert units.fmt_rate(1.0) == "1.00 FLOP/s"
+
+    def test_fmt_bw(self):
+        assert units.fmt_bw(1024e9) == "1024.0 GB/s"
+
+    def test_fmt_time_adaptive(self):
+        assert units.fmt_time(2.5) == "2.500 s"
+        assert units.fmt_time(3.2e-3) == "3.200 ms"
+        assert units.fmt_time(4.5e-6) == "4.500 us"
+        assert units.fmt_time(120e-9) == "120.0 ns"

@@ -1,0 +1,56 @@
+"""Tests for the internal consistency validation suite."""
+
+import dataclasses
+
+import pytest
+
+from repro import validate
+from repro.machine import catalog
+from repro.machine.power import POWER_SPECS
+
+
+class TestChecksPass:
+    def test_catalog_sanity_clean(self):
+        assert validate.check_catalog_sanity() == []
+
+    def test_bandwidth_curve_clean(self):
+        assert validate.check_bandwidth_curve() == []
+
+    def test_work_accounting_clean(self):
+        assert validate.check_work_accounting() == []
+
+    def test_decomposition_conservation_clean(self):
+        assert validate.check_decomposition_conservation() == []
+
+
+class TestChecksDetectBreakage:
+    def test_catalog_check_catches_drift(self, monkeypatch):
+        broken = dict(validate._PUBLISHED)
+        broken["A64FX"] = (9.9e12, 1024e9)
+        monkeypatch.setattr(validate, "_PUBLISHED", broken)
+        issues = validate.check_catalog_sanity()
+        assert any("A64FX" in i.detail for i in issues)
+
+    def test_expected_flops_unknown_app(self):
+        with pytest.raises(KeyError):
+            validate._expected_flops_as_is("linpack")
+
+    def test_issue_formatting(self):
+        issue = validate.ValidationIssue("check", "something broke")
+        assert "check" in str(issue) and "something broke" in str(issue)
+
+
+class TestCliIntegration:
+    def test_cli_validate_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+
+class TestCoverageOfCatalog:
+    def test_every_processor_has_published_reference(self):
+        assert set(validate._PUBLISHED) == set(catalog.PROCESSORS)
+
+    def test_every_processor_has_power_spec(self):
+        assert set(POWER_SPECS) == set(catalog.PROCESSORS)
