@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Time a representative sweep three ways and record the trajectory.
+
+Runs the F1 MPI x OpenMP grid for one app
+
+* serially with a cold persistent cache,
+* serially again against the now-warm cache,
+* in parallel (fresh cache) with a process pool,
+
+and writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as
+an artifact, so every PR leaves a comparable perf datapoint.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_timing.py [--app ffvc] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+
+
+def _timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="ffvc")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers for the parallel leg "
+                             "(default: cpu count, capped at 4)")
+    parser.add_argument("-o", "--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    import repro
+    from repro.core.cache import ResultCache
+    from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
+    from repro.core.runner import run_sweep
+
+    workers = args.jobs if args.jobs is not None \
+        else min(4, os.cpu_count() or 1)
+    configs = [
+        ExperimentConfig(app=args.app, n_ranks=nr, n_threads=nt)
+        for nr, nt in MPI_OMP_CONFIGS
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as tmp:
+        cold_dir = Path(tmp) / "cold"
+        t_cold, sweep_cold = _timed(
+            lambda: run_sweep("f1", configs, ResultCache(cold_dir)))
+        # a fresh ResultCache instance forces the disk round-trip
+        t_warm, sweep_warm = _timed(
+            lambda: run_sweep("f1", configs, ResultCache(cold_dir)))
+        par_dir = Path(tmp) / "par"
+        t_par, sweep_par = _timed(
+            lambda: run_sweep("f1", configs, ResultCache(par_dir),
+                              workers=workers))
+
+    rows = [(r.config.label(), r.elapsed) for r in sweep_cold.rows]
+    assert rows == [(r.config.label(), r.elapsed) for r in sweep_warm.rows]
+    assert rows == [(r.config.label(), r.elapsed) for r in sweep_par.rows]
+
+    payload = {
+        "benchmark": "f1-sweep-timing",
+        "app": args.app,
+        "configs": len(configs),
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_cold_s": round(t_cold, 4),
+        "serial_warm_cache_s": round(t_warm, 4),
+        "parallel_s": round(t_par, 4),
+        "warm_speedup_x": round(t_cold / max(t_warm, 1e-9), 1),
+        "parallel_speedup_x": round(t_cold / max(t_par, 1e-9), 2),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    if payload["warm_speedup_x"] < 5:
+        print("WARNING: warm-cache speedup below the 5x target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,14 +19,20 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Shared run cache so overlapping sweep points are simulated once per
-#: pytest session.
-_RUN_CACHE: dict = {}
-
 
 @pytest.fixture(scope="session")
-def run_cache() -> dict:
-    return _RUN_CACHE
+def run_cache(tmp_path_factory):
+    """Shared persistent result cache for the whole benchmark session.
+
+    A :class:`repro.core.cache.ResultCache` in a session-temporary
+    directory: every benchmark file shares one store, so overlapping
+    sweep points (the 4x12 baselines that F1/F2/F4/A1 all touch) are
+    simulated exactly once per session.  The directory is session-scoped
+    rather than global so CI runs never read stale results.
+    """
+    from repro.core.cache import ResultCache
+
+    return ResultCache(tmp_path_factory.mktemp("run-cache"))
 
 
 @pytest.fixture()

@@ -9,7 +9,7 @@ from repro.core import ablations
 
 def test_a1_vector_length(benchmark, save_table, run_cache):
     table, data = benchmark.pedantic(
-        ablations.a1_vector_length, kwargs={"_cache": run_cache},
+        ablations.a1_vector_length, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "a1_vector_length")
 

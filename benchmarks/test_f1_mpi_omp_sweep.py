@@ -12,12 +12,12 @@ from repro.core import figures
 
 @pytest.fixture(scope="module")
 def f1_data(run_cache):
-    return figures.f1_mpi_omp_sweep(_cache=run_cache)
+    return figures.f1_mpi_omp_sweep(cache=run_cache)
 
 
 def test_f1_mpi_omp_sweep(benchmark, save_table, run_cache):
     table, sweeps = benchmark.pedantic(
-        figures.f1_mpi_omp_sweep, kwargs={"_cache": run_cache},
+        figures.f1_mpi_omp_sweep, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f1_mpi_omp_sweep")
 
@@ -37,7 +37,7 @@ def test_f1_mpi_omp_sweep(benchmark, save_table, run_cache):
 
 
 def test_t3_best_config(benchmark, save_table, run_cache):
-    _, sweeps = figures.f1_mpi_omp_sweep(_cache=run_cache)
+    _, sweeps = figures.f1_mpi_omp_sweep(cache=run_cache)
     table = benchmark.pedantic(figures.t3_best_config, args=(sweeps,),
                                rounds=1, iterations=1)
     save_table(table, "t3_best_config")

@@ -9,7 +9,7 @@ from repro.core import figures
 
 def test_f2_thread_stride(benchmark, save_table, run_cache):
     table, sweeps = benchmark.pedantic(
-        figures.f2_thread_stride, kwargs={"_cache": run_cache},
+        figures.f2_thread_stride, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f2_thread_stride")
 

@@ -12,7 +12,7 @@ def test_f3_process_allocation(benchmark, save_table, run_cache):
     table, sweeps = benchmark.pedantic(
         figures.f3_process_allocation,
         kwargs={"apps": ["ccs-qcd", "ffvc", "nicam-dc", "modylas"],
-                "_cache": run_cache},
+                "cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f3_process_allocation")
 

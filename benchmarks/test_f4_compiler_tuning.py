@@ -12,7 +12,7 @@ from repro.core.runner import run_config
 
 def test_f4_compiler_tuning(benchmark, save_table, run_cache):
     table, sweeps = benchmark.pedantic(
-        figures.f4_compiler_tuning, kwargs={"_cache": run_cache},
+        figures.f4_compiler_tuning, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f4_compiler_tuning")
 

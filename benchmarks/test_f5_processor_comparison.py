@@ -10,7 +10,7 @@ from repro.core import figures
 
 def test_f5_processor_comparison_as_is(benchmark, save_table, run_cache):
     table = benchmark.pedantic(
-        figures.f5_processor_comparison, kwargs={"_cache": run_cache},
+        figures.f5_processor_comparison, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f5_processor_comparison_as_is")
 
@@ -37,7 +37,7 @@ def test_f5_large_datasets(benchmark, save_table, run_cache):
         kwargs={"dataset": "large",
                 "apps": ["ccs-qcd", "ffvc", "nicam-dc", "ntchem"],
                 "processors": ["A64FX", "Xeon-Skylake", "ThunderX2"],
-                "_cache": run_cache},
+                "cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f5_processor_comparison_large")
     xeon = [float(v) for v in table.column("Xeon-Skylake")]

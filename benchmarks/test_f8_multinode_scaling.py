@@ -5,7 +5,7 @@ from repro.core import figures
 
 def test_f8_multinode_scaling(benchmark, save_table, run_cache):
     table, sweeps = benchmark.pedantic(
-        figures.f8_multinode_scaling, kwargs={"_cache": run_cache},
+        figures.f8_multinode_scaling, kwargs={"cache": run_cache},
         rounds=1, iterations=1)
     save_table(table, "f8_multinode_scaling")
 

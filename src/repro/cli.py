@@ -21,6 +21,33 @@ from repro.miniapps import SUITE, by_name
 from repro.units import fmt_bw, fmt_rate, fmt_time
 
 
+def _add_exec_flags(parser: argparse.ArgumentParser,
+                    jobs: bool = True) -> None:
+    """``--jobs`` / ``--cache-dir`` / ``--no-cache`` on sweep-running
+    commands."""
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="simulate up to N sweep points in parallel "
+                 "(process pool; 1 = serial)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache for this invocation")
+
+
+def _cache_from_args(args):
+    """A ResultCache per the flags, or None with ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.core.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_list_apps(_args) -> int:
     from repro.core.figures import t2_miniapp_table
 
@@ -38,28 +65,52 @@ def _cmd_list_processors(_args) -> int:
 def _cmd_run(args) -> int:
     from repro.compile.options import PRESETS
     from repro.runtime.affinity import ProcessAllocation, ThreadBinding
-    from repro.runtime.executor import run_job
     from repro.runtime.placement import JobPlacement
 
     cluster = catalog.by_name(args.processor, n_nodes=args.nodes)
     app = by_name(args.app)
     binding = (ThreadBinding("compact") if args.stride == 1
                else ThreadBinding("stride", stride=args.stride))
+    allocation = ProcessAllocation(args.allocation)
     placement = JobPlacement(
         cluster, args.ranks, args.threads,
-        allocation=ProcessAllocation(args.allocation),
+        allocation=allocation,
         binding=binding,
     )
-    job = app.build_job(cluster, placement, dataset=args.dataset,
-                        options=PRESETS[args.options],
-                        data_policy=args.data_policy)
-    result = run_job(job)
     print(f"{app.name}/{args.dataset} on {cluster.name}: "
           f"{placement.describe()}")
-    print(f"  elapsed        {fmt_time(result.elapsed)}")
-    print(f"  performance    {fmt_rate(result.achieved_flops_per_s)}")
-    print(f"  DRAM traffic   {fmt_bw(result.dram_bandwidth)}")
-    print(f"  communication  {result.communication_fraction():.1%}")
+    if args.breakdown:
+        # the per-phase breakdown needs the full traces, which cached
+        # rows don't carry — simulate directly
+        from repro.runtime.executor import run_job
+
+        job = app.build_job(cluster, placement, dataset=args.dataset,
+                            options=PRESETS[args.options],
+                            data_policy=args.data_policy)
+        result = run_job(job)
+        elapsed = result.elapsed
+        flops_per_s = result.achieved_flops_per_s
+        dram_bw = result.dram_bandwidth
+        comm = result.communication_fraction()
+    else:
+        from repro.core.experiment import ExperimentConfig
+        from repro.core.runner import run_config
+
+        config = ExperimentConfig(
+            app=args.app, dataset=args.dataset, processor=args.processor,
+            n_nodes=args.nodes, n_ranks=args.ranks, n_threads=args.threads,
+            binding=binding, allocation=allocation,
+            options_preset=args.options, data_policy=args.data_policy,
+        )
+        row = run_config(config, _cache_from_args(args))
+        elapsed = row.elapsed
+        flops_per_s = row.gflops * 1e9
+        dram_bw = row.dram_gbytes_per_s * 1e9
+        comm = row.comm_fraction
+    print(f"  elapsed        {fmt_time(elapsed)}")
+    print(f"  performance    {fmt_rate(flops_per_s)}")
+    print(f"  DRAM traffic   {fmt_bw(dram_bw)}")
+    print(f"  communication  {comm:.1%}")
     if args.breakdown:
         for cat, t in sorted(result.breakdown().items()):
             print(f"    {cat:<12} {fmt_time(t)}")
@@ -70,7 +121,8 @@ def _cmd_sweep(args) -> int:
     from repro.core.figures import f1_mpi_omp_sweep, t3_best_config
 
     table, sweeps = f1_mpi_omp_sweep(
-        apps=[args.app], dataset=args.dataset, processor=args.processor)
+        apps=[args.app], dataset=args.dataset, processor=args.processor,
+        cache=_cache_from_args(args), workers=args.jobs)
     print(table.render())
     print(t3_best_config(sweeps).render())
     return 0
@@ -101,16 +153,27 @@ _ABLATIONS = {
 
 
 def _cmd_figure(args) -> int:
+    import inspect
+
     from repro.core import ablations, figures, projection
+
+    def _call(fn, kwargs):
+        # pass the cache/worker context only to builders that take it
+        params = inspect.signature(fn).parameters
+        if "cache" in params:
+            kwargs = {**kwargs, "cache": _cache_from_args(args)}
+        if "workers" in params:
+            kwargs = {**kwargs, "workers": args.jobs}
+        return fn(**kwargs)
 
     fid = args.id.lower()
     if fid in _FIGURES:
         name, kwargs = _FIGURES[fid]
-        out = getattr(figures, name)(**kwargs)
+        out = _call(getattr(figures, name), kwargs)
     elif fid == "a4":
         out = projection.a4_sssp_projection()
     elif fid in _ABLATIONS:
-        out = getattr(ablations, _ABLATIONS[fid])()
+        out = _call(getattr(ablations, _ABLATIONS[fid]), {})
     else:
         print(f"unknown figure id {args.id!r}; "
               f"available: {sorted(_FIGURES) + sorted(_ABLATIONS) + ['a4']}",
@@ -165,6 +228,8 @@ def _cmd_report(args) -> int:
         include_sweeps=not args.quick,
         include_ablations=not args.quick,
         progress=lambda aid: print(f"  {aid} done"),
+        cache=_cache_from_args(args),
+        workers=args.jobs,
     )
     print(f"wrote {path}")
     return 0
@@ -202,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["first-touch", "serial-init"])
     run.add_argument("--breakdown", action="store_true",
                      help="print the per-phase time breakdown")
+    _add_exec_flags(run, jobs=False)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="MPI x OpenMP grid for one app")
@@ -209,11 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--dataset", default="as-is")
     sweep.add_argument("--processor", default="A64FX",
                        choices=sorted(catalog.PROCESSORS))
+    _add_exec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fig = sub.add_parser("figure", help="regenerate one paper artifact")
     fig.add_argument("id", help="t1..t2, f1..f10, a1..a5")
     fig.add_argument("--csv", action="store_true", help="also print CSV")
+    _add_exec_flags(fig)
     fig.set_defaults(func=_cmd_figure)
 
     roof = sub.add_parser("roofline", help="roofline placement for one app")
@@ -240,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="REPORT.md")
     report.add_argument("--quick", action="store_true",
                         help="skip the slow sweep artifacts")
+    _add_exec_flags(report)
     report.set_defaults(func=_cmd_report)
 
     return parser

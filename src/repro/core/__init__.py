@@ -5,6 +5,10 @@ Everything the paper's evaluation section does is a function here:
 * :mod:`~repro.core.experiment` — configuration spaces (MPI x OpenMP
   grids, binding/allocation policies, compiler option sets, processors);
 * :mod:`~repro.core.runner` — executes sweeps into result tables;
+* :mod:`~repro.core.cache` — persistent content-addressed result cache
+  (config digest x model fingerprint);
+* :mod:`~repro.core.parallel` — process-pool sweep fan-out with per-row
+  error capture;
 * :mod:`~repro.core.metrics` — speedup / efficiency / best-config helpers;
 * :mod:`~repro.core.analysis` — roofline placement and bottleneck
   attribution;
@@ -15,6 +19,7 @@ Everything the paper's evaluation section does is a function here:
   ``benchmarks/`` and the examples.
 """
 
+from repro.core.cache import ResultCache, default_cache_dir, model_fingerprint
 from repro.core.experiment import (
     MPI_OMP_CONFIGS,
     STRIDE_SWEEP,
@@ -22,6 +27,7 @@ from repro.core.experiment import (
     single_node_configs,
 )
 from repro.core.metrics import best_config, parallel_efficiency, speedup
+from repro.core.parallel import SweepError, default_workers
 from repro.core.runner import Row, SweepResult, run_config, run_sweep
 from repro.core.report import Table
 
@@ -32,6 +38,11 @@ __all__ = [
     "single_node_configs",
     "Row",
     "SweepResult",
+    "SweepError",
+    "ResultCache",
+    "default_cache_dir",
+    "default_workers",
+    "model_fingerprint",
     "run_config",
     "run_sweep",
     "speedup",

@@ -36,8 +36,10 @@ VECTOR_LENGTHS = [128, 256, 512]
 def a1_vector_length(
     apps: list[str] | None = None,
     dataset: str = "as-is",
-    _cache: dict | None = None,
+    cache=None,
+    _cache=None,
 ) -> tuple[Table, dict[str, dict[int, float]]]:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else ["ntchem", "ccs-qcd", "ffvc", "mvmc"]
     t = Table(
         "A1: A64FX speedup vs SVE vector length (VL-128 = 1.0)",
@@ -51,7 +53,7 @@ def a1_vector_length(
         for vl in VECTOR_LENGTHS:
             cfg = ExperimentConfig(app=app, dataset=dataset, n_ranks=4,
                                    n_threads=12, options_preset="kfast")
-            row = _run_with_vl(cfg, vl, _cache)
+            row = _run_with_vl(cfg, vl, cache)
             times[vl] = row.elapsed
         data[app] = times
         base = times[VECTOR_LENGTHS[0]]
@@ -59,8 +61,12 @@ def a1_vector_length(
     return t, data
 
 
-def _run_with_vl(cfg: ExperimentConfig, vl: int, _cache: dict | None):
-    """Run a config with the compiler's vector length capped at ``vl``."""
+def _run_with_vl(cfg: ExperimentConfig, vl: int, cache):
+    """Run a config with the compiler's vector length capped at ``vl``.
+
+    The cache key is ``(config, vl)`` — :class:`~repro.core.cache.
+    ResultCache` digests the extra element alongside the config.
+    """
     from repro.machine import catalog as cat
     from repro.miniapps import by_name
     from repro.runtime.executor import run_job
@@ -68,8 +74,10 @@ def _run_with_vl(cfg: ExperimentConfig, vl: int, _cache: dict | None):
     from repro.core.runner import Row
 
     key = (cfg, vl)
-    if _cache is not None and key in _cache:
-        return _cache[key]
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     cluster = cat.by_name(cfg.processor, n_nodes=cfg.n_nodes)
     app = by_name(cfg.app)
     placement = JobPlacement(cluster, cfg.n_ranks, cfg.n_threads,
@@ -82,8 +90,8 @@ def _run_with_vl(cfg: ExperimentConfig, vl: int, _cache: dict | None):
               gflops=result.achieved_flops_per_s / 1e9,
               dram_gbytes_per_s=result.dram_bandwidth / 1e9,
               comm_fraction=result.communication_fraction())
-    if _cache is not None:
-        _cache[key] = row
+    if cache is not None:
+        cache[key] = row
     return row
 
 

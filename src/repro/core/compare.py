@@ -50,9 +50,12 @@ def compare_processors(
     dataset: str = "as-is",
     processors: list[str] | None = None,
     options_preset: str = "kfast",
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> Comparison:
     """Best-of-node comparison of one miniapp across processors."""
+    cache = cache if cache is not None else _cache
     procs = processors if processors is not None else list(catalog.PROCESSORS)
     best: dict[str, Row] = {}
     for proc in procs:
@@ -63,6 +66,6 @@ def compare_processors(
             )
             for nr, nt in candidate_configs(proc)
         ]
-        sweep = run_sweep(f"{app}-{proc}", configs, _cache)
+        sweep = run_sweep(f"{app}-{proc}", configs, cache, workers=workers)
         best[proc] = sweep.fastest()
     return Comparison(app=app, dataset=dataset, best=best)

@@ -21,7 +21,7 @@ from repro.core.experiment import (
     STRIDE_SWEEP,
     ExperimentConfig,
 )
-from repro.core.metrics import best_config, spread
+from repro.core.metrics import spread
 from repro.core.report import Table
 from repro.core.runner import SweepResult, run_sweep
 from repro.machine import catalog
@@ -85,8 +85,11 @@ def f1_mpi_omp_sweep(
     dataset: str = "as-is",
     processor: str = "A64FX",
     configs: list[tuple[int, int]] | None = None,
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else list(SUITE)
     grid = configs if configs is not None else MPI_OMP_CONFIGS
     t = Table(
@@ -101,7 +104,7 @@ def f1_mpi_omp_sweep(
                              n_ranks=nr, n_threads=nt)
             for nr, nt in grid
         ]
-        sweep = run_sweep(f"f1-{app}", cfgs, _cache)
+        sweep = run_sweep(f"f1-{app}", cfgs, cache, workers=workers)
         sweeps[app] = sweep
         t.add(app, *[row.elapsed * 1e3 for row in sweep.rows])
     return t, sweeps
@@ -115,8 +118,10 @@ def t3_best_config(sweeps: dict[str, SweepResult]) -> Table:
         "T3: best MPI x OpenMP configuration per miniapp",
         ["miniapp", "best config", "time ms", "GFLOP/s", "comm frac"],
     )
-    for app, sweep in sweeps.items():
-        row = best_config(sweep)
+    combined = SweepResult(
+        "t3", [row for sweep in sweeps.values() for row in sweep.rows]
+    )
+    for app, row in combined.best_per("app").items():
         t.add(
             app,
             f"{row.config.n_ranks}x{row.config.n_threads}",
@@ -136,7 +141,9 @@ def f2_thread_stride(
     n_ranks: int = 4,
     n_threads: int = 12,
     data_policy: str = "serial-init",
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
     """Stride 1 (compact) vs longer strides at a fixed rank/thread shape.
 
@@ -144,6 +151,7 @@ def f2_thread_stride(
     arrays are touched by the master thread first — the situation in which
     thread placement interacts with NUMA locality.
     """
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else list(SUITE)
     t = Table(
         f"F2: time [ms] vs thread stride ({n_ranks}x{n_threads}, {dataset})",
@@ -162,7 +170,7 @@ def f2_thread_stride(
             )
             for s in STRIDE_SWEEP
         ]
-        sweep = run_sweep(f"f2-{app}", cfgs, _cache)
+        sweep = run_sweep(f"f2-{app}", cfgs, cache, workers=workers)
         sweeps[app] = sweep
         times = [row.elapsed for row in sweep.rows]
         t.add(app, *[x * 1e3 for x in times],
@@ -179,8 +187,11 @@ def f3_process_allocation(
     n_nodes: int = 4,
     ranks_per_node: int = 4,
     n_threads: int = 12,
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else list(SUITE)
     t = Table(
         f"F3: time [ms] vs process allocation "
@@ -198,7 +209,7 @@ def f3_process_allocation(
             )
             for method in ALLOCATION_SWEEP
         ]
-        sweep = run_sweep(f"f3-{app}", cfgs, _cache)
+        sweep = run_sweep(f"f3-{app}", cfgs, cache, workers=workers)
         sweeps[app] = sweep
         t.add(app, *[row.elapsed * 1e3 for row in sweep.rows],
               spread(sweep.rows) * 100)
@@ -213,8 +224,11 @@ def f4_compiler_tuning(
     dataset: str = "as-is",
     n_ranks: int = 4,
     n_threads: int = 12,
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else TUNING_APPS
     t = Table(
         f"F4: A64FX time [ms] vs compiler options ({dataset})",
@@ -229,7 +243,7 @@ def f4_compiler_tuning(
                              n_threads=n_threads, options_preset=preset)
             for preset in COMPILER_SWEEP
         ]
-        sweep = run_sweep(f"f4-{app}", cfgs, _cache)
+        sweep = run_sweep(f"f4-{app}", cfgs, cache, workers=workers)
         sweeps[app] = sweep
         times = [row.elapsed for row in sweep.rows]
         t.add(app, *[x * 1e3 for x in times], times[0] / times[-1])
@@ -243,8 +257,11 @@ def f5_processor_comparison(
     apps: list[str] | None = None,
     dataset: str = "as-is",
     processors: list[str] | None = None,
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> Table:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else list(SUITE)
     procs = processors if processors is not None else list(catalog.PROCESSORS)
     t = Table(
@@ -253,7 +270,8 @@ def f5_processor_comparison(
         note=">1 = that processor's node is faster than the A64FX node",
     )
     for app in apps:
-        comp = compare_processors(app, dataset, procs, _cache=_cache)
+        comp = compare_processors(app, dataset, procs, cache=cache,
+                                  workers=workers)
         rel = comp.relative_to("A64FX")
         t.add(app, *[rel[p] for p in procs])
     return t
@@ -442,8 +460,11 @@ def f8_multinode_scaling(
     node_counts: list[int] | None = None,
     ranks_per_node: int = 4,
     n_threads: int = 12,
-    _cache: dict | None = None,
+    cache=None,
+    workers: int = 1,
+    _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
+    cache = cache if cache is not None else _cache
     apps = apps if apps is not None else ["ccs-qcd", "ffvc"]
     nodes = node_counts if node_counts is not None else [1, 2, 4, 8]
     t = Table(
@@ -462,7 +483,7 @@ def f8_multinode_scaling(
             )
             for n in nodes
         ]
-        sweep = run_sweep(f"f8-{app}", cfgs, _cache)
+        sweep = run_sweep(f"f8-{app}", cfgs, cache, workers=workers)
         sweeps[app] = sweep
         times = [row.elapsed for row in sweep.rows]
         sp = times[0] / times[-1]

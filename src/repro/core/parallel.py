@@ -1,0 +1,117 @@
+"""Process-pool fan-out for sweep execution.
+
+Sweep points are independent simulations, so a sweep is embarrassingly
+parallel.  :func:`run_configs` dispatches the cache-missing, de-duplicated
+subset of a config list over a ``ProcessPoolExecutor`` and reassembles
+results in the original order, so ``run_sweep(..., workers=N)`` is
+row-for-row identical to the serial path.
+
+Design points:
+
+* **cache first** — lookups (and stores) happen in the parent process
+  only; workers never touch the cache file, so there are no concurrent
+  writers;
+* **dedup** — identical configs within one sweep are simulated once and
+  fanned back out to every position they occupy;
+* **per-row error capture** — a worker wraps each simulation and ships
+  the exception back as a value, so one failing config cannot kill a
+  100-point sweep (the caller decides whether to raise or record);
+* **graceful fallback** — ``workers <= 1``, a single missing config, or
+  an unavailable pool (sandboxed environments without ``fork``/semaphores)
+  all degrade to the serial loop.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.runner import Row, run_config
+
+
+@dataclass(frozen=True)
+class SweepError:
+    """One captured per-row failure."""
+
+    config: ExperimentConfig
+    error: str     # exception class name
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.config.label()}: {self.error}: {self.message}"
+
+
+def default_workers() -> int:
+    """A sensible ``workers`` value for "use the machine": CPU count."""
+    return os.cpu_count() or 1
+
+
+def _pool_run(config: ExperimentConfig) -> tuple[bool, Any]:
+    """Top-level (picklable) worker: simulate one config.
+
+    Returns ``(True, Row)`` or ``(False, exception)`` — exceptions travel
+    back as values so the parent controls error policy.
+    """
+    try:
+        return True, run_config(config)
+    except Exception as exc:  # noqa: BLE001 - per-row capture by design
+        return False, exc
+
+
+def _run_unique(unique: list[ExperimentConfig],
+                workers: int) -> list[tuple[bool, Any]]:
+    """Simulate each unique config, parallel if possible."""
+    if workers > 1 and len(unique) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            n = min(workers, len(unique))
+            chunksize = max(1, len(unique) // (n * 4))
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                return list(pool.map(_pool_run, unique,
+                                     chunksize=chunksize))
+        except (ImportError, OSError, PermissionError):
+            pass  # no usable pool here — fall through to serial
+    return [_pool_run(c) for c in unique]
+
+
+def run_configs(
+    configs: list[ExperimentConfig],
+    *,
+    workers: int = 1,
+    cache=None,
+) -> list[Row | Exception]:
+    """Simulate ``configs``, returning one outcome per input, in order.
+
+    Each outcome is the :class:`Row`, or the exception that config raised.
+    ``cache`` may be a plain dict or a
+    :class:`~repro.core.cache.ResultCache`; hits skip dispatch entirely
+    and fresh rows are stored back from the parent process.
+    """
+    outcomes: list[Row | Exception | None] = [None] * len(configs)
+
+    # 1. serve cache hits; collect positions of each unique missing config
+    pending: dict[ExperimentConfig, list[int]] = {}
+    for i, config in enumerate(configs):
+        row = cache.get(config) if cache is not None else None
+        if row is not None:
+            outcomes[i] = row
+        else:
+            pending.setdefault(config, []).append(i)
+
+    if not pending:
+        return outcomes  # type: ignore[return-value]
+
+    # 2. simulate the unique misses (possibly in parallel)
+    unique = list(pending)
+    results = _run_unique(unique, workers)
+
+    # 3. reassemble in input order; store fresh rows
+    for config, (ok, value) in zip(unique, results):
+        if ok and cache is not None:
+            cache[config] = value
+        for i in pending[config]:
+            outcomes[i] = value
+    return outcomes  # type: ignore[return-value]

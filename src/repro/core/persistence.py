@@ -10,6 +10,8 @@ re-plotted without re-simulation.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.core.experiment import ExperimentConfig
@@ -19,6 +21,9 @@ from repro.runtime.affinity import ProcessAllocation, ThreadBinding
 
 #: Schema version written into every file; bump on breaking changes.
 SCHEMA_VERSION = 1
+
+#: Oldest schema this reader still understands.
+MIN_SCHEMA_VERSION = 1
 
 
 def config_to_dict(config: ExperimentConfig) -> dict:
@@ -68,24 +73,44 @@ def row_to_dict(row: Row) -> dict:
 
 
 def row_from_dict(d: dict) -> Row:
-    return Row(
-        config=config_from_dict(d["config"]),
-        elapsed=d["elapsed"],
-        gflops=d["gflops"],
-        dram_gbytes_per_s=d["dram_gbytes_per_s"],
-        comm_fraction=d["comm_fraction"],
-    )
+    try:
+        return Row(
+            config=config_from_dict(d["config"]),
+            elapsed=d["elapsed"],
+            gflops=d["gflops"],
+            dram_gbytes_per_s=d["dram_gbytes_per_s"],
+            comm_fraction=d["comm_fraction"],
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"malformed row record: missing {exc}") \
+            from None
 
 
 def save_sweep(sweep: SweepResult, path: str | Path) -> Path:
-    """Write a sweep to JSON; returns the path."""
+    """Write a sweep to JSON atomically; returns the path.
+
+    The payload lands in a temporary sibling first and is moved into
+    place with ``os.replace``, so readers never observe a half-written
+    file even if the writer dies mid-dump.
+    """
     payload = {
         "schema": SCHEMA_VERSION,
         "name": sweep.name,
         "rows": [row_to_dict(r) for r in sweep.rows],
     }
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2))
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -97,10 +122,22 @@ def load_sweep(path: str | Path) -> SweepResult:
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigurationError(f"cannot read sweep file {path}: {exc}") \
             from None
-    if payload.get("schema") != SCHEMA_VERSION:
+    schema = payload.get("schema")
+    if not isinstance(schema, int):
         raise ConfigurationError(
-            f"{path}: schema {payload.get('schema')!r} is not "
-            f"{SCHEMA_VERSION} (regenerate the file)"
+            f"{path}: missing or non-integer schema field {schema!r} "
+            f"(not a repro sweep file?)"
+        )
+    if schema > SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: schema {schema} was written by a newer repro "
+            f"(this build reads up to {SCHEMA_VERSION}); upgrade repro "
+            f"or regenerate the file"
+        )
+    if schema < MIN_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: schema {schema} is older than the oldest supported "
+            f"version {MIN_SCHEMA_VERSION} (regenerate the file)"
         )
     sweep = SweepResult(payload["name"])
     for rd in payload["rows"]:

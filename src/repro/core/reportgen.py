@@ -13,45 +13,55 @@ from pathlib import Path
 
 from repro.core import ablations, figures, projection
 
-#: (artifact id, title, callable returning a Table or (Table, data)).
+#: (artifact id, title, callable(cache, workers) returning a Table or
+#: (Table, data)).
 _FAST_ARTIFACTS = [
-    ("T1", "Evaluated processors", lambda cache: figures.t1_processor_specs()),
-    ("T2", "The Fiber Miniapp Suite", lambda cache: figures.t2_miniapp_table()),
-    ("F6", "Roofline placement", lambda cache: figures.f6_roofline()),
+    ("T1", "Evaluated processors",
+     lambda cache, workers: figures.t1_processor_specs()),
+    ("T2", "The Fiber Miniapp Suite",
+     lambda cache, workers: figures.t2_miniapp_table()),
+    ("F6", "Roofline placement", lambda cache, workers: figures.f6_roofline()),
     ("F7", "STREAM bandwidth scaling",
-     lambda cache: figures.f7_stream_scaling()),
+     lambda cache, workers: figures.f7_stream_scaling()),
 ]
 
 _SWEEP_ARTIFACTS = [
     ("F1", "MPI x OpenMP sweep",
-     lambda cache: figures.f1_mpi_omp_sweep(_cache=cache)),
+     lambda cache, workers: figures.f1_mpi_omp_sweep(cache=cache,
+                                                     workers=workers)),
     ("F2", "Thread-stride comparison",
-     lambda cache: figures.f2_thread_stride(_cache=cache)),
+     lambda cache, workers: figures.f2_thread_stride(cache=cache,
+                                                     workers=workers)),
     ("F3", "Process-allocation methods",
-     lambda cache: figures.f3_process_allocation(_cache=cache)),
+     lambda cache, workers: figures.f3_process_allocation(cache=cache,
+                                                          workers=workers)),
     ("F4", "Compiler tuning on as-is data",
-     lambda cache: figures.f4_compiler_tuning(_cache=cache)),
+     lambda cache, workers: figures.f4_compiler_tuning(cache=cache,
+                                                       workers=workers)),
     ("F5", "Cross-processor comparison",
-     lambda cache: figures.f5_processor_comparison(_cache=cache)),
+     lambda cache, workers: figures.f5_processor_comparison(cache=cache,
+                                                            workers=workers)),
     ("F8", "Multi-node strong scaling",
-     lambda cache: figures.f8_multinode_scaling(_cache=cache)),
-    ("F9", "Weak scaling", lambda cache: figures.f9_weak_scaling()),
+     lambda cache, workers: figures.f8_multinode_scaling(cache=cache,
+                                                         workers=workers)),
+    ("F9", "Weak scaling", lambda cache, workers: figures.f9_weak_scaling()),
     ("F10", "Time-breakdown attribution",
-     lambda cache: figures.f10_time_breakdown()),
+     lambda cache, workers: figures.f10_time_breakdown()),
 ]
 
 _ABLATION_ARTIFACTS = [
     ("A1", "SVE vector-length study",
-     lambda cache: ablations.a1_vector_length(_cache=cache)),
-    ("A2", "Power-control modes", lambda cache: ablations.a2_power_modes()),
+     lambda cache, workers: ablations.a1_vector_length(cache=cache)),
+    ("A2", "Power-control modes",
+     lambda cache, workers: ablations.a2_power_modes()),
     ("A3", "Micro-architecture sensitivity",
-     lambda cache: ablations.a3_microarchitecture()),
+     lambda cache, workers: ablations.a3_microarchitecture()),
     ("A4", "SSSP projection",
-     lambda cache: projection.a4_sssp_projection()),
+     lambda cache, workers: projection.a4_sssp_projection()),
     ("A5", "Collective-algorithm crossovers",
-     lambda cache: ablations.a5_collective_algorithms()),
+     lambda cache, workers: ablations.a5_collective_algorithms()),
     ("A6", "Mixed-precision lattice solve",
-     lambda cache: ablations.a6_mixed_precision()),
+     lambda cache, workers: ablations.a6_mixed_precision()),
 ]
 
 
@@ -63,13 +73,18 @@ def generate_report(
     include_sweeps: bool = True,
     include_ablations: bool = True,
     progress=None,
+    cache=None,
+    workers: int = 1,
 ) -> str:
     """Build the Markdown report text.
 
     ``progress`` is an optional callable receiving each artifact id as it
-    completes (the CLI uses it for console feedback).
+    completes (the CLI uses it for console feedback).  ``cache`` (a dict
+    or :class:`~repro.core.cache.ResultCache`) is shared by every sweep
+    artifact; ``workers`` fans each sweep out over a process pool.
     """
-    cache: dict = {}
+    if cache is None:
+        cache = {}
     sections = []
     artifacts = list(_FAST_ARTIFACTS)
     if include_sweeps:
@@ -81,7 +96,7 @@ def generate_report(
     artifacts.sort(key=lambda a: (_letter_rank[a[0][0]], int(a[0][1:])))
 
     for artifact_id, title, builder in artifacts:
-        table = _unwrap(builder(cache))
+        table = _unwrap(builder(cache, workers))
         body = table.render()
         sections.append(f"## {artifact_id} — {title}\n\n```\n{body}```\n")
         if progress is not None:
@@ -89,7 +104,7 @@ def generate_report(
 
     t3_note = ""
     if include_sweeps:
-        _, sweeps = figures.f1_mpi_omp_sweep(_cache=cache)
+        _, sweeps = figures.f1_mpi_omp_sweep(cache=cache, workers=workers)
         t3 = figures.t3_best_config(sweeps)
         t3_note = f"## T3 — Best configuration per miniapp\n\n```\n{t3.render()}```\n"
 

@@ -1,8 +1,17 @@
-"""Sweep execution: configurations in, result rows out."""
+"""Sweep execution: configurations in, result rows out.
+
+``run_config``/``run_sweep`` accept a ``cache`` (a plain dict for
+process-lifetime memoization, or a persistent
+:class:`~repro.core.cache.ResultCache`) and ``run_sweep`` additionally
+accepts ``workers=N`` to fan the sweep out over a process pool (see
+:mod:`repro.core.parallel`).  Parallel execution preserves the exact
+serial row ordering and values.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.experiment import ExperimentConfig
 from repro.machine import catalog
@@ -28,21 +37,65 @@ class Row:
 
 @dataclass
 class SweepResult:
-    """An ordered collection of sweep rows with lookup helpers."""
+    """An ordered collection of sweep rows with lookup helpers.
+
+    ``errors`` holds per-row failures when the sweep ran with
+    ``errors="capture"`` (see :func:`run_sweep`); successful rows keep
+    their relative order regardless.
+    """
 
     name: str
     rows: list[Row] = field(default_factory=list)
+    errors: list = field(default_factory=list, compare=False)
+    #: attr -> (row count at build time, value -> rows); rebuilt lazily
+    #: whenever the row count changes, so direct ``rows`` appends are safe.
+    _indexes: dict = field(default_factory=dict, init=False, repr=False,
+                           compare=False)
 
     def add(self, row: Row) -> None:
         self.rows.append(row)
 
-    def by(self, **attrs) -> list[Row]:
-        """Rows whose config matches all given attributes."""
-        out = []
+    def _index_for(self, attr: str) -> dict[Any, list[Row]]:
+        cached = self._indexes.get(attr)
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        index: dict[Any, list[Row]] = {}
         for row in self.rows:
-            if all(getattr(row.config, k) == v for k, v in attrs.items()):
-                out.append(row)
-        return out
+            index.setdefault(getattr(row.config, attr), []).append(row)
+        self._indexes[attr] = (len(self.rows), index)
+        return index
+
+    def by(self, **attrs) -> list[Row]:
+        """Rows whose config matches all given attributes.
+
+        The first attribute is served from a per-attribute index (one
+        dict probe instead of a full scan); any further attributes filter
+        the indexed candidates.
+        """
+        if not attrs:
+            return list(self.rows)
+        items = iter(attrs.items())
+        first_attr, first_value = next(items)
+        candidates = self._index_for(first_attr).get(first_value, [])
+        rest = list(items)
+        if not rest:
+            return list(candidates)
+        return [
+            row for row in candidates
+            if all(getattr(row.config, k) == v for k, v in rest)
+        ]
+
+    def best_per(self, attr: str) -> dict[Any, Row]:
+        """Fastest row per distinct config value of ``attr``.
+
+        Values appear in first-seen row order, so e.g.
+        ``best_per("app")`` over a multi-app sweep walks apps in sweep
+        order.
+        """
+        best: dict[Any, Row] = {}
+        for value, rows in self._index_for(attr).items():
+            best[value] = min(rows, key=lambda r: r.elapsed)
+        return best
 
     def fastest(self) -> Row:
         if not self.rows:
@@ -50,15 +103,18 @@ class SweepResult:
         return min(self.rows, key=lambda r: r.elapsed)
 
 
-def run_config(config: ExperimentConfig,
-               _cache: dict | None = None) -> Row:
+def run_config(config: ExperimentConfig, cache=None) -> Row:
     """Simulate one configuration.
 
-    ``_cache`` (optional dict) memoizes identical configs across sweeps —
-    experiments share baseline points.
+    ``cache`` memoizes identical configs across sweeps — experiments
+    share baseline points.  It may be a plain dict (dies with the
+    process) or a :class:`~repro.core.cache.ResultCache` (persistent,
+    fingerprint-validated).
     """
-    if _cache is not None and config in _cache:
-        return _cache[config]
+    if cache is not None:
+        row = cache.get(config)
+        if row is not None:
+            return row
     cluster = catalog.by_name(config.processor, n_nodes=config.n_nodes)
     app = by_name(config.app)
     placement = JobPlacement(
@@ -83,15 +139,46 @@ def run_config(config: ExperimentConfig,
         dram_gbytes_per_s=result.dram_bandwidth / 1e9,
         comm_fraction=result.communication_fraction(),
     )
-    if _cache is not None:
-        _cache[config] = row
+    if cache is not None:
+        cache[config] = row
     return row
 
 
 def run_sweep(name: str, configs: list[ExperimentConfig],
-              _cache: dict | None = None) -> SweepResult:
-    """Simulate every configuration of a sweep, preserving order."""
+              cache=None, *, workers: int = 1,
+              errors: str = "raise") -> SweepResult:
+    """Simulate every configuration of a sweep, preserving order.
+
+    Parameters
+    ----------
+    cache:
+        Optional result cache shared across sweeps (dict or
+        :class:`~repro.core.cache.ResultCache`).
+    workers:
+        ``> 1`` fans the cache-missing configs out over a process pool;
+        row order and values are identical to the serial run.  ``<= 1``
+        (or an environment without a usable pool) runs serially.
+    errors:
+        ``"raise"`` (default) re-raises the first failing config's
+        exception; ``"capture"`` records failures as
+        :class:`~repro.core.parallel.SweepError` entries on
+        ``SweepResult.errors`` and keeps the surviving rows.
+    """
+    if errors not in ("raise", "capture"):
+        raise ValueError(f"errors must be 'raise' or 'capture', not {errors!r}")
+    from repro.core.parallel import SweepError, run_configs
+
+    outcomes = run_configs(configs, workers=workers, cache=cache)
     sweep = SweepResult(name)
-    for config in configs:
-        sweep.add(run_config(config, _cache))
+    for config, outcome in zip(configs, outcomes):
+        if isinstance(outcome, Exception):
+            if errors == "raise":
+                raise outcome
+            sweep.errors.append(SweepError(
+                config=config,
+                error=type(outcome).__name__,
+                message=str(outcome),
+            ))
+        else:
+            sweep.add(outcome)
     return sweep

@@ -17,6 +17,8 @@ from repro.errors import SimulationError
 class Engine:
     """Event loop with a virtual clock."""
 
+    __slots__ = ("_now", "_seq", "_heap", "_running")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0

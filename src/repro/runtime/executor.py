@@ -106,7 +106,19 @@ class RunResult:
 
 
 class _RankDriver:
-    """Interprets one rank's generator against the engine."""
+    """Interprets one rank's generator against the engine.
+
+    A rank has at most one blocking operation outstanding (its generator
+    is suspended until the resume fires), so the blocked-interval
+    bookkeeping lives in plain attributes and the engine callbacks are
+    two bound methods created once per driver — the executor's hottest
+    paths allocate no per-event closures.
+    """
+
+    __slots__ = ("rank", "ex", "gen", "trace", "finish_time",
+                 "blocked_since", "_advance_cb", "_resume_cb",
+                 "_block_t0", "_block_category", "_block_label",
+                 "_wait_remaining")
 
     def __init__(self, rank: int, executor: "_Executor") -> None:
         self.rank = rank
@@ -115,22 +127,34 @@ class _RankDriver:
         self.trace = RankTrace(rank)
         self.finish_time: float | None = None
         self.blocked_since: float | None = None
+        self._advance_cb = self._advance_none
+        self._resume_cb = self._resume_blocked
+        self._block_t0 = 0.0
+        self._block_category = ""
+        self._block_label = ""
+        self._wait_remaining = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.ex.engine.schedule(0.0, lambda: self._advance(None))
+        self.ex.engine.schedule(0.0, self._advance_cb)
 
-    def _resume(self, category: str, label: str = "") -> Callable[[], None]:
-        """Callback that records the blocked interval and advances."""
-        t0 = self.ex.engine.now
+    def _advance_none(self) -> None:
+        self._advance(None)
 
-        def cb() -> None:
-            now = self.ex.engine.now
-            if now > t0:
-                self.trace.add(t0, now, category, label)
-            self._advance(None)
+    def _begin_block(self, category: str, label: str = "") -> Callable[[], None]:
+        """Record the start of a blocking wait; returns the resume callback."""
+        self._block_t0 = self.ex.engine.now
+        self._block_category = category
+        self._block_label = label
+        return self._resume_cb
 
-        return cb
+    def _resume_blocked(self) -> None:
+        """Record the blocked interval (if any time passed) and advance."""
+        now = self.ex.engine.now
+        if now > self._block_t0:
+            self.trace.add(self._block_t0, now, self._block_category,
+                           self._block_label)
+        self._advance(None)
 
     def _advance(self, send_value) -> None:
         engine = self.ex.engine
@@ -149,20 +173,20 @@ class _RankDriver:
                 self.trace.add(t0, t0 + timing.seconds, cat, op.kernel)
                 self.ex.total_flops += timing.flops
                 self.ex.total_dram_bytes += timing.dram_bytes
-                engine.schedule(timing.seconds, lambda: self._advance(None))
+                engine.schedule(timing.seconds, self._advance_cb)
                 return
 
             if isinstance(op, ops.Sleep):
                 t0 = engine.now
                 self.trace.add(t0, t0 + op.seconds, "sleep", "sleep")
-                engine.schedule(op.seconds, lambda: self._advance(None))
+                engine.schedule(op.seconds, self._advance_cb)
                 return
 
             if isinstance(op, (ops.FileRead, ops.FileWrite)):
                 done_at = self.ex.storage_transfer(op.size_bytes)
                 label = "read" if isinstance(op, ops.FileRead) else "write"
                 self.trace.add(engine.now, done_at, "io", label)
-                engine.schedule_at(done_at, lambda: self._advance(None))
+                engine.schedule_at(done_at, self._advance_cb)
                 return
 
             if isinstance(op, ops.Isend):
@@ -175,12 +199,12 @@ class _RankDriver:
 
             if isinstance(op, ops.Send):
                 req = self.ex.mpi.post_send(self.rank, op)
-                req.on_complete(self._resume("p2p", f"send->{op.dst}"))
+                req.on_complete(self._begin_block("p2p", f"send->{op.dst}"))
                 return
 
             if isinstance(op, ops.Recv):
                 req = self.ex.mpi.post_recv(self.rank, op)
-                req.on_complete(self._resume("p2p", f"recv<-{op.src}"))
+                req.on_complete(self._begin_block("p2p", f"recv<-{op.src}"))
                 return
 
             if isinstance(op, ops.Sendrecv):
@@ -211,7 +235,7 @@ class _RankDriver:
             if isinstance(op, ops.COLLECTIVE_OPS):
                 req = self.ex.mpi.post_collective(self.rank, op)
                 req.on_complete(
-                    self._resume("collective", type(op).__name__.lower())
+                    self._begin_block("collective", type(op).__name__.lower())
                 )
                 return
 
@@ -224,23 +248,27 @@ class _RankDriver:
         if remaining == 0:
             # nothing to wait for; continue immediately (still via the
             # engine to keep the event ordering deterministic)
-            self.ex.engine.schedule(0.0, lambda: self._advance(None))
+            self.ex.engine.schedule(0.0, self._advance_cb)
             return
-        resume = self._resume(category, label)
-        state = {"n": remaining}
-
-        def one_done() -> None:
-            state["n"] -= 1
-            if state["n"] == 0:
-                resume()
-
+        self._begin_block(category, label)
+        self._wait_remaining = remaining
+        one_done = self._wait_one_done
         for r in reqs:
             if not r.done:
                 r.on_complete(one_done)
 
+    def _wait_one_done(self) -> None:
+        self._wait_remaining -= 1
+        if self._wait_remaining == 0:
+            self._resume_blocked()
+
 
 class _Executor:
     """One run's mutable state."""
+
+    __slots__ = ("job", "placement", "engine", "mpi", "compiled",
+                 "total_flops", "total_dram_bytes", "_storage_busy",
+                 "io_bytes")
 
     def __init__(self, job: Job) -> None:
         self.job = job

@@ -16,7 +16,7 @@ from repro.errors import SimulationError
 CATEGORIES = ("compute", "serial", "p2p", "collective", "sleep", "io", "idle")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """One contiguous activity interval of a rank."""
 
@@ -38,7 +38,7 @@ class Segment:
         return self.end - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class RankTrace:
     """Timeline of one rank."""
 

@@ -1,0 +1,177 @@
+"""Tests for the persistent content-addressed result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.core.cache as cache_mod
+from repro.core.cache import (
+    ResultCache,
+    config_digest,
+    default_cache_dir,
+    model_fingerprint,
+)
+from repro.core.experiment import ExperimentConfig
+from repro.core.runner import run_config
+from repro.errors import ConfigurationError
+from repro.runtime.affinity import ThreadBinding
+
+
+CFG = ExperimentConfig(app="ffvc", n_ranks=2, n_threads=4)
+
+
+class TestKeys:
+    def test_equal_configs_same_digest(self):
+        a = ExperimentConfig(app="ffvc", n_ranks=2, n_threads=4)
+        b = ExperimentConfig(app="ffvc", n_ranks=2, n_threads=4)
+        assert config_digest(a) == config_digest(b)
+
+    def test_every_axis_changes_digest(self):
+        base = config_digest(CFG)
+        for other in [
+            dataclasses.replace(CFG, app="mvmc"),
+            dataclasses.replace(CFG, dataset="large"),
+            dataclasses.replace(CFG, n_ranks=4, n_threads=2),
+            dataclasses.replace(CFG, data_policy="serial-init"),
+            dataclasses.replace(CFG,
+                                binding=ThreadBinding("stride", stride=4)),
+            dataclasses.replace(CFG, options_preset="as-is"),
+        ]:
+            assert config_digest(other) != base
+
+    def test_tuple_keys_extend_the_digest(self):
+        assert config_digest((CFG, 256)) != config_digest(CFG)
+        assert config_digest((CFG, 256)) != config_digest((CFG, 512))
+        assert config_digest((CFG, 256)) == config_digest((CFG, 256))
+
+    def test_uncacheable_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_digest("not-a-config")
+        with pytest.raises(ConfigurationError):
+            config_digest((CFG, object()))
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "x"))
+        assert default_cache_dir() == tmp_path / "x"
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(CFG) is None
+        row = run_config(CFG, cache)
+        assert cache.get(CFG) == row
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] >= 1
+        assert CFG in cache and len(cache) == 1
+
+    def test_dict_protocol(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG)
+        cache[CFG] = row
+        assert cache[CFG] == row
+        with pytest.raises(KeyError):
+            cache[dataclasses.replace(CFG, app="mvmc")]
+
+    def test_persists_across_instances(self, tmp_path):
+        row = run_config(CFG, ResultCache(tmp_path))
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(CFG) == row
+
+    def test_run_config_serves_cached_row(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        r1 = run_config(CFG, cache)
+        r2 = run_config(CFG, ResultCache(tmp_path))
+        assert r1 == r2
+
+    def test_lru_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_memory_entries=2)
+        rows = {}
+        for app in ("ffvc", "mvmc", "ngsa"):
+            cfg = dataclasses.replace(CFG, app=app)
+            rows[app] = run_config(cfg, cache)
+        assert len(cache) == 2  # oldest evicted from memory
+        # ...but all three survive on disk
+        assert len(ResultCache(tmp_path)) == 3
+
+    def test_clear_wipes_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_config(CFG, cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.path.exists()
+        assert ResultCache(tmp_path).get(CFG) is None
+
+
+class TestCorruptionRecovery:
+    def test_truncated_line_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG, cache)
+        with open(cache.path, "a") as fh:
+            fh.write('{"format": 1, "fp": "deadbeef", "key": "tru')  # no \n
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(CFG) == row
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG, cache)
+        text = cache.path.read_text()
+        cache.path.write_text("not json at all\n\n" + text
+                              + '{"format": 1}\n')
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(CFG) == row
+        assert len(reopened) == 1
+
+    def test_unreadable_file_is_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.get(CFG) is None
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert model_fingerprint() == model_fingerprint()
+
+    def test_catalog_change_invalidates(self, tmp_path, monkeypatch):
+        from repro.machine import catalog
+
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG, cache)
+        old_fp = cache.fingerprint
+
+        # double one catalog parameter: the fingerprint must move and
+        # previously cached rows must stop being served
+        original = catalog.PROCESSORS["A64FX"]
+
+        def tweaked(n_nodes=1, **kw):
+            cluster = original(n_nodes=n_nodes, **kw)
+            return dataclasses.replace(
+                cluster, shm_bandwidth=cluster.shm_bandwidth * 2)
+
+        monkeypatch.setitem(catalog.PROCESSORS, "A64FX", tweaked)
+        monkeypatch.setattr(cache_mod, "_fingerprint_memo", None)
+
+        stale = ResultCache(tmp_path)
+        assert stale.fingerprint != old_fp
+        assert stale.get(CFG) is None
+        # a rerun under the new model repopulates under the new fingerprint
+        fresh_row = run_config(CFG, stale)
+        assert stale.get(CFG) == fresh_row
+        assert row is not fresh_row
+
+    def test_version_is_part_of_fingerprint(self, monkeypatch):
+        import repro
+
+        before = model_fingerprint(refresh=True)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        after = model_fingerprint(refresh=True)
+        monkeypatch.undo()
+        model_fingerprint(refresh=True)  # restore the memo
+        assert before != after
+
+    def test_disk_record_carries_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_config(CFG, cache)
+        rec = json.loads(cache.path.read_text().splitlines()[0])
+        assert rec["fp"] == cache.fingerprint
+        assert rec["key"] == config_digest(CFG)

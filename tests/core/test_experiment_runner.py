@@ -83,6 +83,33 @@ class TestRunner:
         assert len(sweep.by(n_ranks=2)) == 1
         assert sweep.by(n_ranks=99) == []
 
+    def test_sweep_by_multiple_attrs_and_no_attrs(self):
+        cfgs = [ExperimentConfig(app=a, n_ranks=r, n_threads=8 // r)
+                for a in ("ffvc", "mvmc") for r in (2, 4)]
+        sweep = run_sweep("s", cfgs)
+        assert sweep.by() == sweep.rows
+        assert len(sweep.by(app="ffvc")) == 2
+        got = sweep.by(app="mvmc", n_ranks=4)
+        assert len(got) == 1
+        assert got[0].config.app == "mvmc" and got[0].config.n_ranks == 4
+
+    def test_sweep_index_tracks_added_rows(self):
+        cfgs = [ExperimentConfig(app="ffvc", n_ranks=2, n_threads=4)]
+        sweep = run_sweep("s", cfgs)
+        assert len(sweep.by(n_ranks=2)) == 1  # builds the index
+        sweep.add(sweep.rows[0])              # direct append afterwards
+        assert len(sweep.by(n_ranks=2)) == 2  # index rebuilt, not stale
+
+    def test_best_per_attr(self):
+        cfgs = [ExperimentConfig(app=a, n_ranks=r, n_threads=8 // r)
+                for a in ("ffvc", "mvmc") for r in (1, 2, 4)]
+        sweep = run_sweep("s", cfgs)
+        best = sweep.best_per("app")
+        assert list(best) == ["ffvc", "mvmc"]  # first-seen order
+        for app, row in best.items():
+            candidates = [r.elapsed for r in sweep.by(app=app)]
+            assert row.elapsed == min(candidates)
+
     def test_empty_sweep_fastest_raises(self):
         sweep = run_sweep("empty", [])
         with pytest.raises(ValueError):

@@ -57,14 +57,48 @@ class TestRoundTrip:
         assert config_from_dict(config_to_dict(cfg)) == cfg
 
 
+class TestExactRoundTrip:
+    def test_data_policy_and_stride_survive(self, tmp_path):
+        cfg = ExperimentConfig(app="ffb", n_ranks=4, n_threads=12,
+                               binding=ThreadBinding("stride", stride=12),
+                               data_policy="serial-init")
+        loaded = config_from_dict(config_to_dict(cfg))
+        assert loaded.data_policy == "serial-init"
+        assert loaded.binding.policy == "stride"
+        assert loaded.binding.stride == 12
+        assert loaded == cfg
+
+    def test_save_is_atomic(self, sweep, tmp_path):
+        save_sweep(sweep, tmp_path / "s.json")
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
 class TestErrorHandling:
-    def test_schema_mismatch_rejected(self, sweep, tmp_path):
-        path = save_sweep(sweep, tmp_path / "old.json")
+    def test_newer_schema_rejected_with_clear_message(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "new.json")
         payload = json.loads(path.read_text())
         payload["schema"] = SCHEMA_VERSION + 1
         path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="newer"):
+            load_sweep(path)
+
+    def test_prehistoric_schema_rejected(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = 0
+        path.write_text(json.dumps(payload))
         with pytest.raises(ConfigurationError):
             load_sweep(path)
+
+    def test_non_integer_schema_rejected(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "bad.json")
+        payload = json.loads(path.read_text())
+        for bad in (None, "1", 1.5):
+            payload["schema"] = bad
+            path.write_text(json.dumps(payload))
+            with pytest.raises(ConfigurationError):
+                load_sweep(path)
 
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
