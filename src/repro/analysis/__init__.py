@@ -1,0 +1,54 @@
+"""Static communication analysis: pre-flight lint for rank programs,
+placements, and experiment configs.
+
+The runtime deadlocks *loudly* when a program is wrong — but only after
+burning the wall-clock that led up to the wedge.  This package answers
+the same questions **before** execution, by symbolically replaying each
+rank's program generator (no simulated time) and checking the whole
+communication structure:
+
+* point-to-point matching per (destination, tag) FIFO channel,
+  honoring ``ANY_SOURCE`` (:mod:`~repro.analysis.checks`);
+* collective congruence across communicator members;
+* request-handle hygiene (waits on non-requests, double/never waited);
+* rank/tag domain validity;
+* order-aware deadlock detection under the runtime's exact
+  eager/rendezvous split (:mod:`~repro.analysis.deadlock`);
+* placement feasibility, reusing the runtime's own
+  :class:`~repro.runtime.placement.JobPlacement` validation;
+* kernel-reference validity.
+
+Findings are structured :class:`~repro.analysis.diagnostics.Diagnostic`
+records rendered by ``repro lint`` and enforced as a cheap pre-flight by
+``run_config``/``run_sweep`` (see :func:`~repro.analysis.analyzer.preflight`),
+with verdicts cached next to the sweep result cache by config digest.
+"""
+
+from repro.analysis.analyzer import (
+    analyze_config,
+    analyze_job,
+    analyze_program,
+    preflight,
+    preflight_enabled,
+    set_preflight,
+)
+from repro.analysis.cache import LintCache, lint_cache_for
+from repro.analysis.diagnostics import SEVERITIES, Diagnostic, \
+    DiagnosticReport
+from repro.analysis.trace import trace_program, trace_rank
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "LintCache",
+    "analyze_config",
+    "analyze_job",
+    "analyze_program",
+    "lint_cache_for",
+    "preflight",
+    "preflight_enabled",
+    "set_preflight",
+    "trace_program",
+    "trace_rank",
+]

@@ -1,0 +1,119 @@
+"""Persistent lint-result cache, living next to the sweep result cache.
+
+Analysis verdicts are keyed exactly like simulated rows: config digest x
+model fingerprint (:mod:`repro.core.cache`).  A ``lint.jsonl`` file sits
+beside ``results.jsonl`` in the same cache directory, so one
+``--cache-dir`` governs both, and any model change invalidates both at
+once through the shared fingerprint.
+
+Verdicts are tiny (usually ``[]``), so the in-memory layer is a plain
+dict loaded once per process; :func:`lint_cache_for` memoizes one
+instance per directory so repeated ``run_config`` calls share a single
+load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.core.cache import CACHE_FORMAT, default_cache_dir, \
+    model_fingerprint
+
+
+class LintCache:
+    """Config-digest-addressed store of :class:`DiagnosticReport`."""
+
+    __slots__ = ("directory", "_mem", "_loaded", "_fingerprint")
+
+    FILENAME = "lint.jsonl"
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self._mem: dict[str, DiagnosticReport] = {}
+        self._loaded = False
+        self._fingerprint: str | None = None
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.FILENAME
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint()
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        self._loaded = True
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        fp = self.fingerprint
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                if rec.get("format") != CACHE_FORMAT or rec.get("fp") != fp:
+                    continue
+                self._mem[rec["key"]] = \
+                    DiagnosticReport.from_dict(rec["report"])
+            except (ValueError, KeyError, TypeError):
+                continue            # corrupt/truncated line: skip
+
+    def get(self, digest: str) -> DiagnosticReport | None:
+        if not self._loaded:
+            self._load()
+        return self._mem.get(digest)
+
+    def put(self, digest: str, report: DiagnosticReport) -> None:
+        if not self._loaded:
+            self._load()
+        if digest in self._mem:
+            self._mem[digest] = report
+            return
+        self._mem[digest] = report
+        rec = {"format": CACHE_FORMAT, "fp": self.fingerprint,
+               "key": digest, "report": report.to_dict()}
+        line = json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # single O_APPEND write: whole-line atomicity under concurrency,
+        # same policy as ResultCache._append
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def __len__(self) -> int:
+        if not self._loaded:
+            self._load()
+        return len(self._mem)
+
+    def clear(self) -> None:
+        self._mem.clear()
+        self._loaded = True
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+_instances: dict[Path, LintCache] = {}
+
+
+def lint_cache_for(directory: str | Path | None) -> LintCache:
+    """One shared :class:`LintCache` per directory (load the file once)."""
+    path = Path(directory) if directory is not None else default_cache_dir()
+    cache = _instances.get(path)
+    if cache is None:
+        cache = _instances[path] = LintCache(path)
+    return cache

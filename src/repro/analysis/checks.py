@@ -1,0 +1,404 @@
+"""Static structure checks over traced rank programs.
+
+Each check consumes the :class:`~repro.analysis.trace.ProgramTrace` map
+and emits :class:`~repro.analysis.diagnostics.Diagnostic` records:
+
+* :func:`check_programs` — per-rank replay failures, op-budget
+  truncation, values the executor would reject outright;
+* :func:`check_domains` — rank/tag domain validity of every op (what the
+  runtime raises ``CommunicatorError`` for, found before the run);
+* :func:`check_requests` — request-handle hygiene (waits on
+  non-requests, double waits, receives never waited);
+* :func:`check_p2p_matching` — send/receive count matching per
+  (destination, tag) channel, honoring ``ANY_SOURCE`` wildcards;
+* :func:`check_collectives` — collective congruence: every member of a
+  communicator must issue the same collective sequence (type and root).
+
+Order-dependent problems (a cyclic rendezvous send, a wildcard receive
+stealing another receive's message) are the symbolic scheduler's job —
+see :mod:`repro.analysis.deadlock`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.trace import ProgramTrace, TracedOp, TracedRequest
+from repro.runtime import program as ops
+
+Traces = dict[int, ProgramTrace]
+
+
+def _valid_peer(peer: int, rank: int, n_ranks: int) -> bool:
+    return 0 <= peer < n_ranks and peer != rank
+
+
+# ----------------------------------------------------------------------
+# program-level findings
+# ----------------------------------------------------------------------
+def check_programs(traces: Traces) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for trace in traces.values():
+        if trace.failure is not None:
+            out.append(trace.failure)
+        if trace.truncated:
+            out.append(Diagnostic(
+                check="program-budget", severity="warning",
+                rank=trace.rank, op_index=len(trace.ops),
+                message=f"rank {trace.rank} exceeded the analyzer's op "
+                        f"budget ({len(trace.ops)} ops traced); checks "
+                        f"cover the traced prefix only",
+                hint="raise max_ops, or check the program for an "
+                     "unbounded loop",
+            ))
+        for rec in trace.ops:
+            if not ops.is_known_op(rec.op):
+                out.append(Diagnostic(
+                    check="unknown-op", severity="error",
+                    rank=rec.rank, op_index=rec.index, op=repr(rec.op),
+                    message=f"rank {rec.rank} yielded a value the "
+                            f"executor does not understand",
+                    hint="yield only operations from "
+                         "repro.runtime.program",
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# rank / tag / communicator domain validity
+# ----------------------------------------------------------------------
+def check_domains(traces: Traces, n_ranks: int,
+                  communicators: dict[str, tuple[int, ...]]
+                  ) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def bad_peer(rec: TracedOp, role: str, peer: int) -> None:
+        if peer == rec.rank:
+            msg = f"rank {rec.rank} {role}s to itself"
+            hint = ("guard the exchange for undecomposed axes "
+                    "(skip when the neighbour is the rank itself)")
+        else:
+            msg = (f"rank {rec.rank} {role}s to invalid rank {peer} "
+                   f"(job has ranks 0..{n_ranks - 1})")
+            hint = "fix the neighbour computation or the rank-grid mapping"
+        out.append(Diagnostic(
+            check=f"p2p-invalid-{role}", severity="error",
+            rank=rec.rank, op_index=rec.index, op=rec.describe(),
+            message=msg, hint=hint,
+        ))
+
+    def check_tag(rec: TracedOp, tag: int) -> None:
+        if tag > ops.MAX_PORTABLE_TAG:
+            out.append(Diagnostic(
+                check="p2p-tag-range", severity="warning",
+                rank=rec.rank, op_index=rec.index, op=rec.describe(),
+                message=f"tag {tag} exceeds the portable MPI tag upper "
+                        f"bound ({ops.MAX_PORTABLE_TAG})",
+                hint="derive tags from small per-phase constants",
+            ))
+
+    for trace in traces.values():
+        for rec in trace.ops:
+            op = rec.op
+            if isinstance(op, (ops.Send, ops.Isend)):
+                if not _valid_peer(op.dst, rec.rank, n_ranks):
+                    bad_peer(rec, "send", op.dst)
+                check_tag(rec, op.tag)
+            elif isinstance(op, (ops.Recv, ops.Irecv)):
+                if op.src != ops.ANY_SOURCE and \
+                        not _valid_peer(op.src, rec.rank, n_ranks):
+                    bad_peer(rec, "recv", op.src)
+                check_tag(rec, op.tag)
+            elif isinstance(op, ops.Sendrecv):
+                if not _valid_peer(op.dst, rec.rank, n_ranks):
+                    bad_peer(rec, "send", op.dst)
+                if op.src != ops.ANY_SOURCE and \
+                        not _valid_peer(op.src, rec.rank, n_ranks):
+                    bad_peer(rec, "recv", op.src)
+                check_tag(rec, op.send_tag)
+                check_tag(rec, op.recv_tag)
+            elif ops.is_collective(op):
+                members = communicators.get(op.comm)
+                if members is None:
+                    out.append(Diagnostic(
+                        check="collective-unknown-comm", severity="error",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"collective on unknown communicator "
+                                f"{op.comm!r}",
+                        hint=f"known communicators: "
+                             f"{sorted(communicators)}",
+                    ))
+                    continue
+                if rec.rank not in members:
+                    out.append(Diagnostic(
+                        check="collective-nonmember", severity="error",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"rank {rec.rank} issues a collective on "
+                                f"{op.comm!r} but is not a member "
+                                f"(members: {list(members)})",
+                        hint="guard the collective by communicator "
+                             "membership",
+                    ))
+                root = ops.collective_root(op)
+                if root is not None and root not in members:
+                    out.append(Diagnostic(
+                        check="collective-bad-root", severity="error",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"root {root} is not a member of "
+                                f"communicator {op.comm!r}",
+                        hint=f"pick a root among {list(members)}",
+                    ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# request-handle hygiene
+# ----------------------------------------------------------------------
+def check_requests(traces: Traces) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for trace in traces.values():
+        waits: dict[int, int] = {}          # id(request) -> wait count
+        for rec in trace.ops:
+            if not isinstance(rec.op, ops.WaitAll):
+                continue
+            for item in rec.op.requests:
+                if not isinstance(item, TracedRequest):
+                    out.append(Diagnostic(
+                        check="waitall-non-request", severity="error",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"WaitAll on a non-request value "
+                                f"{item!r}",
+                        hint="capture the handle: "
+                             "`r = yield Irecv(...)`; blocking ops "
+                             "(Send/Recv) yield no handle",
+                    ))
+                    continue
+                if item.rank != rec.rank:
+                    out.append(Diagnostic(
+                        check="request-foreign", severity="error",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"WaitAll on a request owned by rank "
+                                f"{item.rank}",
+                        hint="requests are rank-local; wait where the "
+                             "op was posted",
+                    ))
+                    continue
+                waits[id(item)] = waits.get(id(item), 0) + 1
+                if waits[id(item)] == 2:
+                    out.append(Diagnostic(
+                        check="request-double-wait", severity="warning",
+                        rank=rec.rank, op_index=rec.index,
+                        op=rec.describe(),
+                        message=f"rank {rec.rank} waits twice on the "
+                                f"{item.describe()}",
+                        hint="drop the request from the second WaitAll",
+                    ))
+        # receives posted but never waited: the program uses data it has
+        # no completion guarantee for (sends may legitimately be
+        # fire-and-forget under eager/rendezvous completion).
+        for rec in trace.ops:
+            if rec.request is None or isinstance(rec.op, ops.Isend):
+                continue
+            if id(rec.request) not in waits:
+                out.append(Diagnostic(
+                    check="request-unwaited", severity="warning",
+                    rank=rec.rank, op_index=rec.index, op=rec.describe(),
+                    message=f"rank {rec.rank} never waits on the "
+                            f"{rec.request.describe()}",
+                    hint="add the request to a WaitAll before using the "
+                         "received data",
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# point-to-point count matching per (destination, tag) channel
+# ----------------------------------------------------------------------
+def _p2p_endpoints(rec: TracedOp, n_ranks: int):
+    """(sends, recvs) this op contributes, skipping invalid endpoints
+    (those already carry a ``p2p-invalid-*`` error)."""
+    sends, recvs = [], []
+    op = rec.op
+    if isinstance(op, (ops.Send, ops.Isend)):
+        if _valid_peer(op.dst, rec.rank, n_ranks):
+            sends.append((op.dst, op.tag, rec.rank))
+    elif isinstance(op, (ops.Recv, ops.Irecv)):
+        if op.src == ops.ANY_SOURCE or _valid_peer(op.src, rec.rank,
+                                                   n_ranks):
+            recvs.append((rec.rank, op.tag, op.src))
+    elif isinstance(op, ops.Sendrecv):
+        if _valid_peer(op.dst, rec.rank, n_ranks):
+            sends.append((op.dst, op.send_tag, rec.rank))
+        if op.src == ops.ANY_SOURCE or _valid_peer(op.src, rec.rank,
+                                                   n_ranks):
+            recvs.append((rec.rank, op.recv_tag, op.src))
+    return sends, recvs
+
+
+def check_p2p_matching(traces: Traces, n_ranks: int) -> list[Diagnostic]:
+    """Count-match sends against receives per (dst, tag) channel.
+
+    Specific-source receives are matched against their source's sends
+    first; ``ANY_SOURCE`` receives then absorb leftover sends of the same
+    (dst, tag).  Matching specific receives first is optimal (a wildcard
+    can absorb anything a specific receive can), so leftovers are genuine
+    count mismatches, independent of posting order.
+    """
+    # (dst, tag) -> {src -> [TracedOp]} / wildcard list
+    sends: dict[tuple[int, int], dict[int, list[TracedOp]]] = {}
+    specific: dict[tuple[int, int], dict[int, list[TracedOp]]] = {}
+    wildcard: dict[tuple[int, int], list[TracedOp]] = {}
+    for trace in traces.values():
+        for rec in trace.ops:
+            s, r = _p2p_endpoints(rec, n_ranks)
+            for dst, tag, src in s:
+                sends.setdefault((dst, tag), {}).setdefault(
+                    src, []).append(rec)
+            for dst, tag, src in r:
+                if src == ops.ANY_SOURCE:
+                    wildcard.setdefault((dst, tag), []).append(rec)
+                else:
+                    specific.setdefault((dst, tag), {}).setdefault(
+                        src, []).append(rec)
+
+    out: list[Diagnostic] = []
+    channels = sorted(set(sends) | set(specific) | set(wildcard))
+    for chan in channels:
+        dst, tag = chan
+        chan_sends = sends.get(chan, {})
+        chan_specific = specific.get(chan, {})
+        leftovers: list[TracedOp] = []      # unmatched sends, FIFO order
+        for src in sorted(set(chan_sends) | set(chan_specific)):
+            n_send = len(chan_sends.get(src, ()))
+            n_recv = len(chan_specific.get(src, ()))
+            matched = min(n_send, n_recv)
+            leftovers.extend(chan_sends.get(src, ())[matched:])
+            for rec in chan_specific.get(src, ())[matched:]:
+                out.append(Diagnostic(
+                    check="p2p-unmatched-recv", severity="error",
+                    rank=rec.rank, op_index=rec.index, op=rec.describe(),
+                    message=f"rank {rec.rank} receives from rank {src} "
+                            f"tag {tag}, but rank {src} posts no "
+                            f"matching send (channel has {n_send} "
+                            f"send(s) for {n_recv} receive(s))",
+                    hint=f"post a matching send on rank {src} or drop "
+                         f"the receive",
+                ))
+        wild = wildcard.get(chan, [])
+        absorbed = min(len(wild), len(leftovers))
+        for rec in leftovers[absorbed:]:
+            out.append(Diagnostic(
+                check="p2p-unmatched-send", severity="error",
+                rank=rec.rank, op_index=rec.index, op=rec.describe(),
+                message=f"rank {rec.rank} sends to rank {dst} tag {tag}, "
+                        f"but rank {dst} posts no matching receive",
+                hint=f"post a matching Recv/Irecv on rank {dst} or drop "
+                     f"the send",
+            ))
+        for rec in wild[absorbed:]:
+            out.append(Diagnostic(
+                check="p2p-unmatched-recv", severity="error",
+                rank=rec.rank, op_index=rec.index, op=rec.describe(),
+                message=f"rank {rec.rank} receives (ANY_SOURCE) tag "
+                        f"{tag}, but no unconsumed send targets rank "
+                        f"{dst} with that tag",
+                hint="post a matching send or drop the wildcard receive",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# collective congruence
+# ----------------------------------------------------------------------
+def check_collectives(traces: Traces,
+                      communicators: dict[str, tuple[int, ...]]
+                      ) -> list[Diagnostic]:
+    """All members of a communicator must issue the same collective
+    sequence: same length, same op types, same roots.
+
+    Per-rank ``size_bytes`` may differ (the simulator models per-rank
+    contributions and costs the maximum), so sizes are *not* checked.
+    """
+    out: list[Diagnostic] = []
+    for name, members in sorted(communicators.items()):
+        seqs: dict[int, list[TracedOp]] = {}
+        for rank in members:
+            trace = traces.get(rank)
+            if trace is None:
+                continue
+            seqs[rank] = [rec for rec in trace.ops
+                          if ops.is_collective(rec.op)
+                          and rec.op.comm == name]
+        if not seqs:
+            continue
+        reference_rank = min(seqs)
+        reference = seqs[reference_rank]
+        for rank in sorted(seqs):
+            seq = seqs[rank]
+            if rank == reference_rank:
+                continue
+            divergence = _first_divergence(reference, seq)
+            if divergence is None:
+                continue
+            index, kind = divergence
+            ref_rec = reference[index] if index < len(reference) else None
+            rec = seq[index] if index < len(seq) else None
+            if kind == "count":
+                shorter, longer = (rank, reference_rank) \
+                    if len(seq) < len(reference) else (reference_rank, rank)
+                extra = (seqs[longer][min(len(seqs[shorter]),
+                                          len(seqs[longer]) - 1)])
+                out.append(Diagnostic(
+                    check="collective-count", severity="error",
+                    rank=shorter, op_index=None,
+                    op=extra.describe(),
+                    message=f"rank {shorter} issues "
+                            f"{len(seqs[shorter])} collective(s) on "
+                            f"{name!r} while rank {longer} issues "
+                            f"{len(seqs[longer])}; the extra collective "
+                            f"would hang waiting for rank {shorter}",
+                    hint="make every member execute the same collective "
+                         "sequence (check rank-dependent branches)",
+                ))
+            elif kind == "type":
+                out.append(Diagnostic(
+                    check="collective-divergence", severity="error",
+                    rank=rank, op_index=rec.index, op=rec.describe(),
+                    message=f"collective sequence diverges on {name!r} "
+                            f"at position {index}: rank {rank} issues "
+                            f"{type(rec.op).__name__} while rank "
+                            f"{reference_rank} issues "
+                            f"{type(ref_rec.op).__name__}",
+                    hint="collectives are matched by call order; align "
+                         "the sequences across ranks",
+                ))
+            else:  # root
+                out.append(Diagnostic(
+                    check="collective-root-divergence", severity="error",
+                    rank=rank, op_index=rec.index, op=rec.describe(),
+                    message=f"{type(rec.op).__name__} on {name!r} at "
+                            f"position {index}: rank {rank} uses root "
+                            f"{ops.collective_root(rec.op)} while rank "
+                            f"{reference_rank} uses root "
+                            f"{ops.collective_root(ref_rec.op)}",
+                    hint="all members must pass the same root",
+                ))
+            break   # first diverging member per communicator is enough
+    return out
+
+
+def _first_divergence(reference: list[TracedOp],
+                      seq: list[TracedOp]) -> tuple[int, str] | None:
+    """(index, kind) of the first mismatch, or None when congruent."""
+    for i, (a, b) in enumerate(zip(reference, seq)):
+        if type(a.op) is not type(b.op):
+            return i, "type"
+        if ops.collective_root(a.op) != ops.collective_root(b.op):
+            return i, "root"
+    if len(reference) != len(seq):
+        return min(len(reference), len(seq)), "count"
+    return None

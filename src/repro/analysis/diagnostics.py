@@ -1,0 +1,157 @@
+"""Structured findings of the static communication analyzer.
+
+A :class:`Diagnostic` is one concrete problem found before execution —
+an unmatched receive, a diverging collective sequence, an infeasible
+placement — carrying enough context (severity, check id, rank, op index,
+rendered op, fix hint) for a user to act on it without re-running
+anything.  A :class:`DiagnosticReport` is the ordered collection one
+analysis pass produces; ``repro lint`` renders it, the pre-flight gate in
+:mod:`repro.core.runner` raises :class:`~repro.errors.LintError` when it
+contains errors, and the lint cache serializes it by config digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Finding severities, most severe first.  ``error`` findings block a run
+#: (the program would crash, deadlock, or not place); ``warning`` findings
+#: are suspicious but executable.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    #: Stable check identifier, e.g. ``"p2p-unmatched-recv"``.
+    check: str
+    #: ``"error"`` or ``"warning"``.
+    severity: str
+    #: Human-readable statement of the problem.
+    message: str
+    #: Rank the finding anchors to (None for whole-job findings).
+    rank: int | None = None
+    #: 0-based index of the offending op in that rank's program.
+    op_index: int | None = None
+    #: Rendered offending op (``describe_op``), empty for config findings.
+    op: str = ""
+    #: Suggested fix.
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"diagnostic severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+        if not self.check:
+            raise ConfigurationError("diagnostic needs a check id")
+
+    # ------------------------------------------------------------------
+    def location(self) -> str:
+        """``"rank 3, op #42"`` (whatever parts are known)."""
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.op_index is not None:
+            parts.append(f"op #{self.op_index}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        """Multi-line rendering for terminal output."""
+        loc = self.location()
+        head = f"{self.severity.upper():<7} [{self.check}]"
+        if loc:
+            head += f" {loc}:"
+        lines = [f"{head} {self.message}"]
+        if self.op:
+            lines.append(f"        op:   {self.op}")
+        if self.hint:
+            lines.append(f"        hint: {self.hint}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = {"check": self.check, "severity": self.severity,
+             "message": self.message}
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.op_index is not None:
+            d["op_index"] = self.op_index
+        if self.op:
+            d["op"] = self.op
+        if self.hint:
+            d["hint"] = self.hint
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Diagnostic":
+        return cls(
+            check=d["check"], severity=d["severity"], message=d["message"],
+            rank=d.get("rank"), op_index=d.get("op_index"),
+            op=d.get("op", ""), hint=d.get("hint", ""),
+        )
+
+
+@dataclass
+class DiagnosticReport:
+    """Ordered findings of one analysis pass."""
+
+    #: What was analyzed (``"ccs-qcd/as-is 4x12 on A64FX"``).
+    subject: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report is completely clean."""
+        return not self.diagnostics
+
+    def by_check(self, check: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.check == check]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.subject}: clean"
+        return (f"{self.subject}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)")
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        lines.extend(f"  {line}" for d in self.diagnostics
+                     for line in d.render().splitlines())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"subject": self.subject,
+                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DiagnosticReport":
+        return cls(
+            subject=d["subject"],
+            diagnostics=[Diagnostic.from_dict(x)
+                         for x in d["diagnostics"]],
+        )

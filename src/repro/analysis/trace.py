@@ -1,0 +1,128 @@
+"""Symbolic replay of rank programs.
+
+The analyzer's input is the same generator the executor interprets — but
+replayed *without* advancing simulated time: every yielded op is recorded
+in order, and ops that would yield a request handle get a
+:class:`TracedRequest` token sent back, so ``r = yield Irecv(...)`` /
+``yield WaitAll([r])`` round-trips exactly as it does under the real
+executor.  Control flow in the shipped skeletons never depends on
+*received values* (receives carry no payload in this simulator), so the
+replayed op stream is the exact stream the simulation would issue.
+
+A program that raises during replay — a :class:`ConfigurationError` from
+an op constructor, a decomposition failure, an ``IndexError`` in user
+code — becomes a per-rank failure diagnostic instead of an exception, so
+one broken rank cannot hide findings on the others.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import ReproError
+from repro.runtime import program as ops
+
+#: Per-rank op budget: a guard against unbounded generators (a while-True
+#: program would otherwise hang the analyzer, not the simulation).
+DEFAULT_MAX_OPS = 1_000_000
+
+
+class TracedRequest:
+    """Stand-in for the runtime's request handle during replay."""
+
+    __slots__ = ("rank", "op_index", "op")
+
+    def __init__(self, rank: int, op_index: int, op) -> None:
+        self.rank = rank
+        self.op_index = op_index
+        self.op = op
+
+    def describe(self) -> str:
+        return f"request of {ops.describe_op(self.op)} (op #{self.op_index})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<TracedRequest rank={self.rank} {self.describe()}>"
+
+
+class TracedOp:
+    """One recorded (rank, index, op) with its replay request, if any."""
+
+    __slots__ = ("rank", "index", "op", "request")
+
+    def __init__(self, rank: int, index: int, op,
+                 request: TracedRequest | None) -> None:
+        self.rank = rank
+        self.index = index
+        self.op = op
+        self.request = request
+
+    def describe(self) -> str:
+        return ops.describe_op(self.op)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<TracedOp rank={self.rank} #{self.index} {self.describe()}>"
+
+
+class ProgramTrace:
+    """Everything one rank's replay produced."""
+
+    __slots__ = ("rank", "ops", "failure", "truncated")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.ops: list[TracedOp] = []
+        #: Diagnostic when the generator raised; replay stops there.
+        self.failure: Diagnostic | None = None
+        #: True when the op budget cut the replay short.
+        self.truncated = False
+
+
+def trace_rank(factory: Callable[[int, int], Iterator], rank: int,
+               n_ranks: int, max_ops: int = DEFAULT_MAX_OPS) -> ProgramTrace:
+    """Replay one rank's program into a :class:`ProgramTrace`."""
+    trace = ProgramTrace(rank)
+    records = trace.ops
+    try:
+        gen = factory(rank, n_ranks)
+        send_value = None
+        while True:
+            try:
+                op = gen.send(send_value)
+            except StopIteration:
+                break
+            send_value = None
+            index = len(records)
+            if index >= max_ops:
+                trace.truncated = True
+                gen.close()
+                break
+            request = None
+            if ops.yields_request(op):
+                request = TracedRequest(rank, index, op)
+                send_value = request
+            records.append(TracedOp(rank, index, op, request))
+    except ReproError as exc:
+        trace.failure = Diagnostic(
+            check="program-config", severity="error",
+            rank=rank, op_index=len(records),
+            message=f"program raised {type(exc).__name__}: {exc}",
+            hint="fix the rank program or the dataset parameters; the "
+                 "simulation would fail at the same point",
+        )
+    except Exception as exc:  # noqa: BLE001 - surface user-code crashes
+        trace.failure = Diagnostic(
+            check="program-crash", severity="error",
+            rank=rank, op_index=len(records),
+            message=f"program crashed with {type(exc).__name__}: {exc}",
+            hint="the rank program has a Python bug that would also kill "
+                 "the simulation",
+        )
+    return trace
+
+
+def trace_program(factory: Callable[[int, int], Iterator], n_ranks: int,
+                  max_ops: int = DEFAULT_MAX_OPS) -> dict[int, ProgramTrace]:
+    """Replay every rank; returns rank -> :class:`ProgramTrace`."""
+    return {rank: trace_rank(factory, rank, n_ranks, max_ops)
+            for rank in range(n_ranks)}

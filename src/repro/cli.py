@@ -37,6 +37,9 @@ def _add_exec_flags(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent result cache for this invocation")
+    parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the static pre-flight lint (see `repro lint`)")
 
 
 def _cache_from_args(args):
@@ -208,15 +211,55 @@ def _cmd_energy(args) -> int:
     return 0
 
 
-def _cmd_validate(_args) -> int:
-    from repro.validate import validate_all
+#: Placement grid `repro lint` checks when no --ranks/--threads given:
+#: the grid corners plus the paper's sweet spot — enough to exercise
+#: every comm topology the apps build without re-tracing all nine points.
+_LINT_GRID = [(1, 48), (4, 12), (48, 1)]
 
-    issues = validate_all()
-    if not issues:
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import analyze_config
+    from repro.core.experiment import ExperimentConfig
+
+    apps = [args.app] if args.app else sorted(SUITE)
+    if args.ranks is not None or args.threads is not None:
+        grid = [(args.ranks or 4, args.threads or 12)]
+    else:
+        grid = _LINT_GRID
+
+    cache = None
+    if not args.no_cache:
+        from repro.analysis.cache import lint_cache_for
+
+        cache = lint_cache_for(args.cache_dir)
+
+    n_errors = 0
+    for app in apps:
+        for n_ranks, n_threads in grid:
+            config = ExperimentConfig(
+                app=app, dataset=args.dataset, processor=args.processor,
+                n_nodes=args.nodes, n_ranks=n_ranks, n_threads=n_threads,
+            )
+            report = analyze_config(config, cache=cache)
+            if report.ok:
+                print(report.summary())
+            else:
+                print(report.render())
+                n_errors += len(report.errors)
+    if n_errors:
+        print(f"lint: {n_errors} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.validate import validate_diagnostics
+
+    report = validate_diagnostics()
+    if report.ok:
         print("all consistency checks passed")
         return 0
-    for issue in issues:
-        print(issue, file=sys.stderr)
+    print(report.render(), file=sys.stderr)
     return 1
 
 
@@ -298,6 +341,26 @@ def build_parser() -> argparse.ArgumentParser:
     energy.add_argument("--threads", type=int, default=12)
     energy.set_defaults(func=_cmd_energy)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static pre-flight analysis of rank programs and placements")
+    lint.add_argument("app", nargs="?", choices=sorted(SUITE),
+                      help="miniapp to lint (default: whole suite)")
+    lint.add_argument("--dataset", default="as-is")
+    lint.add_argument("--processor", default="A64FX",
+                      choices=sorted(catalog.PROCESSORS))
+    lint.add_argument("--nodes", type=int, default=1)
+    lint.add_argument("--ranks", type=int, default=None,
+                      help="lint one placement instead of the default grid")
+    lint.add_argument("--threads", type=int, default=None)
+    lint.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="lint-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="re-analyze even if a cached verdict exists")
+    lint.set_defaults(func=_cmd_lint)
+
     sub.add_parser(
         "validate",
         help="run the model's internal consistency checks",
@@ -317,6 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_lint", False):
+        from repro.analysis import set_preflight
+
+        set_preflight(False)
     return args.func(args)
 
 

@@ -103,6 +103,27 @@ class SweepResult:
         return min(self.rows, key=lambda r: r.elapsed)
 
 
+def _preflight(config: ExperimentConfig, cache) -> None:
+    """Static pre-flight lint before spending simulation time.
+
+    Raises :class:`~repro.errors.LintError` on error-severity findings;
+    a no-op when disabled via ``--no-lint`` / ``REPRO_NO_LINT=1`` (the
+    environment variable travels into sweep worker processes).  When the
+    result cache is persistent, lint verdicts share its directory.
+    """
+    from repro.analysis import analyzer
+
+    if not analyzer.preflight_enabled():
+        return
+    lint_cache = None
+    directory = getattr(cache, "directory", None)
+    if directory is not None:
+        from repro.analysis.cache import lint_cache_for
+
+        lint_cache = lint_cache_for(directory)
+    analyzer.preflight(config, lint_cache)
+
+
 def run_config(config: ExperimentConfig, cache=None) -> Row:
     """Simulate one configuration.
 
@@ -115,6 +136,7 @@ def run_config(config: ExperimentConfig, cache=None) -> Row:
         row = cache.get(config)
         if row is not None:
             return row
+    _preflight(config, cache)
     cluster = catalog.by_name(config.processor, n_nodes=config.n_nodes)
     app = by_name(config.app)
     placement = JobPlacement(

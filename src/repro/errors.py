@@ -38,3 +38,16 @@ class CompileError(ReproError):
 
 class DatasetError(ReproError):
     """A miniapp dataset descriptor is unknown or malformed."""
+
+
+class LintError(ReproError):
+    """The pre-flight static analyzer found blocking diagnostics.
+
+    ``diagnostics`` carries the structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` records behind the
+    rendered message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)

@@ -164,6 +164,10 @@ class _RankDriver:
             except StopIteration:
                 self.finish_time = engine.now
                 return
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"rank {self.rank} of job {self.ex.job.name!r}: {exc}"
+                ) from exc
             send_value = None
 
             if isinstance(op, ops.Compute):

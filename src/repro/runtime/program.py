@@ -27,22 +27,52 @@ deadlock just as they eventually do on real machines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, fields
 
 from repro.errors import ConfigurationError
 
 #: Wildcard source for Recv/Irecv.
 ANY_SOURCE = -1
 
+#: Largest portable MPI tag (the standard guarantees at least this much
+#: headroom in ``MPI_TAG_UB``); the static analyzer warns above it.
+MAX_PORTABLE_TAG = 32767
 
-def _check_size(size_bytes: float) -> None:
+
+def describe_op(op) -> str:
+    """Render an op as ``Name(field=value, ...)`` for error messages.
+
+    Falls back to ``repr`` for non-dataclass values (e.g. a stray object a
+    buggy program yielded).
+    """
+    try:
+        parts = ", ".join(
+            f"{f.name}={getattr(op, f.name)!r}" for f in fields(op)
+        )
+    except TypeError:
+        return repr(op)
+    return f"{type(op).__name__}({parts})"
+
+
+def _fail(op, field: str, value, requirement: str) -> None:
+    """Raise a ConfigurationError naming the op, the field, and the value."""
+    raise ConfigurationError(
+        f"{type(op).__name__}: {field}={value!r} {requirement} "
+        f"in {describe_op(op)}"
+    )
+
+
+def _check_size(op, size_bytes: float, field: str = "size_bytes") -> None:
+    if not math.isfinite(size_bytes):
+        _fail(op, field, size_bytes, "must be finite")
     if size_bytes < 0:
-        raise ConfigurationError("message size must be non-negative")
+        _fail(op, field, size_bytes, "must be non-negative")
 
 
-def _check_tag(tag: int) -> None:
+def _check_tag(op, tag: int, field: str = "tag") -> None:
     if tag < 0:
-        raise ConfigurationError("tags must be non-negative")
+        _fail(op, field, tag, "must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -64,14 +94,17 @@ class Compute:
     working_set_scale: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.iters < 0:
-            raise ConfigurationError("iters must be non-negative")
+        if self.iters < 0 or not math.isfinite(self.iters):
+            _fail(self, "iters", self.iters, "must be finite and non-negative")
         if self.schedule not in ("static", "dynamic", "guided"):
-            raise ConfigurationError(f"unknown schedule {self.schedule!r}")
+            _fail(self, "schedule", self.schedule,
+                  "must be one of 'static', 'dynamic', 'guided'")
         if self.imbalance < 1.0:
-            raise ConfigurationError("imbalance is max/mean, must be >= 1")
+            _fail(self, "imbalance", self.imbalance,
+                  "is a max/mean ratio and must be >= 1")
         if self.working_set_scale <= 0:
-            raise ConfigurationError("working_set_scale must be positive")
+            _fail(self, "working_set_scale", self.working_set_scale,
+                  "must be positive")
 
 
 @dataclass(frozen=True)
@@ -81,8 +114,9 @@ class Sleep:
     seconds: float
 
     def __post_init__(self) -> None:
-        if self.seconds < 0:
-            raise ConfigurationError("sleep must be non-negative")
+        if self.seconds < 0 or not math.isfinite(self.seconds):
+            _fail(self, "seconds", self.seconds,
+                  "must be finite and non-negative")
 
 
 @dataclass(frozen=True)
@@ -92,7 +126,7 @@ class FileRead:
     size_bytes: float
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
+        _check_size(self, self.size_bytes)
 
 
 @dataclass(frozen=True)
@@ -102,7 +136,7 @@ class FileWrite:
     size_bytes: float
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
+        _check_size(self, self.size_bytes)
 
 
 # ----------------------------------------------------------------------
@@ -117,8 +151,8 @@ class Send:
     size_bytes: float
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
-        _check_tag(self.tag)
+        _check_size(self, self.size_bytes)
+        _check_tag(self, self.tag)
 
 
 @dataclass(frozen=True)
@@ -129,7 +163,7 @@ class Recv:
     tag: int
 
     def __post_init__(self) -> None:
-        _check_tag(self.tag)
+        _check_tag(self, self.tag)
 
 
 @dataclass(frozen=True)
@@ -141,8 +175,8 @@ class Isend:
     size_bytes: float
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
-        _check_tag(self.tag)
+        _check_size(self, self.size_bytes)
+        _check_tag(self, self.tag)
 
 
 @dataclass(frozen=True)
@@ -153,7 +187,7 @@ class Irecv:
     tag: int
 
     def __post_init__(self) -> None:
-        _check_tag(self.tag)
+        _check_tag(self, self.tag)
 
 
 @dataclass(frozen=True)
@@ -177,9 +211,9 @@ class Sendrecv:
     recv_tag: int
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
-        _check_tag(self.send_tag)
-        _check_tag(self.recv_tag)
+        _check_size(self, self.size_bytes)
+        _check_tag(self, self.send_tag, "send_tag")
+        _check_tag(self, self.recv_tag, "recv_tag")
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +225,7 @@ class _Collective:
     comm: str = "world"
 
     def __post_init__(self) -> None:
-        _check_size(self.size_bytes)
+        _check_size(self, self.size_bytes)
 
 
 @dataclass(frozen=True)
@@ -263,3 +297,41 @@ COLLECTIVE_OPS = (Barrier, Bcast, Reduce, Allreduce, Allgather, Alltoall,
 
 #: Non-blocking collectives (yield a request; complete via WaitAll).
 NONBLOCKING_COLLECTIVE_OPS = (IAllreduce, IBarrier)
+
+#: Point-to-point operations.
+P2P_OPS = (Send, Recv, Isend, Irecv, Sendrecv)
+
+#: Operations that carry no MPI semantics (local to the rank).
+LOCAL_OPS = (Compute, Sleep, FileRead, FileWrite)
+
+#: Every op class a rank program may yield.
+ALL_OPS = LOCAL_OPS + P2P_OPS + (WaitAll,) + COLLECTIVE_OPS \
+    + NONBLOCKING_COLLECTIVE_OPS
+
+
+# ----------------------------------------------------------------------
+# introspection hooks (used by the static analyzer and error reporting)
+# ----------------------------------------------------------------------
+def is_collective(op) -> bool:
+    """True for any collective, blocking or not."""
+    return isinstance(op, (COLLECTIVE_OPS, NONBLOCKING_COLLECTIVE_OPS))
+
+
+def is_p2p(op) -> bool:
+    """True for point-to-point operations (including ``Sendrecv``)."""
+    return isinstance(op, P2P_OPS)
+
+
+def yields_request(op) -> bool:
+    """True when the executor sends a request handle back for this op."""
+    return isinstance(op, (Isend, Irecv) + NONBLOCKING_COLLECTIVE_OPS)
+
+
+def is_known_op(op) -> bool:
+    """True when the executor would accept this yielded value."""
+    return isinstance(op, ALL_OPS)
+
+
+def collective_root(op) -> int | None:
+    """The rooted collective's root rank, or None for unrooted ones."""
+    return getattr(op, "root", None)

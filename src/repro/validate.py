@@ -39,6 +39,18 @@ class ValidationIssue:
     def __str__(self) -> str:  # pragma: no cover - formatting
         return f"[{self.check}] {self.detail}"
 
+    def to_diagnostic(self):
+        """This issue in the static analyzer's Diagnostic vocabulary,
+        under the ``model-`` check-id namespace."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            check=f"model-{self.check}", severity="error",
+            message=self.detail,
+            hint="the executable model disagrees with the published "
+                 "figures it reproduces; re-check the last model edit",
+        )
+
 
 # ----------------------------------------------------------------------
 # closed-form FLOP counts per miniapp (as-is dataset, whole job)
@@ -160,3 +172,15 @@ def validate_all() -> list[ValidationIssue]:
     issues += check_work_accounting()
     issues += check_decomposition_conservation()
     return issues
+
+
+def validate_diagnostics():
+    """:func:`validate_all`, reported as a
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` — the same
+    vocabulary `repro lint` renders, so model-consistency findings and
+    communication-structure findings read identically."""
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    report = DiagnosticReport("model consistency")
+    report.extend(issue.to_diagnostic() for issue in validate_all())
+    return report

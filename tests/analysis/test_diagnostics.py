@@ -1,0 +1,77 @@
+"""Tests for the Diagnostic/DiagnosticReport vocabulary."""
+
+import pytest
+
+from repro.analysis import Diagnostic, DiagnosticReport
+from repro.errors import ConfigurationError
+
+
+def diag(**kw):
+    base = dict(check="p2p-unmatched-recv", severity="error",
+                message="rank 1 receives from rank 0, no matching send")
+    base.update(kw)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_severity_validated(self):
+        with pytest.raises(ConfigurationError):
+            diag(severity="fatal")
+
+    def test_check_id_required(self):
+        with pytest.raises(ConfigurationError):
+            diag(check="")
+
+    def test_location_parts(self):
+        assert diag().location() == ""
+        assert diag(rank=3).location() == "rank 3"
+        assert diag(rank=3, op_index=42).location() == "rank 3, op #42"
+
+    def test_render_carries_all_context(self):
+        text = diag(rank=2, op_index=7, op="Recv(src=0, tag=1)",
+                    hint="drop the receive").render()
+        assert "ERROR" in text
+        assert "[p2p-unmatched-recv]" in text
+        assert "rank 2, op #7" in text
+        assert "Recv(src=0, tag=1)" in text
+        assert "drop the receive" in text
+
+    def test_dict_round_trip(self):
+        d = diag(rank=5, op_index=1, op="Send(dst=0)", hint="h")
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+    def test_dict_round_trip_minimal(self):
+        d = diag()
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+
+class TestDiagnosticReport:
+    def test_empty_is_ok(self):
+        report = DiagnosticReport("x")
+        assert report.ok
+        assert "clean" in report.summary()
+
+    def test_partition_by_severity(self):
+        report = DiagnosticReport("x")
+        report.add(diag())
+        report.add(diag(check="request-unwaited", severity="warning"))
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+        assert "1 error(s), 1 warning(s)" in report.summary()
+
+    def test_by_check(self):
+        report = DiagnosticReport("x", [diag(), diag(check="deadlock")])
+        assert len(report.by_check("deadlock")) == 1
+
+    def test_render_lists_every_finding(self):
+        report = DiagnosticReport("subj", [diag(rank=0), diag(rank=1)])
+        text = report.render()
+        assert text.startswith("subj:")
+        assert text.count("[p2p-unmatched-recv]") == 2
+
+    def test_dict_round_trip(self):
+        report = DiagnosticReport("subj", [diag(rank=0, hint="h")])
+        again = DiagnosticReport.from_dict(report.to_dict())
+        assert again.subject == "subj"
+        assert again.diagnostics == report.diagnostics

@@ -1,0 +1,24 @@
+"""Acceptance: the analyzer reports zero diagnostics for every shipped
+miniapp skeleton, across the placement-grid corners and the paper's
+sweet spot.  A false positive here means the analyzer's model of the
+matching rules has drifted from the runtime's."""
+
+import pytest
+
+from repro.analysis import analyze_job
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.runtime.placement import JobPlacement
+
+PLACEMENTS = [(1, 48), (4, 12), (48, 1)]
+
+
+@pytest.mark.parametrize("app_name", sorted(SUITE))
+@pytest.mark.parametrize("n_ranks,n_threads", PLACEMENTS)
+def test_shipped_skeleton_lints_clean(app_name, n_ranks, n_threads):
+    cluster = catalog.a64fx()
+    app = by_name(app_name)
+    job = app.build_job(cluster, JobPlacement(cluster, n_ranks, n_threads),
+                        "as-is")
+    report = analyze_job(job)
+    assert report.ok, report.render()

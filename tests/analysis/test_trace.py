@@ -1,0 +1,85 @@
+"""Tests for symbolic rank-program replay."""
+
+from repro.analysis.trace import TracedRequest, trace_program, trace_rank
+from repro.runtime.program import Compute, Irecv, Isend, Recv, Send, WaitAll
+
+
+class TestReplay:
+    def test_records_ops_in_order(self):
+        def program(rank, size):
+            yield Compute(kernel="k", iters=10)
+            yield Send(dst=(rank + 1) % size, tag=0, size_bytes=8)
+
+        traces = trace_program(program, 2)
+        assert sorted(traces) == [0, 1]
+        for rank, trace in traces.items():
+            assert trace.failure is None and not trace.truncated
+            assert [type(r.op).__name__ for r in trace.ops] == \
+                ["Compute", "Send"]
+            assert [r.index for r in trace.ops] == [0, 1]
+            assert all(r.rank == rank for r in trace.ops)
+
+    def test_requests_round_trip(self):
+        """``r = yield Irecv(...)`` must receive a token the analyzer can
+        later recognize inside WaitAll — same shape as the executor."""
+        def program(rank, size):
+            r = yield Irecv(src=(rank + 1) % size, tag=0)
+            yield Isend(dst=(rank + 1) % size, tag=0, size_bytes=8)
+            yield WaitAll([r])
+
+        trace = trace_rank(program, 0, 2)
+        assert isinstance(trace.ops[0].request, TracedRequest)
+        assert trace.ops[1].request is not None     # Isend yields one too
+        waited = list(trace.ops[2].op.requests)
+        assert waited == [trace.ops[0].request]
+        assert "Irecv" in trace.ops[0].request.describe()
+
+    def test_blocking_ops_get_no_request(self):
+        def program(rank, size):
+            yield Send(dst=1, tag=0, size_bytes=8) if rank == 0 else \
+                Recv(src=0, tag=0)
+
+        trace = trace_rank(program, 0, 2)
+        assert trace.ops[0].request is None
+
+
+class TestFailures:
+    def test_config_error_becomes_diagnostic(self):
+        def program(rank, size):
+            yield Compute(kernel="k", iters=10)
+            yield Send(dst=1, tag=-5, size_bytes=8)     # invalid tag
+
+        trace = trace_rank(program, 0, 2)
+        assert trace.failure is not None
+        assert trace.failure.check == "program-config"
+        assert trace.failure.op_index == 1      # one op traced before
+        assert len(trace.ops) == 1
+
+    def test_python_crash_becomes_diagnostic(self):
+        def program(rank, size):
+            yield Compute(kernel="k", iters=10)
+            raise IndexError("neighbour table overrun")
+
+        trace = trace_rank(program, 0, 2)
+        assert trace.failure.check == "program-crash"
+        assert "IndexError" in trace.failure.message
+
+    def test_one_broken_rank_does_not_hide_others(self):
+        def program(rank, size):
+            if rank == 1:
+                raise RuntimeError("boom")
+            yield Compute(kernel="k", iters=10)
+
+        traces = trace_program(program, 3)
+        assert traces[1].failure is not None
+        assert traces[0].failure is None and traces[2].failure is None
+        assert len(traces[0].ops) == 1
+
+    def test_op_budget_truncates(self):
+        def program(rank, size):
+            while True:
+                yield Compute(kernel="k", iters=1)
+
+        trace = trace_rank(program, 0, 1, max_ops=25)
+        assert trace.truncated
+        assert len(trace.ops) == 25

@@ -14,7 +14,7 @@ from repro.core.cache import ResultCache
 from repro.core.experiment import ExperimentConfig
 from repro.core.parallel import SweepError, default_workers, run_configs
 from repro.core.runner import Row, run_sweep
-from repro.errors import PlacementError
+from repro.errors import LintError
 from repro.runtime.affinity import ThreadBinding
 
 
@@ -102,7 +102,9 @@ class TestParallelIdentity:
 
 class TestErrorCapture:
     def test_raise_is_default(self):
-        with pytest.raises(PlacementError):
+        # the pre-flight lint catches the infeasible placement before
+        # any simulation time is spent
+        with pytest.raises(LintError):
             run_sweep("boom", [BAD_CONFIG])
 
     def test_capture_keeps_surviving_rows_serial(self):
@@ -114,8 +116,8 @@ class TestErrorCapture:
         err = sweep.errors[0]
         assert isinstance(err, SweepError)
         assert err.config == BAD_CONFIG
-        assert err.error == "PlacementError"
-        assert "PlacementError" in str(err)
+        assert err.error == "LintError"
+        assert "placement-infeasible" in str(err)
 
     def test_capture_keeps_surviving_rows_parallel(self):
         good = mixed_configs()[:3]
@@ -125,7 +127,7 @@ class TestErrorCapture:
         assert len(sweep.errors) == 1
 
     def test_parallel_raise_propagates(self):
-        with pytest.raises(PlacementError):
+        with pytest.raises(LintError):
             run_sweep("boom", mixed_configs()[:2] + [BAD_CONFIG], workers=4)
 
     def test_bad_errors_mode_rejected(self):
@@ -138,7 +140,7 @@ class TestRunConfigs:
         cfg = mixed_configs()[0]
         outcomes = run_configs([cfg, BAD_CONFIG, cfg])
         assert isinstance(outcomes[0], Row)
-        assert isinstance(outcomes[1], PlacementError)
+        assert isinstance(outcomes[1], LintError)
         assert outcomes[2] is outcomes[0]  # dedup shares the row
 
     def test_cache_hits_skip_dispatch(self):

@@ -104,6 +104,67 @@ class TestPointToPoint:
         res = run_job(make_job(program, n_ranks=3))
         assert res.messages_sent == 2
 
+    def test_specific_recv_posted_before_wildcard(self):
+        """Specific-then-wildcard posting is deterministic regardless of
+        send arrival order: the src=2 message can only land in the
+        specific receive, the other one in the wildcard."""
+        def program(rank, size):
+            if rank == 0:
+                r1 = yield Irecv(src=2, tag=0)
+                r2 = yield Irecv(src=ANY_SOURCE, tag=0)
+                yield WaitAll([r1, r2])
+            else:
+                yield Send(dst=0, tag=0, size_bytes=64)
+
+        res = run_job(make_job(program, n_ranks=3))
+        assert res.messages_sent == 2
+
+    def test_any_source_respects_tags(self):
+        """ANY_SOURCE is wild in the source only — a wildcard receive on
+        tag 1 must not absorb the tag-2 message."""
+        def program(rank, size):
+            if rank == 0:
+                r1 = yield Irecv(src=ANY_SOURCE, tag=1)
+                r2 = yield Irecv(src=ANY_SOURCE, tag=2)
+                yield WaitAll([r1, r2])
+            elif rank == 1:
+                yield Send(dst=0, tag=2, size_bytes=64)
+            else:
+                yield Send(dst=0, tag=1, size_bytes=64)
+
+        res = run_job(make_job(program, n_ranks=3))
+        assert res.messages_sent == 2
+
+    def test_any_source_fifo_order_per_sender(self):
+        """Two sends from the same rank on one tag match two wildcard
+        receives in posting order (per-channel FIFO)."""
+        def program(rank, size):
+            if rank == 0:
+                yield Recv(src=ANY_SOURCE, tag=5)
+                yield Recv(src=ANY_SOURCE, tag=5)
+            else:
+                yield Send(dst=0, tag=5, size_bytes=128)
+                yield Send(dst=0, tag=5, size_bytes=128)
+
+        res = run_job(make_job(program))
+        assert res.messages_sent == 2
+        assert res.bytes_sent == 256
+
+    def test_mixed_wildcard_and_specific_tags(self):
+        """Rendezvous-sized sends with a wildcard on one tag and a
+        specific receive on another: both pairs complete."""
+        def program(rank, size):
+            if rank == 0:
+                r1 = yield Irecv(src=ANY_SOURCE, tag=1)
+                r2 = yield Irecv(src=1, tag=2)
+                yield WaitAll([r1, r2])
+            else:
+                yield Send(dst=0, tag=2, size_bytes=1 << 20)
+                yield Send(dst=0, tag=1, size_bytes=1 << 20)
+
+        res = run_job(make_job(program))
+        assert res.messages_sent == 2
+
     def test_sendrecv_ring_does_not_deadlock(self):
         def program(rank, size):
             right = (rank + 1) % size

@@ -1,0 +1,78 @@
+"""Tests for op-construction error messages: every ConfigurationError
+must name the op type, the offending field, and its value — and the
+executor must prepend the failing rank."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.program import (
+    Allreduce,
+    Compute,
+    Irecv,
+    Send,
+    Sendrecv,
+    describe_op,
+)
+
+
+def raises_with(parts, fn):
+    with pytest.raises(ConfigurationError) as err:
+        fn()
+    for part in parts:
+        assert part in str(err.value), \
+            f"{part!r} not in {str(err.value)!r}"
+
+
+class TestMessages:
+    def test_negative_size_names_field_and_value(self):
+        raises_with(["Send", "size_bytes=-4", "non-negative", "dst=1"],
+                    lambda: Send(dst=1, tag=0, size_bytes=-4))
+
+    def test_nan_size_rejected_as_non_finite(self):
+        raises_with(["Allreduce", "size_bytes", "finite"],
+                    lambda: Allreduce(size_bytes=float("nan")))
+
+    def test_negative_tag_names_op(self):
+        raises_with(["Irecv", "tag=-1"],
+                    lambda: Irecv(src=0, tag=-1))
+
+    def test_sendrecv_distinguishes_tag_fields(self):
+        raises_with(["Sendrecv", "recv_tag=-2"],
+                    lambda: Sendrecv(dst=1, src=2, size_bytes=8,
+                                     send_tag=0, recv_tag=-2))
+
+    def test_compute_schedule_lists_choices(self):
+        raises_with(["Compute", "schedule='monte-carlo'", "static"],
+                    lambda: Compute(kernel="k", iters=1,
+                                    schedule="monte-carlo"))
+
+    def test_describe_op_renders_fields(self):
+        text = describe_op(Send(dst=3, tag=7, size_bytes=64))
+        assert text.startswith("Send(")
+        assert "dst=3" in text and "tag=7" in text
+
+    def test_describe_op_survives_non_ops(self):
+        assert describe_op(42) == "42"
+
+
+class TestExecutorRankContext:
+    def test_rank_prefixed_on_mid_program_failure(self):
+        from repro.compile import PRESETS
+        from repro.kernels import presets
+        from repro.machine import catalog
+        from repro.runtime import Job, JobPlacement, run_job
+        from repro.runtime.program import Sleep
+
+        def program(rank, size):
+            yield Sleep(1e-6)
+            if rank == 1:
+                yield Send(dst=0, tag=-9, size_bytes=8)
+
+        cluster = catalog.a64fx()
+        job = Job(cluster=cluster, placement=JobPlacement(cluster, 2, 1),
+                  kernels={"triad": presets.stream_triad()},
+                  program=program, options=PRESETS["kfast"])
+        with pytest.raises(ConfigurationError) as err:
+            run_job(job)
+        assert "rank 1" in str(err.value)
+        assert "tag=-9" in str(err.value)

@@ -72,3 +72,42 @@ class TestCommands:
                      "--threads", "4"]) == 0
         out = capsys.readouterr().out
         assert "eco" in out and "GF/W" in out
+
+
+class TestLintCommand:
+    def test_lint_single_placement_clean(self, capsys):
+        rc = main(["lint", "ffvc", "--ranks", "4", "--threads", "12",
+                   "--no-cache"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_grid_covers_corners(self, capsys):
+        rc = main(["lint", "mvmc", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1x48" in out and "4x12" in out and "48x1" in out
+
+    def test_lint_reports_infeasible_placement(self, capsys):
+        rc = main(["lint", "ffvc", "--ranks", "48", "--threads", "12",
+                   "--no-cache"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "placement-infeasible" in captured.out
+        assert "error" in captured.err
+
+    def test_lint_uses_cache_dir(self, tmp_path, capsys):
+        rc = main(["lint", "mvmc", "--ranks", "4", "--threads", "12",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "lint.jsonl").exists()
+
+    def test_no_lint_flag_disables_preflight(self):
+        from repro.analysis import preflight_enabled, set_preflight
+
+        try:
+            assert main(["run", "--app", "mvmc", "--ranks", "2",
+                         "--threads", "2", "--no-cache",
+                         "--no-lint"]) == 0
+            assert not preflight_enabled()
+        finally:
+            set_preflight(True)

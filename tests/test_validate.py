@@ -39,6 +39,17 @@ class TestChecksDetectBreakage:
         issue = validate.ValidationIssue("check", "something broke")
         assert "check" in str(issue) and "something broke" in str(issue)
 
+    def test_issue_to_diagnostic(self):
+        diag = validate.ValidationIssue("catalog", "drift").to_diagnostic()
+        assert diag.check == "model-catalog"
+        assert diag.severity == "error"
+        assert diag.message == "drift"
+
+    def test_validate_diagnostics_clean(self):
+        report = validate.validate_diagnostics()
+        assert report.ok, report.render()
+        assert report.subject == "model consistency"
+
 
 class TestCliIntegration:
     def test_cli_validate_passes(self, capsys):
