@@ -5,10 +5,15 @@ Runs the F1 MPI x OpenMP grid for one app
 
 * serially with a cold persistent cache,
 * serially again against the now-warm cache,
-* in parallel (fresh cache) with a process pool,
+* in parallel (fresh cache) with a process pool — skipped (reported as
+  ``null``) on single-CPU machines, where a pool can only add overhead,
 
-and writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as
-an artifact, so every PR leaves a comparable perf datapoint.
+plus a profiling-overhead leg: the same job simulated with the PMU sink
+off (the default) and on, so ``BENCH_sweep.json`` records what turning
+:mod:`repro.perf` on costs — and that leaving it off costs nothing.
+
+Writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as an
+artifact, so every PR leaves a comparable perf datapoint.
 
 Usage::
 
@@ -31,6 +36,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 OUTPUT = REPO_ROOT / "BENCH_sweep.json"
 
+#: Repetitions of the profiling-overhead job (keeps timer noise down
+#: while staying a small fraction of the sweep legs).
+_PROFILE_REPS = 3
+
 
 def _timed(fn) -> tuple[float, object]:
     t0 = time.perf_counter()
@@ -38,12 +47,31 @@ def _timed(fn) -> tuple[float, object]:
     return time.perf_counter() - t0, out
 
 
+def _profiling_overhead(app_name: str) -> tuple[float, float]:
+    """(seconds with PMU off, seconds with PMU on) for one 4x12 job."""
+    from repro.machine import catalog
+    from repro.miniapps import by_name
+    from repro.perf import profile_job
+    from repro.runtime.executor import run_job
+    from repro.runtime.placement import JobPlacement
+
+    cluster = catalog.a64fx()
+    app = by_name(app_name)
+    placement = JobPlacement(cluster, 4, 12)
+    job = app.build_job(cluster, placement, "as-is")
+
+    run_job(job)  # warm compile/import paths outside the timed region
+    t_off, _ = _timed(lambda: [run_job(job) for _ in range(_PROFILE_REPS)])
+    t_on, _ = _timed(lambda: [profile_job(job) for _ in range(_PROFILE_REPS)])
+    return t_off / _PROFILE_REPS, t_on / _PROFILE_REPS
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--app", default="ffvc")
     parser.add_argument("--jobs", type=int, default=None,
                         help="workers for the parallel leg "
-                             "(default: cpu count, capped at 4)")
+                             "(default: os.cpu_count())")
     parser.add_argument("-o", "--output", default=str(OUTPUT))
     args = parser.parse_args(argv)
 
@@ -52,8 +80,8 @@ def main(argv=None) -> int:
     from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
     from repro.core.runner import run_sweep
 
-    workers = args.jobs if args.jobs is not None \
-        else min(4, os.cpu_count() or 1)
+    cpu_count = os.cpu_count() or 1
+    workers = args.jobs if args.jobs is not None else cpu_count
     configs = [
         ExperimentConfig(app=args.app, n_ranks=nr, n_threads=nt)
         for nr, nt in MPI_OMP_CONFIGS
@@ -66,14 +94,21 @@ def main(argv=None) -> int:
         # a fresh ResultCache instance forces the disk round-trip
         t_warm, sweep_warm = _timed(
             lambda: run_sweep("f1", configs, ResultCache(cold_dir)))
-        par_dir = Path(tmp) / "par"
-        t_par, sweep_par = _timed(
-            lambda: run_sweep("f1", configs, ResultCache(par_dir),
-                              workers=workers))
+        # a pool on a single CPU only measures pickling overhead, not
+        # parallelism: report null rather than a meaningless ratio
+        t_par = None
+        if workers > 1:
+            par_dir = Path(tmp) / "par"
+            t_par, sweep_par = _timed(
+                lambda: run_sweep("f1", configs, ResultCache(par_dir),
+                                  workers=workers))
 
     rows = [(r.config.label(), r.elapsed) for r in sweep_cold.rows]
     assert rows == [(r.config.label(), r.elapsed) for r in sweep_warm.rows]
-    assert rows == [(r.config.label(), r.elapsed) for r in sweep_par.rows]
+    if t_par is not None:
+        assert rows == [(r.config.label(), r.elapsed) for r in sweep_par.rows]
+
+    prof_off, prof_on = _profiling_overhead(args.app)
 
     payload = {
         "benchmark": "f1-sweep-timing",
@@ -81,13 +116,17 @@ def main(argv=None) -> int:
         "configs": len(configs),
         "repro_version": repro.__version__,
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "workers": workers,
         "serial_cold_s": round(t_cold, 4),
         "serial_warm_cache_s": round(t_warm, 4),
-        "parallel_s": round(t_par, 4),
+        "parallel_s": None if t_par is None else round(t_par, 4),
         "warm_speedup_x": round(t_cold / max(t_warm, 1e-9), 1),
-        "parallel_speedup_x": round(t_cold / max(t_par, 1e-9), 2),
+        "parallel_speedup_x":
+            None if t_par is None else round(t_cold / max(t_par, 1e-9), 2),
+        "profiling_off_s": round(prof_off, 4),
+        "profiling_on_s": round(prof_on, 4),
+        "profiling_overhead_x": round(prof_on / max(prof_off, 1e-9), 2),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

@@ -4,10 +4,16 @@ Commands mirror what a user of the original study's scripts would run:
 
 * ``list-apps`` / ``list-processors`` — inventory;
 * ``run`` — simulate one configuration and print the report;
+* ``profile`` — simulate with the PMU on and print the fapp-style report;
 * ``sweep`` — the MPI x OpenMP grid for one app;
 * ``figure`` — regenerate one paper artifact (t1..t2, f1..f10, a1..a5);
 * ``roofline`` — per-kernel roofline placement for one app;
 * ``energy`` — the power-mode study for one app.
+
+``run`` and ``profile`` accept the same app/placement flags (one shared
+wiring, :func:`_add_app_flags` / :func:`_add_placement_flags`), with
+forgiving spellings: ``--app ccs_qcd`` and ``--processor a64fx`` resolve
+to ``ccs-qcd`` / ``A64FX``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,61 @@ from typing import Sequence
 from repro.machine import catalog
 from repro.miniapps import SUITE, by_name
 from repro.units import fmt_bw, fmt_rate, fmt_time
+
+
+def _app_name(value: str) -> str:
+    """Normalize an ``--app`` spelling: suite keys use hyphens."""
+    return value.strip().lower().replace("_", "-")
+
+
+def _processor_name(value: str) -> str:
+    """Normalize a ``--processor`` spelling to the catalog's exact case."""
+    lookup = {name.lower(): name for name in catalog.PROCESSORS}
+    return lookup.get(value.strip().lower(), value)
+
+
+def _add_app_flags(parser: argparse.ArgumentParser) -> None:
+    """``--app`` / ``--dataset`` / ``--processor`` — what to simulate."""
+    parser.add_argument("--app", required=True, type=_app_name,
+                        choices=sorted(SUITE))
+    parser.add_argument("--dataset", default="as-is")
+    parser.add_argument("--processor", default="A64FX", type=_processor_name,
+                        choices=sorted(catalog.PROCESSORS))
+
+
+def _add_placement_flags(parser: argparse.ArgumentParser) -> None:
+    """Placement/machine flags shared by ``run`` and ``profile``."""
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=12)
+    parser.add_argument("--stride", type=int, default=1,
+                        help="thread-binding stride (1 = compact)")
+    parser.add_argument("--allocation", default="block",
+                        choices=["block", "cyclic", "domain-pack", "spread"])
+    parser.add_argument("--options", default="kfast",
+                        choices=["as-is", "+simd", "+simd+sched", "tuned",
+                                 "kfast"])
+    parser.add_argument("--data-policy", default="first-touch",
+                        choices=["first-touch", "serial-init"])
+
+
+def _resolve_placement(args):
+    """(cluster, app, placement, binding, allocation) from the shared
+    flags — the one interpretation ``run`` and ``profile`` both use."""
+    from repro.runtime.affinity import ProcessAllocation, ThreadBinding
+    from repro.runtime.placement import JobPlacement
+
+    cluster = catalog.by_name(args.processor, n_nodes=args.nodes)
+    app = by_name(args.app)
+    binding = (ThreadBinding("compact") if args.stride == 1
+               else ThreadBinding("stride", stride=args.stride))
+    allocation = ProcessAllocation(args.allocation)
+    placement = JobPlacement(
+        cluster, args.ranks, args.threads,
+        allocation=allocation,
+        binding=binding,
+    )
+    return cluster, app, placement, binding, allocation
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser,
@@ -67,19 +128,8 @@ def _cmd_list_processors(_args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.compile.options import PRESETS
-    from repro.runtime.affinity import ProcessAllocation, ThreadBinding
-    from repro.runtime.placement import JobPlacement
 
-    cluster = catalog.by_name(args.processor, n_nodes=args.nodes)
-    app = by_name(args.app)
-    binding = (ThreadBinding("compact") if args.stride == 1
-               else ThreadBinding("stride", stride=args.stride))
-    allocation = ProcessAllocation(args.allocation)
-    placement = JobPlacement(
-        cluster, args.ranks, args.threads,
-        allocation=allocation,
-        binding=binding,
-    )
+    cluster, app, placement, binding, allocation = _resolve_placement(args)
     print(f"{app.name}/{args.dataset} on {cluster.name}: "
           f"{placement.describe()}")
     if args.breakdown:
@@ -117,6 +167,41 @@ def _cmd_run(args) -> int:
     if args.breakdown:
         for cat, t in sorted(result.breakdown().items()):
             print(f"    {cat:<12} {fmt_time(t)}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.compile.options import PRESETS
+    from repro.perf import (
+        cycle_accounting_table,
+        profile_job,
+        region_table,
+        roofline_crosscheck_table,
+    )
+
+    cluster, app, placement, _, _ = _resolve_placement(args)
+    job = app.build_job(cluster, placement, dataset=args.dataset,
+                        options=PRESETS[args.options],
+                        data_policy=args.data_policy)
+    result, profile = profile_job(job)
+    print(region_table(profile, top=args.top).render())
+    print()
+    print(cycle_accounting_table(profile).render())
+    print()
+    print(roofline_crosscheck_table(
+        profile, cluster, app, dataset=args.dataset,
+        options=PRESETS[args.options]).render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(profile.to_json(), fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.trace:
+        from repro.runtime.timeline import write_chrome_trace
+
+        write_chrome_trace(result, args.trace, profile)
+        print(f"wrote {args.trace}")
     return 0
 
 
@@ -252,12 +337,17 @@ def _cmd_lint(args) -> int:
     return 0
 
 
-def _cmd_validate(_args) -> int:
-    from repro.validate import validate_diagnostics
+def _cmd_validate(args) -> int:
+    if getattr(args, "counters", False):
+        from repro.perf import validate_counters
 
-    report = validate_diagnostics()
+        report = validate_counters()
+    else:
+        from repro.validate import validate_diagnostics
+
+        report = validate_diagnostics()
     if report.ok:
-        print("all consistency checks passed")
+        print(f"{report.subject}: all consistency checks passed")
         return 0
     print(report.render(), file=sys.stderr)
     return 1
@@ -292,32 +382,29 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(func=_cmd_list_processors)
 
     run = sub.add_parser("run", help="simulate one configuration")
-    run.add_argument("--app", required=True, choices=sorted(SUITE))
-    run.add_argument("--dataset", default="as-is")
-    run.add_argument("--processor", default="A64FX",
-                     choices=sorted(catalog.PROCESSORS))
-    run.add_argument("--nodes", type=int, default=1)
-    run.add_argument("--ranks", type=int, default=4)
-    run.add_argument("--threads", type=int, default=12)
-    run.add_argument("--stride", type=int, default=1,
-                     help="thread-binding stride (1 = compact)")
-    run.add_argument("--allocation", default="block",
-                     choices=["block", "cyclic", "domain-pack", "spread"])
-    run.add_argument("--options", default="kfast",
-                     choices=["as-is", "+simd", "+simd+sched", "tuned",
-                              "kfast"])
-    run.add_argument("--data-policy", default="first-touch",
-                     choices=["first-touch", "serial-init"])
+    _add_app_flags(run)
+    _add_placement_flags(run)
     run.add_argument("--breakdown", action="store_true",
                      help="print the per-phase time breakdown")
     _add_exec_flags(run, jobs=False)
     run.set_defaults(func=_cmd_run)
 
+    prof = sub.add_parser(
+        "profile",
+        help="simulate one configuration with the PMU on and print the "
+             "fapp-style region / cycle-accounting / roofline report")
+    _add_app_flags(prof)
+    _add_placement_flags(prof)
+    prof.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N hottest regions")
+    prof.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the profile as JSON")
+    prof.add_argument("--trace", default=None, metavar="FILE",
+                      help="also write a Chrome trace with counter tracks")
+    prof.set_defaults(func=_cmd_profile)
+
     sweep = sub.add_parser("sweep", help="MPI x OpenMP grid for one app")
-    sweep.add_argument("--app", required=True, choices=sorted(SUITE))
-    sweep.add_argument("--dataset", default="as-is")
-    sweep.add_argument("--processor", default="A64FX",
-                       choices=sorted(catalog.PROCESSORS))
+    _add_app_flags(sweep)
     _add_exec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -328,14 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.set_defaults(func=_cmd_figure)
 
     roof = sub.add_parser("roofline", help="roofline placement for one app")
-    roof.add_argument("--app", required=True, choices=sorted(SUITE))
-    roof.add_argument("--dataset", default="as-is")
-    roof.add_argument("--processor", default="A64FX",
-                      choices=sorted(catalog.PROCESSORS))
+    _add_app_flags(roof)
     roof.set_defaults(func=_cmd_roofline)
 
     energy = sub.add_parser("energy", help="power-mode study for one app")
-    energy.add_argument("--app", required=True, choices=sorted(SUITE))
+    energy.add_argument("--app", required=True, type=_app_name,
+                        choices=sorted(SUITE))
     energy.add_argument("--dataset", default="as-is")
     energy.add_argument("--ranks", type=int, default=4)
     energy.add_argument("--threads", type=int, default=12)
@@ -344,10 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="static pre-flight analysis of rank programs and placements")
-    lint.add_argument("app", nargs="?", choices=sorted(SUITE),
+    lint.add_argument("app", nargs="?", type=_app_name,
+                      choices=sorted(SUITE),
                       help="miniapp to lint (default: whole suite)")
     lint.add_argument("--dataset", default="as-is")
-    lint.add_argument("--processor", default="A64FX",
+    lint.add_argument("--processor", default="A64FX", type=_processor_name,
                       choices=sorted(catalog.PROCESSORS))
     lint.add_argument("--nodes", type=int, default=1)
     lint.add_argument("--ranks", type=int, default=None,
@@ -361,10 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-analyze even if a cached verdict exists")
     lint.set_defaults(func=_cmd_lint)
 
-    sub.add_parser(
+    validate = sub.add_parser(
         "validate",
-        help="run the model's internal consistency checks",
-    ).set_defaults(func=_cmd_validate)
+        help="run the model's internal consistency checks")
+    validate.add_argument(
+        "--counters", action="store_true",
+        help="cross-validate the simulated PMU against the analytic "
+             "roofline and the executor's work totals (repro.perf)")
+    validate.set_defaults(func=_cmd_validate)
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into one Markdown file")

@@ -23,7 +23,15 @@ _FAST_ARTIFACTS = [
     ("F6", "Roofline placement", lambda cache, workers: figures.f6_roofline()),
     ("F7", "STREAM bandwidth scaling",
      lambda cache, workers: figures.f7_stream_scaling()),
+    ("P1", "Simulated PMU profile (ccs-qcd, 4x12)",
+     lambda cache, workers: _profile_artifact()),
 ]
+
+
+def _profile_artifact():
+    from repro.perf import profile_summary_table
+
+    return profile_summary_table()
 
 _SWEEP_ARTIFACTS = [
     ("F1", "MPI x OpenMP sweep",
@@ -91,8 +99,8 @@ def generate_report(
         artifacts += _SWEEP_ARTIFACTS
     if include_ablations:
         artifacts += _ABLATION_ARTIFACTS
-    # natural ordering: T1, T2, F1..F10, A1..A6 (not lexicographic)
-    _letter_rank = {"T": 0, "F": 1, "A": 2}
+    # natural ordering: T1, T2, F1..F10, A1..A6, P1 (not lexicographic)
+    _letter_rank = {"T": 0, "F": 1, "A": 2, "P": 3}
     artifacts.sort(key=lambda a: (_letter_rank[a[0][0]], int(a[0][1:])))
 
     for artifact_id, title, builder in artifacts:

@@ -34,13 +34,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
 
 @dataclass(frozen=True)
 class PhaseTiming:
-    """Result of timing one compute phase on one core."""
+    """Result of timing one compute phase on one core.
+
+    ``l1_bytes`` / ``l2_bytes`` are the total bytes the L1D and L2 carried
+    for the phase and ``iters`` its iteration count — recorded so the
+    simulated PMU (:mod:`repro.perf.events`) can derive cache-miss and
+    traffic counters from exactly the numbers the timing used, never from
+    a parallel re-computation that could silently drift.
+    """
 
     seconds: float
     bound: str                 # "compute" | "l1" | "l2" | "dram" | "latency"
     components: dict[str, float]
     flops: float               # total FLOPs executed in the phase
     dram_bytes: float          # total DRAM traffic of the phase
+    l1_bytes: float = 0.0      # total bytes moved through L1D
+    l2_bytes: float = 0.0      # total bytes the L2 carried (= L1D miss bytes)
+    iters: float = 0.0         # iteration count the phase was timed for
 
     @property
     def achieved_flops_per_s(self) -> float:
@@ -156,4 +166,7 @@ def phase_time(
         components=components,
         flops=k.flops * iters,
         dram_bytes=traffic.dram_bytes * iters,
+        l1_bytes=traffic.l1_bytes * iters,
+        l2_bytes=traffic.l2_bytes * iters,
+        iters=iters,
     )

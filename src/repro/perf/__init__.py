@@ -1,0 +1,64 @@
+"""Simulated performance-monitoring-unit (PMU) and profiling subsystem.
+
+The paper's analysis rests on *counter-based* evidence — Fujitsu PA/fapp
+reports of flops, SVE lane utilization, cache-miss traffic and per-CMG
+memory bytes — while the simulator natively emits only end-to-end times.
+This package closes that gap with a simulated PMU:
+
+* :mod:`repro.perf.events` — the counter model.  Per-kernel-execution
+  :class:`KernelCounters` (cycles by stall category, committed
+  instructions, SVE flops by precision, lane utilization, cache-miss
+  bytes, memory read/write bytes) are *derived* from the ECM timing
+  breakdown the simulator already computed, so counters and times can
+  never disagree silently.
+* :mod:`repro.perf.profile` — the collection layer.  A
+  :class:`ProfileSink` receives instrumentation callbacks from
+  :mod:`repro.runtime.executor` / :mod:`repro.runtime.mpi` and aggregates
+  them per (rank, region); :class:`NullSink` and the default ``None``
+  sink make profiling free when off.  :func:`profile_job` is the
+  one-liner entry point.
+* :mod:`repro.perf.accounting` — fapp-style reporting: per-region cycle
+  accounting whose categories sum to total cycles, counter-derived
+  roofline points, and the cross-validation pass that checks the counter
+  path against the analytic roofline (:mod:`repro.core.analysis`).
+"""
+
+from repro.perf.accounting import (
+    CYCLE_CATEGORIES,
+    CounterRooflinePoint,
+    counter_roofline,
+    cross_validate_counters,
+    cycle_accounting_table,
+    roofline_crosscheck_table,
+    validate_counters,
+)
+from repro.perf.events import STALL_CATEGORIES, KernelCounters, derive_counters
+from repro.perf.profile import (
+    NullSink,
+    Profile,
+    ProfileSink,
+    RegionProfile,
+    profile_job,
+    profile_summary_table,
+    region_table,
+)
+
+__all__ = [
+    "CYCLE_CATEGORIES",
+    "STALL_CATEGORIES",
+    "CounterRooflinePoint",
+    "KernelCounters",
+    "NullSink",
+    "Profile",
+    "ProfileSink",
+    "RegionProfile",
+    "counter_roofline",
+    "cross_validate_counters",
+    "cycle_accounting_table",
+    "derive_counters",
+    "profile_job",
+    "profile_summary_table",
+    "region_table",
+    "roofline_crosscheck_table",
+    "validate_counters",
+]

@@ -1,0 +1,292 @@
+"""The simulated PMU event model.
+
+One :class:`KernelCounters` record holds the counter deltas one kernel
+execution (one :class:`~repro.runtime.program.Compute` region on one
+rank) would increment on a hardware PMU — the same vocabulary a Fujitsu
+PA / fapp report prints for an A64FX:
+
+* **cycles by stall category** — compute (FP/integer pipes busy), L1D
+  busy, L2 busy, memory busy, dependence-chain (latency exposure), and
+  parallel overhead (fork/join, scheduling chunks);
+* **committed instructions** — vector FP, scalar FP, load/store, integer,
+  and loop-control estimates;
+* **SVE flops by precision** (fp64 / fp32) and **lane utilization**;
+* **cache traffic** — L1D miss bytes, L2 miss bytes;
+* **memory read/write bytes** per region (attributed to CMGs by the
+  profile layer).
+
+Every field is *derived* from the :class:`~repro.kernels.timing.PhaseTiming`
+the ECM model already produced for the region's critical thread, plus the
+compiled kernel's static properties.  That is the design invariant of the
+subsystem: counters are a re-expression of the timing model, not a second
+model, so counter-derived and time-derived metrics cannot silently
+disagree (the cross-validation in :mod:`repro.perf.accounting` checks the
+re-expression is faithful).
+
+Cycle-accounting identity
+-------------------------
+The ECM form ``T = max(T_comp, T_L1, T_L2, T_mem) + T_latency`` is
+attributed hierarchically: compute cycles are ``T_comp``; each level's
+stall is the *additional* time it needs beyond everything nearer the
+core (``stall_L1 = max(T_comp, T_L1) - T_comp`` and so on).  The
+telescoping sum reproduces the max exactly, so
+
+    compute + l1d + l2 + memory + dependence + overhead == total cycles
+
+holds to float precision for every region — the property the conservation
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.kernels.timing import PhaseTiming
+from repro.machine.core import CoreSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.compile.compiler import CompiledKernel
+
+#: Stall categories of the cycle accounting, in distance-from-core order.
+STALL_CATEGORIES = ("compute", "l1d", "l2", "memory", "dependence", "overhead")
+
+#: Loop-control instructions (index update + compare + branch fused)
+#: charged per iteration in the committed-instruction estimate.
+_LOOP_OVERHEAD_INSTRS = 2.0
+
+#: Fraction of byte-SIMD lanes that materialize for vectorized integer
+#: work — must match the figure :func:`repro.kernels.timing.phase_time`
+#: times with.
+_INT_LANE_EFFICIENCY = 0.4
+
+
+@dataclass(frozen=True, slots=True)
+class KernelCounters:
+    """Counter deltas of one kernel execution (or a sum of executions).
+
+    Cycle fields are *critical-thread* cycles (what a PMU on the region's
+    slowest thread reads — wall-clock-like, so they reconcile against
+    simulated time x frequency).  Work fields (instructions, flops,
+    bytes) are *region totals* over all threads.
+    """
+
+    # -- cycles, by stall category (critical thread) -------------------
+    cycles: float = 0.0
+    cycles_compute: float = 0.0
+    cycles_l1d: float = 0.0
+    cycles_l2: float = 0.0
+    cycles_memory: float = 0.0
+    cycles_dependence: float = 0.0
+    cycles_overhead: float = 0.0
+    # -- committed instructions (all threads) --------------------------
+    instructions: float = 0.0
+    sve_ops: float = 0.0             # vector FP instructions
+    sve_active_lanes: float = 0.0    # sum of active lanes over sve_ops
+    sve_lane_slots: float = 0.0      # sum of native lanes over sve_ops
+    # -- floating-point work by precision (all threads) ----------------
+    fp64_flops: float = 0.0
+    fp32_flops: float = 0.0
+    # -- data movement (all threads) -----------------------------------
+    l1d_miss_bytes: float = 0.0
+    l2_miss_bytes: float = 0.0
+    mem_read_bytes: float = 0.0
+    mem_write_bytes: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations, both precisions."""
+        return self.fp64_flops + self.fp32_flops
+
+    @property
+    def mem_bytes(self) -> float:
+        """Total main-memory traffic (reads + writes)."""
+        return self.mem_read_bytes + self.mem_write_bytes
+
+    @property
+    def sve_lane_utilization(self) -> float:
+        """Mean fraction of native SIMD lanes active per vector op.
+
+        1.0 means every vector instruction filled the full native vector
+        length; below 1.0 reflects SVE vector-length capping (and, on
+        hardware, predication).  0 when no vector work committed.
+        """
+        if self.sve_lane_slots <= 0:
+            return 0.0
+        return self.sve_active_lanes / self.sve_lane_slots
+
+    def stall_cycles(self) -> dict[str, float]:
+        """Cycles per stall category (sums to :attr:`cycles`)."""
+        return {
+            "compute": self.cycles_compute,
+            "l1d": self.cycles_l1d,
+            "l2": self.cycles_l2,
+            "memory": self.cycles_memory,
+            "dependence": self.cycles_dependence,
+            "overhead": self.cycles_overhead,
+        }
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        return KernelCounters(*[
+            getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(KernelCounters)
+        ])
+
+    def to_dict(self) -> dict[str, float]:
+        """Flat dict (dataclass fields + derived metrics) for JSON export."""
+        out = {f.name: getattr(self, f.name) for f in fields(KernelCounters)}
+        out["flops"] = self.flops
+        out["mem_bytes"] = self.mem_bytes
+        out["sve_lane_utilization"] = self.sve_lane_utilization
+        return out
+
+
+def _committed_instructions(
+    ck: "CompiledKernel", core: CoreSpec, iters: float
+) -> tuple[float, float, float, float]:
+    """(total instructions, sve_ops, active-lane sum, lane-slot sum).
+
+    A throughput-model estimate of what the commit counters would read:
+    FP work at ``(fma/2 + (1-fma))`` instructions per flop (an FMA commits
+    two flops), split vector/scalar by the achieved vectorization
+    fraction; loads/stores at one vector register per contiguous access
+    and one element per gather; integer work on the scalar side unless
+    byte-SIMD vectorized; plus loop control.
+    """
+    k = ck.kernel
+    f = k.fma_fraction
+    instr_per_flop = f / 2.0 + (1.0 - f)
+
+    native_lanes = max(1, core.simd_bits // (k.element_bytes * 8))
+    used_lanes = max(1, ck.simd_bits_used // (k.element_bytes * 8))
+
+    vec_flops = k.flops * ck.vec_fraction_achieved * iters
+    scalar_flops = k.flops * iters - vec_flops
+    sve_ops = vec_flops * instr_per_flop / used_lanes
+    scalar_fp_instr = scalar_flops * instr_per_flop
+
+    ls_instr = 0.0
+    total_bytes = k.bytes_total * iters
+    if total_bytes > 0:
+        vec_bytes = max(1.0, ck.simd_bits_used / 8.0)
+        contiguous = total_bytes * k.contiguous_fraction
+        gathered = total_bytes - contiguous
+        ls_instr = contiguous / vec_bytes + gathered / k.element_bytes
+
+    int_instr = 0.0
+    if k.int_ops > 0:
+        int_lanes = (
+            max(1.0, core.simd_lanes_fp64 * _INT_LANE_EFFICIENCY)
+            if ck.int_vectorized else 1.0
+        )
+        int_instr = k.int_ops * iters / int_lanes
+
+    total = (sve_ops + scalar_fp_instr + ls_instr + int_instr
+             + _LOOP_OVERHEAD_INSTRS * iters)
+    return total, sve_ops, sve_ops * used_lanes, sve_ops * native_lanes
+
+
+def derive_counters(
+    ck: "CompiledKernel",
+    core: CoreSpec,
+    phase: PhaseTiming,
+    *,
+    total_iters: float | None = None,
+    overhead_seconds: float = 0.0,
+    wall_seconds: float | None = None,
+) -> KernelCounters:
+    """Counters for one region from its critical thread's ECM timing.
+
+    Parameters
+    ----------
+    phase:
+        The critical thread's :class:`PhaseTiming` (carries the per-level
+        time components and byte traffic for ``phase.iters`` iterations).
+    total_iters:
+        The region's total iteration count over all threads; work
+        counters (instructions, flops, bytes) scale from the phase by
+        ``total_iters / phase.iters``.  Default: the phase's own count
+        (single-thread semantics, used by the roofline cross-validation).
+    overhead_seconds:
+        Fork/join + scheduling overhead to book under the ``overhead``
+        stall category.
+    wall_seconds:
+        The region's actual wall time when it differs from
+        ``phase.seconds + overhead_seconds`` (e.g. straggler-node
+        slowdown injection).  All cycle categories are rescaled
+        proportionally so the accounting identity still holds.
+    """
+    if overhead_seconds < 0:
+        raise ConfigurationError("overhead_seconds must be non-negative")
+    freq = core.freq_hz
+
+    derived_wall = phase.seconds + overhead_seconds
+    if derived_wall <= 0.0:
+        return KernelCounters()
+    scale = 1.0 if wall_seconds is None else wall_seconds / derived_wall
+    if scale < 0:
+        raise ConfigurationError("wall_seconds must be non-negative")
+
+    # Hierarchical stall attribution (see module docstring): the
+    # telescoping maxima reproduce max(components) exactly.
+    comp = phase.components
+    t_compute = comp.get("compute", 0.0)
+    m1 = max(t_compute, comp.get("l1", 0.0))
+    m2 = max(m1, comp.get("l2", 0.0))
+    m3 = max(m2, comp.get("dram", 0.0))
+    cyc = freq * scale
+    cycles_compute = t_compute * cyc
+    cycles_l1d = (m1 - t_compute) * cyc
+    cycles_l2 = (m2 - m1) * cyc
+    cycles_memory = (m3 - m2) * cyc
+    cycles_dependence = comp.get("latency", 0.0) * cyc
+    cycles_overhead = overhead_seconds * cyc
+    total_cycles = (cycles_compute + cycles_l1d + cycles_l2 + cycles_memory
+                    + cycles_dependence + cycles_overhead)
+
+    # Work counters: region totals, scaled from the critical thread's
+    # share of the iteration space.
+    if total_iters is None:
+        work_scale = 1.0
+        iters = phase.iters
+    elif phase.iters > 0:
+        work_scale = total_iters / phase.iters
+        iters = total_iters
+    else:
+        work_scale = 0.0
+        iters = 0.0
+
+    instructions, sve_ops, active_lanes, lane_slots = \
+        _committed_instructions(ck, core, iters)
+
+    k = ck.kernel
+    flops_total = phase.flops * work_scale
+    fp64 = flops_total if k.element_bytes == 8 else 0.0
+    fp32 = flops_total if k.element_bytes == 4 else 0.0
+
+    mem_bytes = phase.dram_bytes * work_scale
+    read_fraction = (k.bytes_load / k.bytes_total) if k.bytes_total > 0 else 0.0
+
+    return KernelCounters(
+        cycles=total_cycles,
+        cycles_compute=cycles_compute,
+        cycles_l1d=cycles_l1d,
+        cycles_l2=cycles_l2,
+        cycles_memory=cycles_memory,
+        cycles_dependence=cycles_dependence,
+        cycles_overhead=cycles_overhead,
+        instructions=instructions,
+        sve_ops=sve_ops,
+        sve_active_lanes=active_lanes,
+        sve_lane_slots=lane_slots,
+        fp64_flops=fp64,
+        fp32_flops=fp32,
+        l1d_miss_bytes=phase.l2_bytes * work_scale,
+        l2_miss_bytes=phase.dram_bytes * work_scale,
+        mem_read_bytes=mem_bytes * read_fraction,
+        mem_write_bytes=mem_bytes * (1.0 - read_fraction),
+    )

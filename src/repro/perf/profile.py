@@ -1,0 +1,448 @@
+"""Counter collection and aggregation — the profiling half of the PMU.
+
+:class:`ProfileSink` is the object the runtime's instrumentation hooks
+talk to.  The executor calls it (when attached to a job via
+``Job.perf_sink``) on every compute region, blocking wait, I/O transfer
+and sleep; the simulated MPI layer reports message deliveries and
+collectives.  Counters are aggregated *on the fly* per (rank, region) —
+memory stays bounded no matter how many iterations a skeleton runs.
+
+Profiling off is the default (``Job.perf_sink is None``) and costs one
+attribute load + ``is not None`` test per operation — the no-overhead
+guarantee the F1 sweep benchmark checks.  :class:`NullSink` is the
+explicit no-op implementation for callers that want a sink-shaped
+object unconditionally.
+
+:func:`profile_job` is the convenience entry point::
+
+    result, profile = profile_job(app.build_job(cluster, placement))
+    print(region_table(profile).render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.report import Table
+from repro.errors import SimulationError
+from repro.perf.events import KernelCounters, derive_counters
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.compile.compiler import CompiledKernel
+    from repro.runtime.executor import Job, RegionTiming, RunResult
+    from repro.runtime.program import Compute
+
+#: Wait categories the runtime attributes blocked time to.
+WAIT_CATEGORIES = ("p2p", "collective", "io", "sleep")
+
+
+class NullSink:
+    """A sink that drops everything — the explicit 'profiling off' object.
+
+    Also the base class of :class:`ProfileSink`, so it doubles as the
+    documentation of the instrumentation protocol the runtime speaks.
+    """
+
+    __slots__ = ()
+
+    def begin_run(self, job: "Job") -> None:
+        """Called once by :func:`~repro.runtime.executor.run_job` before
+        the first event fires."""
+
+    def on_compute(self, rank: int, op: "Compute", timing: "RegionTiming",
+                   ck: "CompiledKernel", start: float) -> None:
+        """One compute region finished timing on ``rank``."""
+
+    def on_wait(self, rank: int, category: str, label: str,
+                start: float, end: float) -> None:
+        """``rank`` spent ``[start, end]`` blocked in ``category``
+        (p2p / collective / io / sleep)."""
+
+    def on_message(self, src: int, dst: int, size_bytes: float) -> None:
+        """The MPI layer delivered one point-to-point message."""
+
+    def on_collective(self, comm: str, op_name: str, size_bytes: float,
+                      n_members: int, seconds: float) -> None:
+        """A collective completed on communicator ``comm``."""
+
+    def end_run(self, result: "RunResult") -> None:
+        """Called once after the event heap drained."""
+
+
+class _RegionAcc:
+    """Mutable per-(rank, region) accumulator."""
+
+    __slots__ = ("calls", "seconds", "threads", "phase", "counters")
+
+    def __init__(self, phase: str) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.threads = 1
+        self.phase = phase
+        self.counters = KernelCounters()
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Aggregated view of one region (kernel) across ranks.
+
+    ``seconds_max`` is the per-rank maximum (critical-path-like);
+    ``seconds_total`` sums over ranks (CPU-time-like).  ``counters`` are
+    summed over ranks: cycle fields are critical-thread cycles per rank,
+    work fields are whole-region totals.
+    """
+
+    name: str
+    phase: str                 # "compute" | "serial"
+    calls: int
+    ranks: int
+    threads: int               # max thread count observed
+    seconds_total: float
+    seconds_max: float
+    counters: KernelCounters
+
+    @property
+    def gflops_rate(self) -> float:
+        """Aggregate GFLOP/s while the region runs (all ranks)."""
+        if self.seconds_max <= 0:
+            return 0.0
+        return self.counters.flops / self.seconds_max / 1e9
+
+    @property
+    def mem_gbytes_rate(self) -> float:
+        """Aggregate memory GB/s while the region runs (all ranks)."""
+        if self.seconds_max <= 0:
+            return 0.0
+        return self.counters.mem_bytes / self.seconds_max / 1e9
+
+    @property
+    def per_core_gflops(self) -> float:
+        """Per-core GFLOP/s from counters: flops / core-seconds.
+
+        Core-seconds are critical-thread cycles x thread count, summed
+        over ranks — the counter-derived y-coordinate of the roofline
+        cross-check.
+        """
+        core_seconds = self.seconds_total * self.threads
+        if core_seconds <= 0:
+            return 0.0
+        return self.counters.flops / core_seconds / 1e9
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Counter-derived FLOPs per byte of memory traffic."""
+        if self.counters.mem_bytes <= 0:
+            return float("inf")
+        return self.counters.flops / self.counters.mem_bytes
+
+    @property
+    def dominant_stall(self) -> str:
+        """The stall category holding the most cycles."""
+        stalls = self.counters.stall_cycles()
+        return max(stalls, key=stalls.__getitem__)
+
+
+class ProfileSink(NullSink):
+    """Collects counters per (rank, region) during one simulated run."""
+
+    __slots__ = ("_regions", "_waits", "_rank_core", "_rank_cmg",
+                 "_msg_count", "_msg_bytes", "_collectives", "_cmg_rw",
+                 "_meta", "_result")
+
+    def __init__(self) -> None:
+        self._regions: dict[tuple[int, str], _RegionAcc] = {}
+        self._waits: dict[tuple[int, str], float] = {}
+        self._rank_core: dict[int, object] = {}
+        self._rank_cmg: dict[int, int] = {}
+        self._msg_count: dict[int, int] = {}
+        self._msg_bytes: dict[int, float] = {}
+        self._collectives: dict[str, int] = {}
+        self._cmg_rw: dict[int, list[float]] = {}
+        self._meta: dict[str, object] = {}
+        self._result = None
+
+    # -- instrumentation protocol --------------------------------------
+    def begin_run(self, job: "Job") -> None:
+        placement = job.placement
+        cluster = job.cluster
+        for rank in range(placement.n_ranks):
+            addr = placement.thread_cores(rank)[0]
+            self._rank_core[rank] = cluster.domain_spec(addr).core
+            self._rank_cmg[rank] = cluster.node_global_domain(addr) \
+                + addr.node * cluster.domains_per_node
+        self._meta = {
+            "job": job.name,
+            "processor": cluster.name,
+            "placement": placement.describe(),
+            "n_ranks": placement.n_ranks,
+            "n_threads": placement.threads_per_rank,
+        }
+
+    def on_compute(self, rank: int, op: "Compute", timing: "RegionTiming",
+                   ck: "CompiledKernel", start: float) -> None:
+        if timing.worst is None:
+            raise SimulationError(
+                f"region {op.kernel!r} carries no PhaseTiming detail; "
+                "the OpenMP layer must attach RegionTiming.worst"
+            )
+        core = self._rank_core[rank]
+        counters = derive_counters(
+            ck, core, timing.worst,
+            total_iters=op.iters,
+            overhead_seconds=timing.overhead_seconds,
+            wall_seconds=timing.seconds,
+        )
+        key = (rank, op.kernel)
+        acc = self._regions.get(key)
+        if acc is None:
+            acc = self._regions[key] = _RegionAcc(
+                "serial" if op.serial else "compute")
+        acc.calls += 1
+        acc.seconds += timing.seconds
+        acc.threads = max(acc.threads, timing.n_threads)
+        acc.counters = acc.counters + counters
+        cmg = self._rank_cmg[rank]
+        rw = self._cmg_rw.get(cmg)
+        if rw is None:
+            rw = self._cmg_rw[cmg] = [0.0, 0.0]
+        rw[0] += counters.mem_read_bytes
+        rw[1] += counters.mem_write_bytes
+
+    def on_wait(self, rank: int, category: str, label: str,
+                start: float, end: float) -> None:
+        key = (rank, category)
+        self._waits[key] = self._waits.get(key, 0.0) + (end - start)
+
+    def on_message(self, src: int, dst: int, size_bytes: float) -> None:
+        self._msg_count[src] = self._msg_count.get(src, 0) + 1
+        self._msg_bytes[src] = self._msg_bytes.get(src, 0.0) + size_bytes
+
+    def on_collective(self, comm: str, op_name: str, size_bytes: float,
+                      n_members: int, seconds: float) -> None:
+        self._collectives[op_name] = self._collectives.get(op_name, 0) + 1
+
+    def end_run(self, result: "RunResult") -> None:
+        self._result = result
+
+    # ------------------------------------------------------------------
+    def profile(self) -> "Profile":
+        """Freeze the accumulated counters into a :class:`Profile`."""
+        if self._result is None:
+            raise SimulationError(
+                "profile() before the run completed (end_run not called)"
+            )
+        return Profile(
+            meta=dict(self._meta),
+            elapsed=self._result.elapsed,
+            rank_finish=dict(self._result.rank_finish),
+            rank_freq={r: c.freq_hz for r, c in self._rank_core.items()},
+            rank_regions={
+                key: RegionProfile(
+                    name=key[1], phase=acc.phase, calls=acc.calls, ranks=1,
+                    threads=acc.threads, seconds_total=acc.seconds,
+                    seconds_max=acc.seconds, counters=acc.counters,
+                )
+                for key, acc in self._regions.items()
+            },
+            waits=dict(self._waits),
+            messages_sent=dict(self._msg_count),
+            bytes_sent=dict(self._msg_bytes),
+            collectives=dict(self._collectives),
+            cmg_memory_bytes={
+                cmg: (rw[0], rw[1]) for cmg, rw in self._cmg_rw.items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """The result of one profiled run — the simulator's fapp report data."""
+
+    meta: dict
+    elapsed: float
+    rank_finish: dict[int, float]
+    rank_freq: dict[int, float]
+    #: (rank, region) -> single-rank RegionProfile
+    rank_regions: dict[tuple[int, str], RegionProfile]
+    #: (rank, category) -> blocked seconds
+    waits: dict[tuple[int, str], float]
+    messages_sent: dict[int, int]
+    bytes_sent: dict[int, float]
+    collectives: dict[str, int]
+    #: run-global CMG index -> (read bytes, write bytes)
+    cmg_memory_bytes: dict[int, tuple[float, float]] = field(
+        default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def regions(self) -> dict[str, RegionProfile]:
+        """Regions aggregated over ranks, in first-seen order."""
+        out: dict[str, dict] = {}
+        for (rank, name), rp in self.rank_regions.items():
+            agg = out.get(name)
+            if agg is None:
+                agg = out[name] = {
+                    "phase": rp.phase, "calls": 0, "ranks": 0, "threads": 1,
+                    "seconds_total": 0.0, "seconds_max": 0.0,
+                    "counters": KernelCounters(),
+                }
+            agg["calls"] += rp.calls
+            agg["ranks"] += 1
+            agg["threads"] = max(agg["threads"], rp.threads)
+            agg["seconds_total"] += rp.seconds_total
+            agg["seconds_max"] = max(agg["seconds_max"], rp.seconds_total)
+            agg["counters"] = agg["counters"] + rp.counters
+        return {
+            name: RegionProfile(name=name, **agg) for name, agg in out.items()
+        }
+
+    def total_counters(self) -> KernelCounters:
+        """Every region's counters summed — the whole-run PMU totals."""
+        total = KernelCounters()
+        for rp in self.rank_regions.values():
+            total = total + rp.counters
+        return total
+
+    def wait_seconds(self, category: str, rank: int | None = None) -> float:
+        """Blocked seconds in a category, for one rank or summed."""
+        if rank is not None:
+            return self.waits.get((rank, category), 0.0)
+        return sum(v for (_, cat), v in self.waits.items() if cat == category)
+
+    def attributed_seconds(self, rank: int) -> float:
+        """Seconds the accounting attributes to ``rank`` (regions + waits).
+
+        Conservation: equals ``rank_finish[rank]`` to float precision —
+        every interval of a rank's timeline is attributed exactly once.
+        """
+        regions = sum(
+            rp.seconds_total for (r, _), rp in self.rank_regions.items()
+            if r == rank
+        )
+        waits = sum(v for (r, _), v in self.waits.items() if r == rank)
+        return regions + waits
+
+    def attributed_cycles(self, rank: int) -> float:
+        """Total cycles attributed to ``rank`` (compute + wait cycles)."""
+        freq = self.rank_freq[rank]
+        cycles = sum(
+            rp.counters.cycles for (r, _), rp in self.rank_regions.items()
+            if r == rank
+        )
+        waits = sum(v for (r, _), v in self.waits.items() if r == rank)
+        return cycles + waits * freq
+
+    def to_json(self) -> dict:
+        """JSON-serializable export (``repro profile --json``)."""
+        return {
+            "meta": dict(self.meta),
+            "elapsed_s": self.elapsed,
+            "regions": {
+                name: {
+                    "phase": rp.phase,
+                    "calls": rp.calls,
+                    "ranks": rp.ranks,
+                    "threads": rp.threads,
+                    "seconds_total": rp.seconds_total,
+                    "seconds_max": rp.seconds_max,
+                    "gflops_rate": rp.gflops_rate,
+                    "mem_gbytes_rate": rp.mem_gbytes_rate,
+                    "arithmetic_intensity":
+                        None if rp.counters.mem_bytes <= 0
+                        else rp.arithmetic_intensity,
+                    "dominant_stall": rp.dominant_stall,
+                    "counters": rp.counters.to_dict(),
+                }
+                for name, rp in self.regions().items()
+            },
+            "waits_s": {
+                cat: self.wait_seconds(cat) for cat in WAIT_CATEGORIES
+            },
+            "messages_sent": sum(self.messages_sent.values()),
+            "bytes_sent": sum(self.bytes_sent.values()),
+            "collectives": dict(self.collectives),
+            "cmg_memory_bytes": {
+                str(cmg): {"read": rw[0], "write": rw[1]}
+                for cmg, rw in sorted(self.cmg_memory_bytes.items())
+            },
+        }
+
+
+def profile_job(job: "Job") -> tuple["RunResult", Profile]:
+    """Run ``job`` with a fresh :class:`ProfileSink` attached.
+
+    Returns the ordinary :class:`~repro.runtime.executor.RunResult` plus
+    the :class:`Profile`.  The job's own ``perf_sink`` is not modified
+    (a replaced copy is simulated).
+    """
+    import dataclasses
+
+    from repro.runtime.executor import run_job
+
+    sink = ProfileSink()
+    result = run_job(dataclasses.replace(job, perf_sink=sink))
+    return result, sink.profile()
+
+
+# ----------------------------------------------------------------------
+# fapp-style region report
+# ----------------------------------------------------------------------
+def region_table(profile: Profile, top: int | None = None) -> Table:
+    """The fapp-style per-region report.
+
+    One row per kernel region (sorted by time, optionally truncated to
+    ``top``), then one ``[category]`` row per wait category.  ``time ms``
+    is the slowest rank's total; ``%`` is its share of elapsed time.
+    """
+    meta = profile.meta
+    t = Table(
+        f"profile: {meta.get('job', '?')} on {meta.get('processor', '?')} "
+        f"({meta.get('n_ranks', '?')}x{meta.get('n_threads', '?')}, "
+        f"{profile.elapsed * 1e3:.3f} ms)",
+        ["region", "calls", "time ms", "%", "GF/s", "mem GB/s",
+         "SVE util %", "L2-miss MB", "top stall"],
+        note="time = slowest rank; GF/s + GB/s aggregate over ranks; "
+             "counters derived from the ECM timing model",
+    )
+    regions = sorted(profile.regions().values(),
+                     key=lambda rp: -rp.seconds_max)
+    if top is not None:
+        regions = regions[:top]
+    elapsed = profile.elapsed if profile.elapsed > 0 else 1.0
+    for rp in regions:
+        t.add(
+            rp.name,
+            rp.calls,
+            rp.seconds_max * 1e3,
+            100.0 * rp.seconds_max / elapsed,
+            rp.gflops_rate,
+            rp.mem_gbytes_rate,
+            100.0 * rp.counters.sve_lane_utilization,
+            rp.counters.l2_miss_bytes / 1e6,
+            rp.dominant_stall,
+        )
+    n_ranks = max(1, int(meta.get("n_ranks", 1)))
+    for cat in WAIT_CATEGORIES:
+        per_rank = [profile.wait_seconds(cat, r) for r in range(n_ranks)]
+        worst = max(per_rank, default=0.0)
+        if worst <= 0:
+            continue
+        t.add(f"[{cat}]", "-", worst * 1e3, 100.0 * worst / elapsed,
+              0.0, 0.0, 0.0, 0.0, "-")
+    return t
+
+
+def profile_summary_table(app: str = "ccs-qcd", dataset: str = "as-is",
+                          processor: str = "A64FX", n_ranks: int = 4,
+                          n_threads: int = 12) -> Table:
+    """Profile one representative configuration and return the region
+    report — the ``P1`` artifact of the generated report."""
+    from repro.machine import catalog
+    from repro.miniapps import by_name
+    from repro.runtime.placement import JobPlacement
+
+    cluster = catalog.by_name(processor)
+    miniapp = by_name(app)
+    placement = JobPlacement(cluster, n_ranks, n_threads)
+    _, profile = profile_job(miniapp.build_job(cluster, placement, dataset))
+    return region_table(profile)

@@ -9,7 +9,7 @@ simulated MPI layer, and the OpenMP region model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.compile.compiler import CompiledKernel, Compiler
 from repro.compile.options import CompilerOptions
@@ -22,6 +22,9 @@ from repro.runtime.mpi import Request, SimMPI
 from repro.runtime.openmp import DATA_POLICIES, region_time
 from repro.runtime.placement import JobPlacement
 from repro.runtime.trace import RankTrace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.perf.profile import NullSink
 
 #: Type of a rank-program factory: (rank, size) -> generator of ops.
 ProgramFactory = Callable[[int, int], Iterator]
@@ -42,6 +45,10 @@ class Job:
     #: Failure/straggler injection: node index -> compute slowdown factor
     #: (>= 1; e.g. {2: 1.5} models a thermally throttled node 2).
     node_slowdown: dict[int, float] | None = None
+    #: Simulated-PMU sink (:class:`repro.perf.profile.ProfileSink`-shaped).
+    #: ``None`` — the default — keeps every hot path at a single
+    #: ``is not None`` test, so profiling costs nothing when off.
+    perf_sink: "NullSink | None" = None
 
     def __post_init__(self) -> None:
         if self.placement.cluster is not self.cluster:
@@ -154,6 +161,9 @@ class _RankDriver:
         if now > self._block_t0:
             self.trace.add(self._block_t0, now, self._block_category,
                            self._block_label)
+            if self.ex.perf is not None:
+                self.ex.perf.on_wait(self.rank, self._block_category,
+                                     self._block_label, self._block_t0, now)
         self._advance(None)
 
     def _advance(self, send_value) -> None:
@@ -177,12 +187,19 @@ class _RankDriver:
                 self.trace.add(t0, t0 + timing.seconds, cat, op.kernel)
                 self.ex.total_flops += timing.flops
                 self.ex.total_dram_bytes += timing.dram_bytes
+                if self.ex.perf is not None:
+                    self.ex.perf.on_compute(
+                        self.rank, op, timing,
+                        self.ex.compiled[op.kernel], t0)
                 engine.schedule(timing.seconds, self._advance_cb)
                 return
 
             if isinstance(op, ops.Sleep):
                 t0 = engine.now
                 self.trace.add(t0, t0 + op.seconds, "sleep", "sleep")
+                if self.ex.perf is not None:
+                    self.ex.perf.on_wait(self.rank, "sleep", "sleep",
+                                         t0, t0 + op.seconds)
                 engine.schedule(op.seconds, self._advance_cb)
                 return
 
@@ -190,6 +207,9 @@ class _RankDriver:
                 done_at = self.ex.storage_transfer(op.size_bytes)
                 label = "read" if isinstance(op, ops.FileRead) else "write"
                 self.trace.add(engine.now, done_at, "io", label)
+                if self.ex.perf is not None:
+                    self.ex.perf.on_wait(self.rank, "io", label,
+                                         engine.now, done_at)
                 engine.schedule_at(done_at, self._advance_cb)
                 return
 
@@ -272,14 +292,15 @@ class _Executor:
 
     __slots__ = ("job", "placement", "engine", "mpi", "compiled",
                  "total_flops", "total_dram_bytes", "_storage_busy",
-                 "io_bytes")
+                 "io_bytes", "perf")
 
     def __init__(self, job: Job) -> None:
         self.job = job
         self.placement = job.placement
+        self.perf = job.perf_sink
         self.engine = Engine()
         self.mpi = SimMPI(self.engine, job.cluster, job.placement,
-                          job.communicators)
+                          job.communicators, perf=job.perf_sink)
         core = job.cluster.node.chips[0].domains[0].core
         compiler = Compiler(job.options)
         self.compiled: dict[str, CompiledKernel] = compiler.compile_many(
@@ -345,6 +366,8 @@ def run_job(job: Job) -> RunResult:
         communication deadlock in the program).
     """
     ex = _Executor(job)
+    if ex.perf is not None:
+        ex.perf.begin_run(job)
     drivers = [
         _RankDriver(rank, ex) for rank in range(job.placement.n_ranks)
     ]
@@ -359,7 +382,7 @@ def run_job(job: Job) -> RunResult:
         )
 
     finish = {d.rank: float(d.finish_time) for d in drivers}
-    return RunResult(
+    result = RunResult(
         job_name=job.name,
         elapsed=max(finish.values()),
         traces={d.rank: d.trace for d in drivers},
@@ -371,3 +394,6 @@ def run_job(job: Job) -> RunResult:
         placement_label=job.placement.describe(),
         io_bytes=ex.io_bytes,
     )
+    if ex.perf is not None:
+        ex.perf.end_run(result)
+    return result

@@ -94,10 +94,13 @@ class SimMPI:
         cluster: Cluster,
         placement: JobPlacement,
         communicators: dict[str, tuple[int, ...]] | None = None,
+        perf=None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.placement = placement
+        #: Optional PMU sink (:mod:`repro.perf`); ``None`` = profiling off.
+        self.perf = perf
         n = placement.n_ranks
         self.communicators: dict[str, tuple[int, ...]] = {
             "world": tuple(range(n))
@@ -155,6 +158,8 @@ class SimMPI:
         duration = self.cluster.transfer_time(a_src, a_dst, size)
         self.bytes_sent += size
         self.messages_sent += 1
+        if self.perf is not None:
+            self.perf.on_message(src, dst, size)
 
         def finish() -> None:
             if not send_req.done:       # eager sends completed at post time
@@ -255,6 +260,10 @@ class SimMPI:
             sized_op = dataclasses.replace(state.op, size_bytes=state.max_size) \
                 if state.max_size != state.op.size_bytes else state.op
             t = collective_time(sized_op, len(members), profile)
+            if self.perf is not None:
+                self.perf.on_collective(
+                    comm_name, type(state.op).__name__, state.max_size,
+                    len(members), t)
             requests = dict(state.requests)
             # reset for the next collective on this communicator
             self._coll[comm_name] = _CollectiveState()

@@ -44,7 +44,14 @@ _DYNAMIC_CHUNKS_PER_THREAD = 16
 
 @dataclass(frozen=True)
 class RegionTiming:
-    """Outcome of one parallel region on one rank."""
+    """Outcome of one parallel region on one rank.
+
+    ``worst`` is the critical thread's :class:`PhaseTiming` and
+    ``n_threads`` the region's thread count — the instrumentation record
+    the simulated PMU (:mod:`repro.perf`) turns into counters.  Both are
+    references to data the timing computed anyway, so attaching them
+    costs nothing when profiling is off.
+    """
 
     seconds: float
     flops: float
@@ -52,6 +59,8 @@ class RegionTiming:
     bound: str
     max_thread_seconds: float
     overhead_seconds: float
+    worst: PhaseTiming | None = None
+    n_threads: int = 1
 
 
 def fork_join_overhead(n_threads: int, n_domains: int) -> float:
@@ -168,4 +177,6 @@ def region_time(
         bound=worst.bound,
         max_thread_seconds=worst.seconds,
         overhead_seconds=overhead,
+        worst=worst,
+        n_threads=n_threads,
     )

@@ -6,15 +6,22 @@ Two consumers:
   terminal (one row per rank, one glyph per time bucket, majority
   category wins the bucket);
 * tools — :func:`to_chrome_trace` exports the run as a Chrome
-  ``chrome://tracing`` / Perfetto JSON object (one "thread" per rank).
+  ``chrome://tracing`` / Perfetto JSON object (one "thread" per rank);
+  with a :class:`~repro.perf.profile.Profile` attached it adds per-rank
+  counter tracks (``ph: "C"``) showing GFLOP/s and memory GB/s while
+  each region runs.
 """
 
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.runtime.executor import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.perf.profile import Profile
 
 #: Glyph per category for the ASCII chart.
 GLYPHS = {
@@ -72,8 +79,44 @@ def ascii_timeline(result: RunResult, width: int = 80,
     return "\n".join(lines)
 
 
-def to_chrome_trace(result: RunResult) -> dict:
-    """Export as a Chrome trace-event JSON object (microsecond units)."""
+def _counter_events(result: RunResult, profile: "Profile") -> list[dict]:
+    """Chrome counter-track events (``ph: "C"``) from a PMU profile.
+
+    Each compute/serial segment contributes a step up to the region's
+    average GFLOP/s and memory GB/s on its rank's counter tracks, and a
+    step back to zero when it ends — the sampled-rate view fapp/Perfetto
+    users expect next to the region swim-lanes.
+    """
+    events: list[dict] = []
+    for rank, trace in sorted(result.traces.items()):
+        for seg in trace.segments:
+            if seg.category not in ("compute", "serial"):
+                continue
+            rp = profile.rank_regions.get((rank, seg.label))
+            if rp is None or rp.seconds_total <= 0:
+                continue
+            gflops = rp.counters.flops / rp.seconds_total / 1e9
+            gbytes = rp.counters.mem_bytes / rp.seconds_total / 1e9
+            for name, value in ((f"rank {rank} GFLOP/s", gflops),
+                                (f"rank {rank} mem GB/s", gbytes)):
+                events.append({
+                    "name": name, "ph": "C", "pid": 0, "tid": rank,
+                    "ts": seg.start * 1e6, "args": {"value": value},
+                })
+                events.append({
+                    "name": name, "ph": "C", "pid": 0, "tid": rank,
+                    "ts": seg.end * 1e6, "args": {"value": 0.0},
+                })
+    return events
+
+
+def to_chrome_trace(result: RunResult,
+                    profile: "Profile | None" = None) -> dict:
+    """Export as a Chrome trace-event JSON object (microsecond units).
+
+    ``profile`` (from :func:`repro.perf.profile_job`) adds per-rank
+    GFLOP/s and memory-bandwidth counter tracks to the swim-lanes.
+    """
     events = []
     for rank, trace in sorted(result.traces.items()):
         events.append({
@@ -93,6 +136,8 @@ def to_chrome_trace(result: RunResult) -> dict:
                 "ts": seg.start * 1e6,
                 "dur": seg.duration * 1e6,
             })
+    if profile is not None:
+        events.extend(_counter_events(result, profile))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -101,10 +146,11 @@ def to_chrome_trace(result: RunResult) -> dict:
     }
 
 
-def write_chrome_trace(result: RunResult, path: str) -> None:
+def write_chrome_trace(result: RunResult, path: str,
+                       profile: "Profile | None" = None) -> None:
     """Write the Chrome trace JSON to ``path``."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(result), fh)
+        json.dump(to_chrome_trace(result, profile), fh)
 
 
 def utilization_profile(result: RunResult, buckets: int = 50) -> list[float]:

@@ -6,7 +6,7 @@ from repro.core.reportgen import generate_report, write_report
 class TestReport:
     def test_quick_report_contains_fast_artifacts(self):
         text = generate_report(include_sweeps=False, include_ablations=False)
-        for aid in ("T1", "T2", "F6", "F7"):
+        for aid in ("T1", "T2", "F6", "F7", "P1"):
             assert f"## {aid}" in text
         assert "## F1" not in text
         assert "A64FX" in text
@@ -15,7 +15,13 @@ class TestReport:
         seen = []
         generate_report(include_sweeps=False, include_ablations=False,
                         progress=seen.append)
-        assert sorted(seen) == ["F6", "F7", "T1", "T2"]
+        assert sorted(seen) == ["F6", "F7", "P1", "T1", "T2"]
+
+    def test_profile_artifact_last_and_fapp_shaped(self):
+        text = generate_report(include_sweeps=False, include_ablations=False)
+        assert text.index("## P1") > text.index("## F7")
+        profile_section = text.split("## P1")[1]
+        assert "cycle" in profile_section or "GF/s" in profile_section
 
     def test_write_report_roundtrip(self, tmp_path):
         out = write_report(tmp_path / "r.md", include_sweeps=False,

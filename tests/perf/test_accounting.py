@@ -1,0 +1,115 @@
+"""Tests of cycle accounting and the counter/analytic cross-validation."""
+
+import pytest
+
+from repro.core.analysis import app_roofline
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.perf import (
+    CYCLE_CATEGORIES,
+    counter_roofline,
+    cross_validate_counters,
+    cycle_accounting_table,
+    profile_job,
+    roofline_crosscheck_table,
+    validate_counters,
+)
+from repro.perf.accounting import RUN_TOL, TIGHT_TOL
+from repro.runtime.placement import JobPlacement
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return catalog.a64fx()
+
+
+@pytest.fixture(scope="module")
+def profiled(cluster):
+    app = by_name("ccs-qcd")
+    placement = JobPlacement(cluster, 4, 12)
+    result, profile = profile_job(app.build_job(cluster, placement, "as-is"))
+    return app, result, profile
+
+
+class TestCycleAccounting:
+    def test_table_has_one_percent_column_per_category(self, profiled):
+        _, _, profile = profiled
+        table = cycle_accounting_table(profile)
+        for cat in CYCLE_CATEGORIES:
+            assert f"{cat} %" in table.headers
+
+    def test_percentages_sum_to_hundred(self, profiled):
+        _, _, profile = profiled
+        table = cycle_accounting_table(profile)
+        idx = [table.headers.index(f"{cat} %") for cat in CYCLE_CATEGORIES]
+        for row in table.rows:
+            got = sum(float(row[i].replace(",", "")) for i in idx)
+            assert got == pytest.approx(100.0, abs=0.5), row[0]
+
+    def test_total_row_present(self, profiled):
+        _, _, profile = profiled
+        assert any(r[0] == "TOTAL" for r in cycle_accounting_table(
+            profile).rows)
+
+
+class TestCounterRoofline:
+    def test_one_point_per_compute_region(self, profiled):
+        app, _, profile = profiled
+        points = counter_roofline(profile, catalog.a64fx())
+        assert {p.kernel for p in points} == set(
+            app.kernels(app.dataset("as-is")))
+
+    def test_points_sit_under_the_roof(self, profiled):
+        _, _, profile = profiled
+        for p in counter_roofline(profile, catalog.a64fx()):
+            assert p.achieved_gflops <= p.attainable_gflops * 1.001, p.kernel
+
+    def test_intensity_matches_analytic_model(self, profiled, cluster):
+        """Counter AI equals the analytic roofline AI: both divide the
+        same flop count by the same DRAM traffic model."""
+        app, _, profile = profiled
+        analytic = {p.kernel: p for p in app_roofline(app, cluster)}
+        for p in counter_roofline(profile, cluster):
+            assert p.arithmetic_intensity == pytest.approx(
+                analytic[p.kernel].arithmetic_intensity, rel=0.05), p.kernel
+
+    def test_achieved_within_run_tolerance_of_analytic(self, profiled,
+                                                       cluster):
+        app, _, profile = profiled
+        analytic = {p.kernel: p for p in app_roofline(app, cluster)}
+        for p in counter_roofline(profile, cluster):
+            ref = analytic[p.kernel].achieved_gflops
+            assert p.achieved_gflops == pytest.approx(
+                ref, rel=RUN_TOL), p.kernel
+
+
+class TestCrosscheckTable:
+    def test_every_region_within_tolerance(self, profiled, cluster):
+        app, _, profile = profiled
+        table = roofline_crosscheck_table(profile, cluster, app)
+        ok_col = table.headers.index(f"within {RUN_TOL:.0%}")
+        assert table.rows
+        for row in table.rows:
+            assert row[ok_col] == "yes", row
+
+
+class TestCrossValidation:
+    def test_tight_pass_is_clean_on_a64fx(self, cluster):
+        report = cross_validate_counters(cluster, apps=["ccs-qcd", "ffvc"])
+        assert report.ok, report.render()
+
+    def test_tight_tolerance_is_actually_tight(self):
+        assert TIGHT_TOL <= 0.05
+
+    def test_validate_counters_clean_for_representative_apps(self):
+        report = validate_counters(apps=["ccs-qcd", "mvmc"])
+        assert report.ok, report.render()
+
+    def test_diagnostics_use_counter_namespace(self, cluster):
+        # force a failure by shrinking the tolerance to zero-ish
+        report = cross_validate_counters(cluster, apps=["ccs-qcd"],
+                                         tol=1e-15)
+        # AI/GF/s comparisons are float-identical by construction, so a
+        # zero tolerance may still pass; whatever appears must be namespaced
+        for d in report.diagnostics:
+            assert d.check.startswith("counter-")

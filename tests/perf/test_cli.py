@@ -1,0 +1,100 @@
+"""CLI surface of the profiling subsystem: `repro profile`,
+`repro validate --counters`, and the shared placement flag wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProfileCommand:
+    def test_default_report_sections(self, capsys):
+        assert main(["profile", "--app", "ccs-qcd"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: ccs-qcd/as-is on A64FX" in out
+        assert "cycle accounting" in out
+        assert "roofline cross-check" in out
+        assert "qcd-dirac" in out
+
+    def test_normalizes_underscore_app_and_lowercase_processor(self, capsys):
+        """The acceptance spelling: `repro profile --app ccs_qcd
+        --processor a64fx` must resolve to ccs-qcd / A64FX."""
+        assert main(["profile", "--app", "ccs_qcd",
+                     "--processor", "a64fx"]) == 0
+        out = capsys.readouterr().out
+        assert "ccs-qcd/as-is on A64FX" in out
+
+    def test_cycle_percentages_sum_to_total(self, capsys):
+        assert main(["profile", "--app", "ccs_qcd",
+                     "--processor", "a64fx"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        start = next(i for i, line in enumerate(lines)
+                     if "cycle accounting" in line)
+        header = lines[start + 1].split("  ")
+        rows = [line for line in lines[start + 3:]
+                if line and not line.startswith(("note", "=="))]
+        assert any(r.startswith("TOTAL") for r in rows)
+        del header  # column parsing is covered in test_accounting
+
+    def test_json_and_trace_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "prof.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(["profile", "--app", "ffvc",
+                     "--json", str(json_path),
+                     "--trace", str(trace_path)]) == 0
+        prof = json.loads(json_path.read_text())
+        assert prof["meta"]["processor"] == "A64FX"
+        assert prof["regions"]
+        trace = json.loads(trace_path.read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert "C" in phases  # counter tracks present
+
+    def test_top_flag(self, capsys):
+        assert main(["profile", "--app", "ccs-qcd", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        profile_section = out.split("cycle accounting")[0]
+        assert "qcd-dirac" in profile_section
+        assert "qcd-dot" not in profile_section
+
+    def test_rejects_unknown_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "--app", "no-such-app"])
+
+
+class TestSharedPlacementFlags:
+    def test_run_accepts_normalized_spellings(self, capsys):
+        assert main(["run", "--app", "ccs_qcd", "--processor", "a64fx",
+                     "--ranks", "1", "--threads", "4", "--no-cache"]) == 0
+        assert "ccs-qcd" in capsys.readouterr().out
+
+    def test_run_and_profile_share_placement_flags(self):
+        """Both parsers expose the same placement/machine options."""
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if isinstance(a, argparse._SubParsersAction))
+        flags = {}
+        for name in ("run", "profile"):
+            p = sub.choices[name]
+            flags[name] = {o for a in p._actions for o in a.option_strings}
+        shared = {"--app", "--dataset", "--processor", "--nodes", "--ranks",
+                  "--threads", "--stride", "--allocation", "--options",
+                  "--data-policy"}
+        assert shared <= flags["run"]
+        assert shared <= flags["profile"]
+
+
+class TestValidateCounters:
+    def test_exit_zero_and_mentions_counters(self, capsys):
+        assert main(["validate", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out
+
+    def test_plain_validate_still_works(self, capsys):
+        assert main(["validate"]) == 0
+        assert "consistency checks passed" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Conservation laws of the simulated PMU, across the whole catalog.
+
+For every miniapp skeleton x cataloged processor:
+
+* counter-summed flops and memory bytes equal the executor's work
+  totals (both sum the same region timings — any drift means a hook
+  double-counted or missed a region);
+* total attributed cycles equal simulated time x frequency per rank
+  (every interval of a rank's timeline is accounted exactly once);
+* for the miniapps with closed-form work accounting
+  (:mod:`repro.validate`), the counter-summed flop total matches the
+  closed form within its stated tolerance.
+"""
+
+import pytest
+
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.perf import profile_job
+from repro.runtime.placement import JobPlacement
+from repro.validate import _expected_flops_as_is
+
+#: Apps repro.validate can count in closed form.
+_CLOSED_FORM = ("ccs-qcd", "ffvc", "ntchem", "nicam-dc")
+
+
+def _placement(cluster) -> JobPlacement:
+    """4 ranks, threads scaled to the processor's core count."""
+    threads = max(1, cluster.cores_per_node // 8)
+    return JobPlacement(cluster, 4, threads)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """(app, processor) -> (RunResult, Profile) over the full catalog."""
+    out = {}
+    for proc in sorted(catalog.PROCESSORS):
+        cluster = catalog.by_name(proc)
+        placement = _placement(cluster)
+        for app_name in sorted(SUITE):
+            app = by_name(app_name)
+            out[(app_name, proc)] = profile_job(
+                app.build_job(cluster, placement, "as-is"))
+    return out
+
+
+class TestCatalogWideConservation:
+    def test_counter_flops_equal_executor_totals(self, grid):
+        for (app, proc), (result, profile) in grid.items():
+            total = profile.total_counters()
+            assert total.flops == pytest.approx(
+                result.total_flops, rel=1e-9), (app, proc)
+
+    def test_counter_bytes_equal_executor_totals(self, grid):
+        for (app, proc), (result, profile) in grid.items():
+            total = profile.total_counters()
+            assert total.mem_bytes == pytest.approx(
+                result.total_dram_bytes, rel=1e-9), (app, proc)
+
+    def test_attributed_cycles_equal_time_times_frequency(self, grid):
+        for (app, proc), (result, profile) in grid.items():
+            for rank, finish in result.rank_finish.items():
+                expected = finish * profile.rank_freq[rank]
+                assert profile.attributed_cycles(rank) == pytest.approx(
+                    expected, rel=1e-9), (app, proc, rank)
+
+    def test_stall_categories_sum_per_region(self, grid):
+        for (app, proc), (_, profile) in grid.items():
+            for rp in profile.regions().values():
+                assert sum(rp.counters.stall_cycles().values()) == \
+                    pytest.approx(rp.counters.cycles, rel=1e-9), \
+                    (app, proc, rp.name)
+
+    def test_lane_utilization_bounded(self, grid):
+        for (app, proc), (_, profile) in grid.items():
+            total = profile.total_counters()
+            assert 0.0 <= total.sve_lane_utilization <= 1.0, (app, proc)
+
+
+class TestClosedFormAccounting:
+    @pytest.mark.parametrize("app_name", _CLOSED_FORM)
+    def test_counter_flops_match_closed_form(self, grid, app_name):
+        """Counter totals agree with the hand-derived dataset formulas
+        — on every processor, since the work is machine-independent."""
+        expected, tol = _expected_flops_as_is(app_name)
+        for proc in sorted(catalog.PROCESSORS):
+            _, profile = grid[(app_name, proc)]
+            got = profile.total_counters().flops
+            assert got == pytest.approx(expected, rel=tol), proc

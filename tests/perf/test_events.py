@@ -1,0 +1,157 @@
+"""Unit tests of the simulated PMU event model (repro.perf.events)."""
+
+import pytest
+
+from repro.compile.compiler import Compiler
+from repro.compile.options import PRESETS
+from repro.errors import ConfigurationError
+from repro.kernels.timing import phase_time
+from repro.machine import catalog
+from repro.perf.events import (
+    STALL_CATEGORIES,
+    KernelCounters,
+    derive_counters,
+)
+
+
+@pytest.fixture(scope="module")
+def a64fx_domain():
+    return catalog.a64fx().node.chips[0].domains[0]
+
+
+def _phase(dom, kernel_name="qcd-dirac", iters=1e5, preset="kfast"):
+    """(compiled kernel, PhaseTiming) for one suite kernel on one core."""
+    from repro.miniapps import by_name
+
+    for app_name in ("ccs-qcd", "ffvc", "ngsa", "ntchem"):
+        app = by_name(app_name)
+        kernels = app.kernels(app.dataset("as-is"))
+        if kernel_name in kernels:
+            kernel = kernels[kernel_name]
+            break
+    else:
+        raise KeyError(kernel_name)
+    ck = Compiler(PRESETS[preset]).compile(kernel, dom.core)
+    pt = phase_time(
+        ck, iters, dom.core, dom.l1d, dom.l2,
+        mem_bandwidth_share=dom.memory.per_stream_bandwidth(dom.n_cores),
+        l2_bandwidth_share=dom.l2_bandwidth_share(dom.n_cores),
+        mem_latency_s=dom.memory.latency_s,
+    )
+    return ck, pt
+
+
+class TestKernelCounters:
+    def test_default_is_all_zero(self):
+        c = KernelCounters()
+        assert c.cycles == 0 and c.flops == 0 and c.mem_bytes == 0
+        assert c.sve_lane_utilization == 0.0
+
+    def test_addition_is_fieldwise(self):
+        a = KernelCounters(cycles=1.0, fp64_flops=2.0, mem_read_bytes=3.0)
+        b = KernelCounters(cycles=10.0, fp64_flops=20.0, mem_write_bytes=5.0)
+        c = a + b
+        assert c.cycles == 11.0
+        assert c.fp64_flops == 22.0
+        assert c.mem_bytes == 8.0
+
+    def test_stall_cycles_keys_match_categories(self):
+        stalls = KernelCounters().stall_cycles()
+        assert tuple(stalls) == STALL_CATEGORIES
+
+    def test_to_dict_carries_derived_metrics(self):
+        d = KernelCounters(fp32_flops=4.0, mem_read_bytes=2.0).to_dict()
+        assert d["flops"] == 4.0
+        assert d["mem_bytes"] == 2.0
+        assert "sve_lane_utilization" in d
+
+
+class TestDeriveCounters:
+    def test_cycle_categories_sum_to_total(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        c = derive_counters(ck, a64fx_domain.core, pt)
+        assert sum(c.stall_cycles().values()) == pytest.approx(
+            c.cycles, rel=1e-12)
+
+    def test_cycles_equal_time_times_frequency(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        c = derive_counters(ck, a64fx_domain.core, pt)
+        assert c.cycles == pytest.approx(
+            pt.seconds * a64fx_domain.core.freq_hz, rel=1e-12)
+
+    def test_flops_and_bytes_match_phase(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        c = derive_counters(ck, a64fx_domain.core, pt)
+        assert c.flops == pytest.approx(pt.flops, rel=1e-12)
+        assert c.mem_bytes == pytest.approx(pt.dram_bytes, rel=1e-12)
+        assert c.l1d_miss_bytes == pytest.approx(pt.l2_bytes, rel=1e-12)
+        assert c.l2_miss_bytes == pytest.approx(pt.dram_bytes, rel=1e-12)
+
+    def test_precision_split_follows_element_bytes(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)  # qcd-dirac is fp64
+        c = derive_counters(ck, a64fx_domain.core, pt)
+        assert c.fp64_flops > 0 and c.fp32_flops == 0
+
+    def test_work_scales_with_total_iters(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain, iters=1e4)
+        c1 = derive_counters(ck, a64fx_domain.core, pt)
+        c4 = derive_counters(ck, a64fx_domain.core, pt, total_iters=4e4)
+        assert c4.flops == pytest.approx(4 * c1.flops, rel=1e-12)
+        assert c4.mem_bytes == pytest.approx(4 * c1.mem_bytes, rel=1e-12)
+        # cycles stay critical-thread cycles, not scaled by work
+        assert c4.cycles == pytest.approx(c1.cycles, rel=1e-12)
+
+    def test_wall_seconds_rescales_all_cycle_categories(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        base = derive_counters(ck, a64fx_domain.core, pt)
+        slow = derive_counters(ck, a64fx_domain.core, pt,
+                               wall_seconds=pt.seconds * 1.5)
+        assert slow.cycles == pytest.approx(base.cycles * 1.5, rel=1e-12)
+        for cat, v in base.stall_cycles().items():
+            assert slow.stall_cycles()[cat] == pytest.approx(
+                v * 1.5, rel=1e-12), cat
+        # wall-time rescaling must not touch the work counters
+        assert slow.flops == base.flops
+
+    def test_overhead_books_its_own_category(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        ovh = pt.seconds * 0.1
+        c = derive_counters(ck, a64fx_domain.core, pt, overhead_seconds=ovh)
+        assert c.cycles_overhead == pytest.approx(
+            ovh * a64fx_domain.core.freq_hz, rel=1e-12)
+        assert sum(c.stall_cycles().values()) == pytest.approx(
+            c.cycles, rel=1e-12)
+
+    def test_sve_lane_utilization_in_unit_interval(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        c = derive_counters(ck, a64fx_domain.core, pt)
+        assert 0.0 < c.sve_lane_utilization <= 1.0
+        assert c.instructions > 0
+
+    def test_half_vector_length_halves_lane_utilization(self, a64fx_domain):
+        import dataclasses
+
+        ck, pt = _phase(a64fx_domain)
+        half = dataclasses.replace(ck, simd_bits_used=ck.simd_bits_used // 2)
+        c_full = derive_counters(ck, a64fx_domain.core, pt)
+        c_half = derive_counters(half, a64fx_domain.core, pt)
+        assert c_half.sve_lane_utilization == pytest.approx(
+            c_full.sve_lane_utilization / 2, rel=1e-12)
+
+    def test_zero_length_phase_yields_zero_counters(self, a64fx_domain):
+        from repro.kernels.timing import PhaseTiming
+
+        ck, _ = _phase(a64fx_domain)
+        c = derive_counters(ck, a64fx_domain.core,
+                            PhaseTiming(0.0, "compute", {}, 0.0, 0.0))
+        assert c == KernelCounters()
+
+    def test_negative_overhead_rejected(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        with pytest.raises(ConfigurationError):
+            derive_counters(ck, a64fx_domain.core, pt, overhead_seconds=-1.0)
+
+    def test_negative_wall_rejected(self, a64fx_domain):
+        ck, pt = _phase(a64fx_domain)
+        with pytest.raises(ConfigurationError):
+            derive_counters(ck, a64fx_domain.core, pt, wall_seconds=-1.0)

@@ -1,0 +1,136 @@
+"""Tests of the collection layer (repro.perf.profile)."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.perf import NullSink, ProfileSink, profile_job, region_table
+from repro.runtime.executor import run_job
+from repro.runtime.placement import JobPlacement
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    cluster = catalog.a64fx()
+    app = by_name("ccs-qcd")
+    placement = JobPlacement(cluster, 4, 12)
+    job = app.build_job(cluster, placement, "as-is")
+    result, profile = profile_job(job)
+    return job, result, profile
+
+
+class TestNullSink:
+    def test_every_hook_is_a_noop(self):
+        sink = NullSink()
+        sink.begin_run(None)
+        sink.on_compute(0, None, None, None, 0.0)
+        sink.on_wait(0, "p2p", "send->1", 0.0, 1.0)
+        sink.on_message(0, 1, 1024.0)
+        sink.on_collective("world", "Allreduce", 8.0, 4, 1e-6)
+        sink.end_run(None)
+
+    def test_jobs_default_to_no_sink(self, profiled):
+        job, _, _ = profiled
+        import dataclasses
+
+        bare = dataclasses.replace(job, perf_sink=None)
+        assert bare.perf_sink is None
+        assert run_job(bare).elapsed > 0
+
+
+class TestProfileSink:
+    def test_profile_before_end_run_raises(self):
+        with pytest.raises(SimulationError):
+            ProfileSink().profile()
+
+    def test_profiled_run_matches_unprofiled(self, profiled):
+        job, result, _ = profiled
+        import dataclasses
+
+        bare = run_job(dataclasses.replace(job, perf_sink=None))
+        assert result.elapsed == bare.elapsed
+        assert result.total_flops == bare.total_flops
+
+
+class TestProfile:
+    def test_regions_cover_every_kernel(self, profiled):
+        job, _, profile = profiled
+        assert set(profile.regions()) == set(job.kernels)
+
+    def test_counter_flops_match_executor(self, profiled):
+        _, result, profile = profiled
+        total = profile.total_counters()
+        assert total.flops == pytest.approx(result.total_flops, rel=1e-9)
+        assert total.mem_bytes == pytest.approx(
+            result.total_dram_bytes, rel=1e-9)
+
+    def test_every_rank_second_is_attributed(self, profiled):
+        _, result, profile = profiled
+        for rank, finish in result.rank_finish.items():
+            assert profile.attributed_seconds(rank) == pytest.approx(
+                finish, rel=1e-9), rank
+
+    def test_attributed_cycles_equal_time_times_frequency(self, profiled):
+        _, result, profile = profiled
+        for rank, finish in result.rank_finish.items():
+            expected = finish * profile.rank_freq[rank]
+            assert profile.attributed_cycles(rank) == pytest.approx(
+                expected, rel=1e-9), rank
+
+    def test_region_aggregation_sums_ranks(self, profiled):
+        _, _, profile = profiled
+        agg = profile.regions()
+        for name, rp in agg.items():
+            per_rank = [r for (rank, n), r in profile.rank_regions.items()
+                        if n == name]
+            assert rp.ranks == len(per_rank) == 4
+            assert rp.seconds_total == pytest.approx(
+                sum(r.seconds_total for r in per_rank))
+            assert rp.seconds_max == pytest.approx(
+                max(r.seconds_total for r in per_rank))
+
+    def test_collective_wait_recorded(self, profiled):
+        _, _, profile = profiled
+        assert profile.wait_seconds("collective") > 0
+        assert profile.collectives  # at least one op type counted
+
+    def test_cmg_bytes_sum_to_total_memory_traffic(self, profiled):
+        _, _, profile = profiled
+        total = profile.total_counters()
+        by_cmg = sum(r + w for r, w in profile.cmg_memory_bytes.values())
+        assert by_cmg == pytest.approx(total.mem_bytes, rel=1e-9)
+        # 4 ranks x 12 threads on A64FX = one rank per CMG
+        assert len(profile.cmg_memory_bytes) == 4
+
+    def test_to_json_round_trips(self, profiled):
+        _, _, profile = profiled
+        blob = json.dumps(profile.to_json())
+        back = json.loads(blob)
+        assert back == profile.to_json()
+        assert set(back["regions"]) == set(profile.regions())
+        for reg in back["regions"].values():
+            stalls = reg["counters"]
+            total = sum(stalls[f"cycles_{c}"] for c in
+                        ("compute", "l1d", "l2", "memory", "dependence",
+                         "overhead"))
+            assert total == pytest.approx(stalls["cycles"], rel=1e-9)
+
+
+class TestRegionTable:
+    def test_lists_regions_and_wait_rows(self, profiled):
+        job, _, profile = profiled
+        out = region_table(profile).render()
+        for name in job.kernels:
+            assert name in out
+        assert "[collective]" in out
+
+    def test_top_truncates(self, profiled):
+        _, _, profile = profiled
+        out = region_table(profile, top=1).render()
+        body = [line for line in out.splitlines()
+                if line and not line.startswith(("==", "-", "region", "note"))]
+        region_rows = [line for line in body if not line.startswith("[")]
+        assert len(region_rows) == 1

@@ -71,6 +71,58 @@ class TestChromeTrace:
         write_chrome_trace(result, str(path))
         loaded = json.loads(path.read_text())
         assert loaded["otherData"]["job"] == result.job_name
+        assert loaded == to_chrome_trace(result)
+
+    #: Required keys per Chrome trace-event phase type.
+    _SCHEMA = {
+        "M": {"name", "ph", "pid", "tid", "args"},
+        "X": {"name", "cat", "ph", "pid", "tid", "ts", "dur"},
+        "C": {"name", "ph", "pid", "tid", "ts", "args"},
+    }
+
+    def _assert_schema(self, trace):
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for e in trace["traceEvents"]:
+            assert e["ph"] in self._SCHEMA, e
+            assert self._SCHEMA[e["ph"]] <= set(e), e
+            if e["ph"] in ("X", "C"):
+                assert e["ts"] >= 0
+            if e["ph"] == "C":
+                value = e["args"]["value"]
+                assert isinstance(value, float) and value >= 0
+
+    def test_events_are_schema_valid(self, result):
+        self._assert_schema(to_chrome_trace(result))
+
+    def test_counter_tracks_from_profile(self, result, tmp_path):
+        import dataclasses
+
+        from repro.perf import ProfileSink
+        from repro.runtime.executor import run_job as _run
+
+        # re-run the same job shape with the PMU attached
+        cluster = catalog.a64fx()
+        placement = JobPlacement(cluster, 4, 12)
+        app = by_name("ccs-qcd")
+        sink = ProfileSink()
+        job = app.build_job(cluster, placement, "as-is")
+        profiled_result = _run(dataclasses.replace(job, perf_sink=sink))
+        profile = sink.profile()
+
+        trace = to_chrome_trace(profiled_result, profile)
+        self._assert_schema(trace)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters, "profile should add counter tracks"
+        names = {e["name"] for e in counters}
+        for rank in range(4):
+            assert f"rank {rank} GFLOP/s" in names
+            assert f"rank {rank} mem GB/s" in names
+        assert any(e["args"]["value"] > 0 for e in counters)
+
+        # and it still round-trips through JSON on disk
+        path = tmp_path / "counters.json"
+        write_chrome_trace(profiled_result, str(path), profile)
+        assert json.loads(path.read_text()) == trace
 
 
 class TestUtilizationProfile:

@@ -35,6 +35,15 @@ class TestTraceInvariants:
             busy = sum(trace.breakdown().values())
             assert busy <= result.elapsed + 1e-9, rank
 
+    def test_breakdown_totals_equal_rank_wall_clock(self, result):
+        """Segments tile each rank's timeline exactly: the phase
+        breakdown sums to that rank's finish time (the invariant the
+        PMU's cycle conservation builds on)."""
+        for rank, trace in result.traces.items():
+            busy = sum(trace.breakdown().values())
+            assert busy == pytest.approx(
+                result.rank_finish[rank], rel=1e-9), rank
+
     def test_rank_finish_covers_last_segment(self, result):
         for rank, trace in result.traces.items():
             if trace.segments:
