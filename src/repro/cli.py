@@ -5,7 +5,10 @@ Commands mirror what a user of the original study's scripts would run:
 * ``list-apps`` / ``list-processors`` — inventory;
 * ``run`` — simulate one configuration and print the report;
 * ``profile`` — simulate with the PMU on and print the fapp-style report;
-* ``sweep`` — the MPI x OpenMP grid for one app;
+* ``sweep`` — the MPI x OpenMP grid for one app (``--resume`` restarts
+  an interrupted run from the persistent cache + journal);
+* ``chaos`` — deterministic fault-injection campaigns with invariant
+  checks (the CI resilience gate);
 * ``figure`` — regenerate one paper artifact (t1..t2, f1..f10, a1..a5);
 * ``roofline`` — per-kernel roofline placement for one app;
 * ``energy`` — the power-mode study for one app.
@@ -126,10 +129,35 @@ def _cmd_list_processors(_args) -> int:
     return 0
 
 
+def _run_error(args, exc: Exception) -> int:
+    """Surface a failed ``repro run`` as a one-config sweep error:
+    class, message, originating pid, and the full traceback."""
+    import os
+    import traceback
+
+    from repro.core.experiment import ExperimentConfig
+    from repro.core.parallel import SweepError
+
+    setattr(exc, "_repro_traceback", traceback.format_exc())
+    setattr(exc, "_repro_pid", os.getpid())
+    config = ExperimentConfig(
+        app=args.app, dataset=args.dataset, processor=args.processor,
+        n_nodes=args.nodes, n_ranks=args.ranks, n_threads=args.threads,
+    )
+    print(f"error: {SweepError.from_exception(config, exc).details()}",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_run(args) -> int:
     from repro.compile.options import PRESETS
+    from repro.errors import ReproError
 
-    cluster, app, placement, binding, allocation = _resolve_placement(args)
+    try:
+        cluster, app, placement, binding, allocation = \
+            _resolve_placement(args)
+    except ReproError as exc:
+        return _run_error(args, exc)
     print(f"{app.name}/{args.dataset} on {cluster.name}: "
           f"{placement.describe()}")
     if args.breakdown:
@@ -155,7 +183,10 @@ def _cmd_run(args) -> int:
             binding=binding, allocation=allocation,
             options_preset=args.options, data_policy=args.data_policy,
         )
-        row = run_config(config, _cache_from_args(args))
+        try:
+            row = run_config(config, _cache_from_args(args))
+        except Exception as exc:  # noqa: BLE001 - CLI error surface
+            return _run_error(args, exc)
         elapsed = row.elapsed
         flops_per_s = row.gflops * 1e9
         dram_bw = row.dram_gbytes_per_s * 1e9
@@ -210,10 +241,36 @@ def _cmd_sweep(args) -> int:
 
     table, sweeps = f1_mpi_omp_sweep(
         apps=[args.app], dataset=args.dataset, processor=args.processor,
-        cache=_cache_from_args(args), workers=args.jobs)
+        cache=_cache_from_args(args), workers=args.jobs,
+        resume=args.resume)
     print(table.render())
-    print(t3_best_config(sweeps).render())
+    errors = [err for sweep in sweeps.values() for err in sweep.errors]
+    if any(sweep.rows for sweep in sweeps.values()):
+        print(t3_best_config(sweeps).render())
+    if errors:
+        for err in errors:
+            print(err.details(), file=sys.stderr)
+        print(f"sweep: {len(errors)} quarantined/failed config(s)",
+              file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults import run_campaign
+
+    apps = tuple(_app_name(a) for a in args.apps.split(",")) \
+        if args.apps else None
+    report = run_campaign(seed=args.seed, apps=apps, quick=args.quick,
+                          processor=args.processor)
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 _FIGURES = {
@@ -406,7 +463,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="MPI x OpenMP grid for one app")
     _add_app_flags(sweep)
     _add_exec_flags(sweep)
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="pick up an interrupted sweep: completed rows come from the "
+             "persistent cache, repeat-failing configs are quarantined "
+             "(requires the cache, i.e. incompatible with --no-cache)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay deterministic fault-injection campaigns across the "
+             "miniapp catalog and check resilience invariants")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed = bit-identical "
+                            "campaign)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="two-app smoke subset (the CI gate)")
+    chaos.add_argument("--apps", default=None, metavar="A,B,...",
+                       help="comma-separated app subset (default: full "
+                            "suite, or the smoke subset with --quick)")
+    chaos.add_argument("--processor", default="A64FX",
+                       type=_processor_name,
+                       choices=sorted(catalog.PROCESSORS))
+    chaos.add_argument("--json", default=None, metavar="FILE",
+                       help="write the campaign report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     fig = sub.add_parser("figure", help="regenerate one paper artifact")
     fig.add_argument("id", help="t1..t2, f1..f10, a1..a5")

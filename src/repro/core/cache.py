@@ -186,20 +186,36 @@ class ResultCache:
         except OSError:
             return
         fp = self.fingerprint
+        corrupt = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 rec = json.loads(line)
+            except ValueError:
+                corrupt += 1  # torn write / non-JSON garbage
+                continue
+            try:
                 if (rec.get("format") != CACHE_FORMAT
                         or rec.get("fp") != fp):
-                    continue
+                    continue  # expected invalidation, not corruption
                 digest = rec["key"]
                 row = row_from_dict(rec["row"])
-            except (ValueError, KeyError, TypeError, ConfigurationError):
+            except (ValueError, KeyError, TypeError, ConfigurationError,
+                    AttributeError):
+                corrupt += 1  # current-format record we cannot decode
                 continue
             self._remember(digest, row)
+        if corrupt:
+            import warnings
+
+            warnings.warn(
+                f"result cache {self.path}: skipped {corrupt} "
+                f"corrupt/truncated line(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _append(self, digest: str, row: Row) -> None:
         rec = {"format": CACHE_FORMAT, "fp": self.fingerprint,

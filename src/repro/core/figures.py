@@ -87,6 +87,7 @@ def f1_mpi_omp_sweep(
     configs: list[tuple[int, int]] | None = None,
     cache=None,
     workers: int = 1,
+    resume: bool = False,
     _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
     cache = cache if cache is not None else _cache
@@ -104,9 +105,17 @@ def f1_mpi_omp_sweep(
                              n_ranks=nr, n_threads=nt)
             for nr, nt in grid
         ]
-        sweep = run_sweep(f"f1-{app}", cfgs, cache, workers=workers)
+        sweep = run_sweep(f"f1-{app}", cfgs, cache, workers=workers,
+                          resume=resume)
         sweeps[app] = sweep
-        t.add(app, *[row.elapsed * 1e3 for row in sweep.rows])
+        if sweep.errors:
+            # resumed sweeps may quarantine configs: blank those cells
+            by_cfg = {row.config: row for row in sweep.rows}
+            cells = [by_cfg[c].elapsed * 1e3 if c in by_cfg
+                     else float("nan") for c in cfgs]
+        else:
+            cells = [row.elapsed * 1e3 for row in sweep.rows]
+        t.add(app, *cells)
     return t, sweeps
 
 

@@ -5,7 +5,10 @@ process-lifetime memoization, or a persistent
 :class:`~repro.core.cache.ResultCache`) and ``run_sweep`` additionally
 accepts ``workers=N`` to fan the sweep out over a process pool (see
 :mod:`repro.core.parallel`).  Parallel execution preserves the exact
-serial row ordering and values.
+serial row ordering and values.  With a persistent cache, finished rows
+are checkpointed as they complete and ``run_sweep(..., resume=True)``
+restarts an interrupted sweep where it stopped (see
+:mod:`repro.core.journal`).
 """
 
 from __future__ import annotations
@@ -166,9 +169,14 @@ def run_config(config: ExperimentConfig, cache=None) -> Row:
     return row
 
 
+#: Journal failure count at which ``resume`` quarantines a config.
+QUARANTINE_AFTER = 2
+
+
 def run_sweep(name: str, configs: list[ExperimentConfig],
               cache=None, *, workers: int = 1,
-              errors: str = "raise") -> SweepResult:
+              errors: str = "raise", resume: bool = False,
+              retry=None) -> SweepResult:
     """Simulate every configuration of a sweep, preserving order.
 
     Parameters
@@ -185,22 +193,72 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
         exception; ``"capture"`` records failures as
         :class:`~repro.core.parallel.SweepError` entries on
         ``SweepResult.errors`` and keeps the surviving rows.
+    resume:
+        Pick up a previously interrupted run of this sweep.  Requires a
+        persistent :class:`~repro.core.cache.ResultCache`: completed
+        rows are served from the cache (they were checkpointed as they
+        finished) and only the remainder is simulated.  Configs the
+        sweep journal shows failing :data:`QUARANTINE_AFTER` or more
+        times are **quarantined** — recorded on ``SweepResult.errors``
+        without another attempt, whatever the ``errors`` mode, so one
+        deterministically broken config cannot wedge the restart loop.
+    retry:
+        Optional :class:`~repro.core.parallel.RetryPolicy` tuning pool
+        resilience (progress timeout, retry attempts, backoff).
+
+    When the cache is persistent, every fresh completion (success or
+    failure) is also journaled next to the cache file — that journal is
+    what ``resume`` consults.
     """
     if errors not in ("raise", "capture"):
         raise ValueError(f"errors must be 'raise' or 'capture', not {errors!r}")
+    from repro.core.journal import SweepJournal
     from repro.core.parallel import SweepError, run_configs
 
-    outcomes = run_configs(configs, workers=workers, cache=cache)
+    journal = SweepJournal.for_cache(cache)
+    if resume and journal is None:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "resume requires a persistent ResultCache (completed rows and "
+            "the failure journal live in its directory)"
+        )
+
+    quarantine: dict[ExperimentConfig, SweepError] = {}
+    if resume:
+        for config in configs:
+            if config in quarantine:
+                continue
+            entry = journal.status(name, config)
+            if entry is not None and entry["fails"] >= QUARANTINE_AFTER:
+                quarantine[config] = SweepError(
+                    config=config,
+                    error=entry["error"] or "Quarantined",
+                    message=(entry["message"] or "repeated failure")
+                    + f" (quarantined after {entry['fails']} attempts)",
+                    worker_pid=entry["pid"],
+                    attempts=entry["fails"],
+                )
+
+    def note(config: ExperimentConfig, ok: bool, value) -> None:
+        if journal is not None:
+            journal.record(name, config, ok,
+                           exc=None if ok else value)
+
+    to_run = [c for c in configs if c not in quarantine]
+    outcomes = iter(run_configs(to_run, workers=workers, cache=cache,
+                                on_result=note, retry=retry))
     sweep = SweepResult(name)
-    for config, outcome in zip(configs, outcomes):
+    for config in configs:
+        quarantined = quarantine.get(config)
+        if quarantined is not None:
+            sweep.errors.append(quarantined)
+            continue
+        outcome = next(outcomes)
         if isinstance(outcome, Exception):
             if errors == "raise":
                 raise outcome
-            sweep.errors.append(SweepError(
-                config=config,
-                error=type(outcome).__name__,
-                message=str(outcome),
-            ))
+            sweep.errors.append(SweepError.from_exception(config, outcome))
         else:
             sweep.add(outcome)
     return sweep

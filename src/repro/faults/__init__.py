@@ -1,0 +1,41 @@
+"""Deterministic fault injection and chaos campaigns.
+
+Two halves:
+
+* :mod:`~repro.faults.plan` — the declarative, seeded
+  :class:`FaultPlan` (rank crashes, stragglers, message
+  drop/duplicate/delay) that :class:`~repro.runtime.executor.Job`
+  carries via ``fault_plan=`` and the runtime replays deterministically;
+* :mod:`~repro.faults.chaos` — the ``repro chaos`` campaign runner that
+  sweeps fault scenarios across the miniapp catalog and asserts
+  resilience invariants (replay determinism, counter conservation,
+  monotone degradation, analyzer agreement) into a JSON artifact.
+
+Injection is off by default (``Job.fault_plan is None``) and each
+runtime hook point costs a single ``is not None`` predicate when off —
+the same contract as the PMU sink.
+"""
+
+from repro.faults.chaos import ChaosReport, Invariant, run_campaign
+from repro.faults.plan import (
+    MESSAGE_FAULT_KINDS,
+    CrashRank,
+    FaultPlan,
+    FaultState,
+    FaultStats,
+    MessageFault,
+    Straggler,
+)
+
+__all__ = [
+    "MESSAGE_FAULT_KINDS",
+    "ChaosReport",
+    "CrashRank",
+    "FaultPlan",
+    "FaultState",
+    "FaultStats",
+    "Invariant",
+    "MessageFault",
+    "Straggler",
+    "run_campaign",
+]

@@ -1,0 +1,257 @@
+"""Deterministic, seeded fault injection plans.
+
+A :class:`FaultPlan` is a frozen, declarative description of the faults
+one simulated run should experience:
+
+* :class:`CrashRank` — a rank dies at a simulated time (it finishes its
+  in-flight operation, or is cut short mid-wait, and executes nothing
+  afterwards);
+* :class:`Straggler` — a rank's compute regions stretch by a factor from
+  a start time on, as if its core frequency (and with it every ECM
+  resource) dropped — the :meth:`~repro.kernels.timing.PhaseTiming.scaled`
+  transform;
+* :class:`MessageFault` — point-to-point messages matching a
+  (src, dst) filter are dropped, duplicated, or delayed, each with a
+  probability drawn from the plan's seeded RNG.
+
+Determinism is the load-bearing property: the event engine fires events
+in a reproducible order, every probabilistic decision consumes the
+plan's own ``random.Random(seed)`` stream in that order, and the plan
+itself is immutable — so the same plan against the same job yields
+bit-identical timelines, counters, and fault statistics on every replay.
+The mutable per-run half lives in :class:`FaultState` (one per
+``run_job``), which also accumulates the :class:`FaultStats` the chaos
+campaign asserts invariants over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Message-fault kinds, in severity order.
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class CrashRank:
+    """Rank ``rank`` executes nothing after simulated time ``at``."""
+
+    rank: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"crash rank must be >= 0, got {self.rank}")
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Rank ``rank``'s compute stretches by ``factor`` from ``start`` on."""
+
+    rank: int
+    factor: float
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(
+                f"straggler rank must be >= 0, got {self.rank}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"straggler factor must be >= 1, got {self.factor}"
+            )
+        if self.start < 0:
+            raise ConfigurationError("straggler start must be >= 0")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop/duplicate/delay messages matching a (src, dst) filter.
+
+    ``src``/``dst`` of ``None`` match any rank.  Each matching delivery
+    triggers the fault with probability ``probability`` (decided by the
+    plan's seeded RNG, so replays are identical); ``max_events`` bounds
+    how many times the fault can fire.  ``delay_s`` is the extra
+    in-flight latency for ``kind="delay"``.
+    """
+
+    kind: str
+    src: int | None = None
+    dst: int | None = None
+    probability: float = 1.0
+    delay_s: float = 0.0
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown message-fault kind {self.kind!r}; "
+                f"expected one of {MESSAGE_FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+        if self.kind == "delay" and self.delay_s == 0.0:
+            raise ConfigurationError("a delay fault needs delay_s > 0")
+        if self.max_events is not None and self.max_events < 1:
+            raise ConfigurationError("max_events must be >= 1 when given")
+
+
+@dataclass
+class FaultStats:
+    """What actually fired during one run (accumulated by FaultState)."""
+
+    crashes: int = 0
+    stalled: int = 0           # ranks wedged as collateral of lossy faults
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    delay_seconds: float = 0.0
+    straggled_regions: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault campaign for one simulated run.
+
+    Immutable; :meth:`bind` produces the per-run mutable state.  An empty
+    plan (no specs) is valid and injects nothing — useful as an explicit
+    "chaos off" object.
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashRank, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    message_faults: tuple[MessageFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for c in self.crashes:
+            if c.rank in seen:
+                raise ConfigurationError(f"rank {c.rank} crashes twice")
+            seen.add(c.rank)
+        seen = set()
+        for s in self.stragglers:
+            if s.rank in seen:
+                raise ConfigurationError(
+                    f"rank {s.rank} has two straggler specs"
+                )
+            seen.add(s.rank)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crashes or self.stragglers or self.message_faults)
+
+    def bind(self) -> "FaultState":
+        """Fresh mutable per-run state (one per ``run_job``)."""
+        return FaultState(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe description (for the chaos report artifact)."""
+        return {
+            "seed": self.seed,
+            "crashes": [{"rank": c.rank, "at": c.at} for c in self.crashes],
+            "stragglers": [
+                {"rank": s.rank, "factor": s.factor, "start": s.start}
+                for s in self.stragglers
+            ],
+            "message_faults": [
+                {
+                    "kind": m.kind, "src": m.src, "dst": m.dst,
+                    "probability": m.probability, "delay_s": m.delay_s,
+                    "max_events": m.max_events,
+                }
+                for m in self.message_faults
+            ],
+        }
+
+
+class FaultState:
+    """Mutable per-run binding of a :class:`FaultPlan`.
+
+    The runtime queries it at three hook points — rank crash scheduling,
+    compute timing, and message delivery — and every probabilistic answer
+    consumes the seeded RNG in deterministic event order.
+    """
+
+    __slots__ = ("plan", "stats", "_rng", "_crash_at", "_straggle",
+                 "_msg_faults", "_msg_remaining")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._crash_at = {c.rank: c.at for c in plan.crashes}
+        self._straggle = {s.rank: (s.factor, s.start)
+                          for s in plan.stragglers}
+        self._msg_faults = plan.message_faults
+        self._msg_remaining = [
+            m.max_events if m.max_events is not None else -1
+            for m in plan.message_faults
+        ]
+
+    # -- hook: executor crash scheduling --------------------------------
+    def crash_time(self, rank: int) -> float | None:
+        """When ``rank`` should die, or ``None``."""
+        return self._crash_at.get(rank)
+
+    @property
+    def lossy(self) -> bool:
+        """True when injected faults may legitimately wedge ranks."""
+        return bool(self.stats.crashes or self.stats.drops)
+
+    # -- hook: compute timing -------------------------------------------
+    def compute_factor(self, rank: int, now: float) -> float:
+        """Multiplier on ``rank``'s compute timings at simulated ``now``."""
+        spec = self._straggle.get(rank)
+        if spec is None:
+            return 1.0
+        factor, start = spec
+        if now < start:
+            return 1.0
+        self.stats.straggled_regions += 1
+        return factor
+
+    # -- hook: message delivery -----------------------------------------
+    def message_action(self, src: int, dst: int,
+                       size: float) -> tuple[str, float] | None:
+        """Fault decision for one delivery: ``(kind, delay_s)`` or None.
+
+        The first matching spec that fires wins.  Every *matching* spec
+        with probability < 1 consumes one RNG draw whether or not it
+        fires, keeping the stream alignment independent of the draw
+        outcomes themselves.
+        """
+        for i, m in enumerate(self._msg_faults):
+            if m.src is not None and m.src != src:
+                continue
+            if m.dst is not None and m.dst != dst:
+                continue
+            if self._msg_remaining[i] == 0:
+                continue
+            if m.probability < 1.0 and self._rng.random() >= m.probability:
+                continue
+            if self._msg_remaining[i] > 0:
+                self._msg_remaining[i] -= 1
+            if m.kind == "drop":
+                self.stats.drops += 1
+            elif m.kind == "duplicate":
+                self.stats.duplicates += 1
+            else:
+                self.stats.delays += 1
+                self.stats.delay_seconds += m.delay_s
+            return m.kind, m.delay_s
+        return None

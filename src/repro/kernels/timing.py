@@ -64,6 +64,28 @@ class PhaseTiming:
             return 0.0
         return self.dram_bytes / self.seconds
 
+    def scaled(self, factor: float) -> "PhaseTiming":
+        """This timing with every time component stretched by ``factor``.
+
+        Models a uniform slowdown of the executing core — frequency and
+        all bandwidths derated together — so the resource *balance* (and
+        with it ``bound``) is unchanged while seconds and the per-level
+        components scale.  Work counts (flops, bytes, iters) are the same
+        work, done slower.  The straggler-injection transform
+        (:mod:`repro.faults`) and node-slowdown modelling both use this.
+        """
+        if factor < 0:
+            raise ConfigurationError("scale factor must be non-negative")
+        if factor == 1.0:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            seconds=self.seconds * factor,
+            components={k: v * factor for k, v in self.components.items()},
+        )
+
 
 def phase_time(
     ck: "CompiledKernel",

@@ -23,7 +23,8 @@ from repro.runtime.openmp import DATA_POLICIES, region_time
 from repro.runtime.placement import JobPlacement
 from repro.runtime.trace import RankTrace
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.faults.plan import FaultPlan
     from repro.perf.profile import NullSink
 
 #: Type of a rank-program factory: (rank, size) -> generator of ops.
@@ -49,6 +50,10 @@ class Job:
     #: ``None`` — the default — keeps every hot path at a single
     #: ``is not None`` test, so profiling costs nothing when off.
     perf_sink: "NullSink | None" = None
+    #: Deterministic fault injection (:class:`repro.faults.FaultPlan`).
+    #: ``None`` — the default — keeps every executor/MPI hook at a single
+    #: ``is not None`` predicate, so chaos costs nothing when off.
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.placement.cluster is not self.cluster:
@@ -64,6 +69,14 @@ class Job:
                 if factor < 1.0:
                     raise ConfigurationError(
                         f"slowdown factor must be >= 1, got {factor}"
+                    )
+        if self.fault_plan is not None:
+            n = self.placement.n_ranks
+            for spec in (*self.fault_plan.crashes, *self.fault_plan.stragglers):
+                if spec.rank >= n:
+                    raise ConfigurationError(
+                        f"fault plan names rank {spec.rank}, but the job "
+                        f"has only {n} ranks"
                     )
 
 
@@ -81,6 +94,20 @@ class RunResult:
     bytes_sent: float
     placement_label: str
     io_bytes: float = 0.0
+    #: Ranks killed by injected faults (their traces end at the crash).
+    failed_ranks: tuple[int, ...] = ()
+    #: Ranks wedged as collateral of a lossy fault (blocked forever on a
+    #: crashed peer or a dropped message); their ``rank_finish`` is the
+    #: time they blocked, so time accounting stays conservation-exact.
+    stalled_ranks: tuple[int, ...] = ()
+    #: What the fault plan actually did (:class:`repro.faults.FaultStats`)
+    #: — ``None`` when the job carried no (non-empty) plan.
+    fault_stats: object | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when injected faults cost this run at least one rank."""
+        return bool(self.failed_ranks or self.stalled_ranks)
 
     @property
     def achieved_flops_per_s(self) -> float:
@@ -122,7 +149,7 @@ class _RankDriver:
     paths allocate no per-event closures.
     """
 
-    __slots__ = ("rank", "ex", "gen", "trace", "finish_time",
+    __slots__ = ("rank", "ex", "gen", "trace", "finish_time", "crashed",
                  "blocked_since", "_advance_cb", "_resume_cb",
                  "_block_t0", "_block_category", "_block_label",
                  "_wait_remaining")
@@ -133,6 +160,7 @@ class _RankDriver:
         self.gen = executor.job.program(rank, executor.placement.n_ranks)
         self.trace = RankTrace(rank)
         self.finish_time: float | None = None
+        self.crashed = False
         self.blocked_since: float | None = None
         self._advance_cb = self._advance_none
         self._resume_cb = self._resume_blocked
@@ -153,10 +181,16 @@ class _RankDriver:
         self._block_t0 = self.ex.engine.now
         self._block_category = category
         self._block_label = label
+        if self.ex.faults is not None:
+            self.blocked_since = self._block_t0
         return self._resume_cb
 
     def _resume_blocked(self) -> None:
         """Record the blocked interval (if any time passed) and advance."""
+        if self.ex.faults is not None:
+            if self.crashed:
+                return      # a late delivery reached a dead rank
+            self.blocked_since = None
         now = self.ex.engine.now
         if now > self._block_t0:
             self.trace.add(self._block_t0, now, self._block_category,
@@ -166,8 +200,42 @@ class _RankDriver:
                                      self._block_label, self._block_t0, now)
         self._advance(None)
 
+    # -- fault injection ------------------------------------------------
+    def _die(self, now: float) -> None:
+        """Stop this rank for good at ``now`` (injected crash)."""
+        self.finish_time = now
+        self.gen.close()
+
+    def _crash(self) -> None:
+        """Injected-crash event: kill the rank at the current time.
+
+        A rank blocked in a wait dies immediately (the partial wait is
+        attributed so time accounting stays conservation-exact); a rank
+        mid-compute finishes the in-flight region and dies at the next
+        operation boundary (see the guard in :meth:`_advance`).
+        """
+        if self.finish_time is not None:
+            return          # already finished normally
+        self.crashed = True
+        self.ex.faults.stats.crashes += 1
+        if self.blocked_since is not None:
+            now = self.ex.engine.now
+            if now > self._block_t0:
+                self.trace.add(self._block_t0, now, self._block_category,
+                               self._block_label)
+                if self.ex.perf is not None:
+                    self.ex.perf.on_wait(self.rank, self._block_category,
+                                         self._block_label, self._block_t0,
+                                         now)
+            self.blocked_since = None
+            self._die(now)
+
     def _advance(self, send_value) -> None:
         engine = self.ex.engine
+        if self.ex.faults is not None and self.crashed:
+            if self.finish_time is None:
+                self._die(engine.now)
+            return
         while True:
             try:
                 op = self.gen.send(send_value)
@@ -292,15 +360,18 @@ class _Executor:
 
     __slots__ = ("job", "placement", "engine", "mpi", "compiled",
                  "total_flops", "total_dram_bytes", "_storage_busy",
-                 "io_bytes", "perf")
+                 "io_bytes", "perf", "faults")
 
     def __init__(self, job: Job) -> None:
         self.job = job
         self.placement = job.placement
         self.perf = job.perf_sink
+        self.faults = None if job.fault_plan is None or job.fault_plan.empty \
+            else job.fault_plan.bind()
         self.engine = Engine()
         self.mpi = SimMPI(self.engine, job.cluster, job.placement,
-                          job.communicators, perf=job.perf_sink)
+                          job.communicators, perf=job.perf_sink,
+                          faults=self.faults)
         core = job.cluster.node.chips[0].domains[0].core
         compiler = Compiler(job.options)
         self.compiled: dict[str, CompiledKernel] = compiler.compile_many(
@@ -346,13 +417,11 @@ class _Executor:
             factor = self.job.node_slowdown.get(
                 self.placement.node_of(rank), 1.0)
             if factor != 1.0:
-                import dataclasses
-
-                timing = dataclasses.replace(
-                    timing,
-                    seconds=timing.seconds * factor,
-                    max_thread_seconds=timing.max_thread_seconds * factor,
-                )
+                timing = timing.scaled(factor)
+        if self.faults is not None:
+            factor = self.faults.compute_factor(rank, self.engine.now)
+            if factor != 1.0:
+                timing = timing.scaled(factor)
         return timing
 
 
@@ -371,15 +440,36 @@ def run_job(job: Job) -> RunResult:
     drivers = [
         _RankDriver(rank, ex) for rank in range(job.placement.n_ranks)
     ]
+    if ex.faults is not None:
+        # crashes are scheduled before the first advance, so a crash at
+        # t=0 kills the rank before it executes a single operation
+        for d in drivers:
+            t = ex.faults.crash_time(d.rank)
+            if t is not None:
+                ex.engine.schedule_at(t, d._crash)
     for d in drivers:
         d.start()
     ex.engine.run()
 
-    unfinished = [d.rank for d in drivers if d.finish_time is None]
+    failed: tuple[int, ...] = ()
+    stalled: tuple[int, ...] = ()
+    if ex.faults is not None:
+        failed = tuple(sorted(d.rank for d in drivers if d.crashed))
+    unfinished = [d for d in drivers if d.finish_time is None]
     if unfinished:
-        raise DeadlockError(
-            f"ranks {unfinished} never finished;\n{ex.mpi.blocked_summary()}"
-        )
+        if ex.faults is None or not ex.faults.lossy:
+            raise DeadlockError(
+                f"ranks {[d.rank for d in unfinished]} never finished;\n"
+                f"{ex.mpi.blocked_summary()}"
+            )
+        # Collateral of a lossy fault: ranks blocked forever on a crashed
+        # peer or a dropped message.  Their clock stops where they
+        # blocked, so per-rank attributed time still equals rank_finish.
+        stalled = tuple(sorted(d.rank for d in unfinished))
+        ex.faults.stats.stalled = len(stalled)
+        for d in unfinished:
+            d.finish_time = d.blocked_since if d.blocked_since is not None \
+                else ex.engine.now
 
     finish = {d.rank: float(d.finish_time) for d in drivers}
     result = RunResult(
@@ -393,6 +483,9 @@ def run_job(job: Job) -> RunResult:
         bytes_sent=ex.mpi.bytes_sent,
         placement_label=job.placement.describe(),
         io_bytes=ex.io_bytes,
+        failed_ranks=failed,
+        stalled_ranks=stalled,
+        fault_stats=None if ex.faults is None else ex.faults.stats,
     )
     if ex.perf is not None:
         ex.perf.end_run(result)

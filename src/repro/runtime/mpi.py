@@ -95,12 +95,16 @@ class SimMPI:
         placement: JobPlacement,
         communicators: dict[str, tuple[int, ...]] | None = None,
         perf=None,
+        faults=None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.placement = placement
         #: Optional PMU sink (:mod:`repro.perf`); ``None`` = profiling off.
         self.perf = perf
+        #: Optional bound fault state (:mod:`repro.faults`); ``None`` =
+        #: chaos off — one predicate per delivery, like the PMU hook.
+        self.faults = faults
         n = placement.n_ranks
         self.communicators: dict[str, tuple[int, ...]] = {
             "world": tuple(range(n))
@@ -160,6 +164,25 @@ class SimMPI:
         self.messages_sent += 1
         if self.perf is not None:
             self.perf.on_message(src, dst, size)
+        if self.faults is not None:
+            action = self.faults.message_action(src, dst, size)
+            if action is not None:
+                kind, extra = action
+                if kind == "drop":
+                    # the payload was injected (NIC time and byte counters
+                    # already charged) but never arrives: the receive —
+                    # and a rendezvous send — stay pending forever
+                    return
+                if kind == "delay":
+                    duration += extra
+                else:  # duplicate: a retransmission burns wire and NIC
+                    self.bytes_sent += size
+                    self.messages_sent += 1
+                    if self.perf is not None:
+                        self.perf.on_message(src, dst, size)
+                    if a_src.node != a_dst.node:
+                        self._nic_free[a_src.node] += \
+                            size / self.cluster.node.nic_injection_bandwidth
 
         def finish() -> None:
             if not send_req.done:       # eager sends completed at post time

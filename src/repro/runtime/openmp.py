@@ -62,6 +62,26 @@ class RegionTiming:
     worst: PhaseTiming | None = None
     n_threads: int = 1
 
+    def scaled(self, factor: float) -> "RegionTiming":
+        """This region stretched by ``factor`` (uniform core slowdown).
+
+        Wall time, critical-thread time, overhead, and the attached
+        :class:`PhaseTiming` all scale together, so the simulated PMU's
+        cycle accounting stays conservation-exact under straggler
+        injection (attributed cycles still equal wall x frequency).
+        """
+        if factor == 1.0:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            seconds=self.seconds * factor,
+            max_thread_seconds=self.max_thread_seconds * factor,
+            overhead_seconds=self.overhead_seconds * factor,
+            worst=None if self.worst is None else self.worst.scaled(factor),
+        )
+
 
 def fork_join_overhead(n_threads: int, n_domains: int) -> float:
     """Fork + join cost of one parallel region, seconds."""

@@ -111,7 +111,8 @@ class TestCorruptionRecovery:
         with open(cache.path, "a") as fh:
             fh.write('{"format": 1, "fp": "deadbeef", "key": "tru')  # no \n
         reopened = ResultCache(tmp_path)
-        assert reopened.get(CFG) == row
+        with pytest.warns(RuntimeWarning, match="corrupt/truncated"):
+            assert reopened.get(CFG) == row
 
     def test_garbage_lines_skipped(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -120,12 +121,48 @@ class TestCorruptionRecovery:
         cache.path.write_text("not json at all\n\n" + text
                               + '{"format": 1}\n')
         reopened = ResultCache(tmp_path)
-        assert reopened.get(CFG) == row
+        with pytest.warns(RuntimeWarning, match="corrupt/truncated"):
+            assert reopened.get(CFG) == row
         assert len(reopened) == 1
 
     def test_unreadable_file_is_empty_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "never-created")
         assert cache.get(CFG) is None
+
+    def test_torn_write_warns_once_and_keeps_rest(self, tmp_path):
+        """Regression: a run killed mid-append leaves a truncated JSONL
+        line; loading must keep every intact record and say so in ONE
+        warning rather than raising or staying silent."""
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG, cache)
+        with open(cache.path, "a") as fh:
+            fh.write('{"format": 1, "fp": "')   # torn mid-record, no \n
+        reopened = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="1 corrupt/truncated"):
+            assert reopened.get(CFG) == row
+        assert len(reopened) == 1
+
+    def test_clean_file_does_not_warn(self, tmp_path, recwarn):
+        cache = ResultCache(tmp_path)
+        row = run_config(CFG, cache)
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(CFG) == row
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_stale_fingerprint_is_not_corruption(self, tmp_path, recwarn):
+        """Records under an older model fingerprint are expected
+        invalidation — they must be skipped silently, not warned about."""
+        cache = ResultCache(tmp_path)
+        run_config(CFG, cache)
+        text = cache.path.read_text()
+        rec = json.loads(text.splitlines()[0])
+        rec["fp"] = "0123456789abcdef"
+        cache.path.write_text(text + json.dumps(rec) + "\n")
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
 
 
 class TestFingerprint:

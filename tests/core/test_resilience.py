@@ -1,0 +1,308 @@
+"""Resilient sweep execution: retries, crash recovery, journal, resume.
+
+The acceptance property for resume: a sweep killed mid-run and
+restarted with ``resume=True`` produces a SweepResult row-for-row
+identical to the uninterrupted run.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.core.parallel as par
+from repro.core.cache import ResultCache
+from repro.core.experiment import ExperimentConfig
+from repro.core.journal import SweepJournal
+from repro.core.parallel import RetryPolicy, SweepError, run_configs
+from repro.core.runner import QUARANTINE_AFTER, Row, run_sweep
+from repro.errors import ConfigurationError
+
+CONFIGS = [ExperimentConfig(app="ffvc", n_ranks=1, n_threads=t)
+           for t in (1, 2, 3, 4)]
+
+#: Placement that cannot fit one node; with the lint gate off the error
+#: fires at simulation time, exercising the per-row capture path.
+BAD_CONFIG = ExperimentConfig(app="ffvc", n_ranks=2, n_threads=48)
+
+FAST = RetryPolicy(max_attempts=3, backoff_s=0.01, timeout_s=60.0)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-patching tests rely on fork inheritance")
+
+
+@pytest.fixture
+def no_lint(monkeypatch):
+    """Disable the pre-flight lint gate for this test.
+
+    Patches both the environment (picked up by freshly spawned workers)
+    and the analyzer's in-process flag, which is snapshotted at import
+    time and therefore unaffected by setenv alone.
+    """
+    from repro.analysis import analyzer
+
+    monkeypatch.setenv("REPRO_NO_LINT", "1")
+    monkeypatch.setattr(analyzer, "_enabled", False)
+
+
+class TestRetryPolicy:
+    def test_defaults_sane(self):
+        p = RetryPolicy()
+        assert p.max_attempts >= 1 and p.timeout_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+
+
+class TestErrorDiagnostics:
+    def test_serial_capture_carries_traceback_and_pid(self, no_lint):
+        sweep = run_sweep("diag", [CONFIGS[0], BAD_CONFIG], {},
+                          errors="capture")
+        assert len(sweep.rows) == 1
+        err = sweep.errors[0]
+        assert err.error == "PlacementError"
+        assert "Traceback (most recent call last)" in err.traceback
+        assert err.worker_pid == os.getpid()   # serial path = parent
+        assert f"[pid {err.worker_pid}]" in str(err)
+        assert err.traceback.rstrip().splitlines()[-1] in err.details()
+
+    @fork_only
+    def test_pool_capture_carries_worker_pid(self, no_lint):
+        sweep = run_sweep("diag", CONFIGS[:2] + [BAD_CONFIG], {},
+                          workers=2, errors="capture")
+        err = sweep.errors[0]
+        assert err.worker_pid is not None
+        assert err.worker_pid != os.getpid()   # raised in a worker
+        assert "PlacementError" in err.details()
+
+    def test_details_without_traceback_is_header_only(self):
+        err = SweepError(config=CONFIGS[0], error="X", message="boom")
+        assert err.details() == str(err)
+
+
+class TestOnResultCallback:
+    def test_fresh_completions_reported_in_completion_order(self):
+        seen = []
+        run_configs(CONFIGS[:3], cache=None,
+                    on_result=lambda c, ok, v: seen.append((c, ok)))
+        assert [c for c, _ in seen] == CONFIGS[:3]
+        assert all(ok for _, ok in seen)
+
+    def test_cache_hits_not_reported(self):
+        memo = {}
+        run_configs(CONFIGS[:2], cache=memo)
+        seen = []
+        run_configs(CONFIGS[:2], cache=memo,
+                    on_result=lambda c, ok, v: seen.append(c))
+        assert seen == []
+
+    def test_rows_checkpointed_into_cache_at_completion(self):
+        memo = {}
+        sizes = []
+        run_configs(CONFIGS[:3], cache=memo,
+                    on_result=lambda c, ok, v: sizes.append(len(memo)))
+        # by the time each completion is observed, its row is cached
+        assert sizes == [1, 2, 3]
+
+
+class TestWorkerCrashRecovery:
+    @fork_only
+    def test_broken_pool_recovers_all_rows(self, tmp_path, monkeypatch):
+        """A worker hard-killed mid-sweep (BrokenProcessPool) loses only
+        its in-flight config; retries recover every row."""
+        marker = tmp_path / "crashed-once"
+        real = par.run_config
+
+        def flaky(config):
+            if config.n_threads == 3 and not marker.exists():
+                marker.touch()
+                os._exit(42)       # simulate an OOM-killed worker
+            return real(config)
+
+        monkeypatch.setattr(par, "run_config", flaky)
+        out = par.run_configs(CONFIGS, workers=2, retry=FAST)
+        assert all(isinstance(o, Row) for o in out)
+        assert marker.exists()
+
+    @fork_only
+    def test_persistently_crashing_worker_exhausts_to_serial(
+            self, monkeypatch):
+        """A config that always kills its worker ends up re-dispatched
+        serially in the parent — where its os._exit would kill the test
+        process, so the serial fallback must be reached with the *real*
+        function. We verify by counting pool passes."""
+        real = par.run_config
+        passes = []
+        real_pass = par._one_pool_pass
+
+        def counting_pass(configs, workers, note, policy):
+            passes.append(len(configs))
+            return real_pass(configs, workers, note, policy)
+
+        def flaky(config):
+            # crash only in workers (parent pid differs)
+            if config.n_threads == 3 and os.getppid() == parent:
+                os._exit(42)
+            return real(config)
+
+        parent = os.getpid()
+        monkeypatch.setattr(par, "run_config", flaky)
+        monkeypatch.setattr(par, "_one_pool_pass", counting_pass)
+        out = par.run_configs(CONFIGS, workers=2, retry=FAST)
+        assert all(isinstance(o, Row) for o in out)
+        assert len(passes) >= 2          # pool retried before going serial
+        assert passes[0] == len(CONFIGS)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.record("s", CONFIGS[0], ok=True)
+        j.record("s", CONFIGS[1], ok=False, exc=ValueError("boom"))
+        j2 = SweepJournal(tmp_path / "j.jsonl")
+        assert j2.status("s", CONFIGS[0])["done"]
+        bad = j2.status("s", CONFIGS[1])
+        assert bad["fails"] == 1
+        assert bad["error"] == "ValueError" and bad["message"] == "boom"
+        assert j2.failures("s", CONFIGS[1]) == 1
+        assert j2.failures("s", CONFIGS[2]) == 0
+
+    def test_success_clears_strikes(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.record("s", CONFIGS[0], ok=False, exc=ValueError("x"))
+        j.record("s", CONFIGS[0], ok=False, exc=ValueError("x"))
+        j.record("s", CONFIGS[0], ok=True)
+        assert SweepJournal(tmp_path / "j.jsonl") \
+            .failures("s", CONFIGS[0]) == 0
+
+    def test_torn_line_tolerated(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.record("s", CONFIGS[0], ok=True)
+        with open(j.path, "a") as fh:
+            fh.write('{"format": 1, "sweep": "s"')   # torn
+        j2 = SweepJournal(j.path)
+        assert j2.status("s", CONFIGS[0])["done"]
+
+    def test_sweeps_are_namespaced(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.record("a", CONFIGS[0], ok=False, exc=ValueError("x"))
+        assert j.failures("b", CONFIGS[0]) == 0
+
+    def test_for_cache_needs_directory(self, tmp_path):
+        assert SweepJournal.for_cache({}) is None
+        assert SweepJournal.for_cache(None) is None
+        j = SweepJournal.for_cache(ResultCache(tmp_path))
+        assert j is not None and j.path.parent == tmp_path
+
+
+class _InterruptNth:
+    """Raise KeyboardInterrupt when the Nth fresh config starts."""
+
+    def __init__(self, real, n):
+        self.real, self.n, self.count = real, n, 0
+
+    def __call__(self, config):
+        self.count += 1
+        if self.count == self.n:
+            raise KeyboardInterrupt
+        return self.real(config)
+
+
+class TestResume:
+    def test_resume_requires_persistent_cache(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("r", CONFIGS, {}, resume=True)
+        with pytest.raises(ConfigurationError):
+            run_sweep("r", CONFIGS, None, resume=True)
+
+    def test_killed_sweep_resumes_row_identical(self, tmp_path,
+                                                monkeypatch):
+        """The acceptance criterion: interrupt after 2 of 4 configs,
+        restart with resume=True, get the uninterrupted result."""
+        reference = run_sweep("ref", list(CONFIGS), {})
+
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(par, "run_config",
+                            _InterruptNth(par.run_config, 3))
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep("f1x", list(CONFIGS), cache)
+        monkeypatch.undo()
+
+        # the two finished rows were checkpointed before the kill
+        survivors = ResultCache(tmp_path)
+        assert sum(c in survivors for c in CONFIGS) == 2
+
+        resumed = run_sweep("f1x", list(CONFIGS), ResultCache(tmp_path),
+                            resume=True)
+        assert [r.config for r in resumed.rows] \
+            == [r.config for r in reference.rows]
+        assert [r.elapsed for r in resumed.rows] \
+            == [r.elapsed for r in reference.rows]
+        assert resumed.errors == []
+
+    def test_repeat_failures_quarantined_on_resume(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        journal = SweepJournal.for_cache(cache)
+        bad = CONFIGS[1]
+        for _ in range(QUARANTINE_AFTER):
+            journal.record("q", bad, ok=False,
+                           exc=RuntimeError("kernel exploded"))
+
+        sweep = run_sweep("q", list(CONFIGS), cache, resume=True)
+        assert len(sweep.rows) == len(CONFIGS) - 1
+        assert bad not in [r.config for r in sweep.rows]
+        [err] = sweep.errors
+        assert err.config == bad
+        assert err.attempts == QUARANTINE_AFTER
+        assert "quarantined" in err.message
+
+    def test_below_threshold_failures_retry_on_resume(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        journal = SweepJournal.for_cache(cache)
+        journal.record("q", CONFIGS[1], ok=False, exc=RuntimeError("once"))
+
+        sweep = run_sweep("q", list(CONFIGS), cache, resume=True)
+        assert len(sweep.rows) == len(CONFIGS)
+        assert sweep.errors == []
+
+    def test_journal_written_alongside_persistent_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep("jz", CONFIGS[:2], cache)
+        journal = SweepJournal.for_cache(ResultCache(tmp_path))
+        assert journal.path.exists()
+        for config in CONFIGS[:2]:
+            assert journal.status("jz", config)["done"]
+
+    def test_plain_dict_cache_writes_no_journal(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+        run_sweep("nz", CONFIGS[:1], {})
+        assert not (tmp_path / "unused").exists()
+
+
+class TestFigurePassthrough:
+    def test_f1_resume_quarantine_blanks_cell(self, tmp_path):
+        """A quarantined grid point must blank its table cell, not shift
+        the row."""
+        from repro.core.figures import f1_mpi_omp_sweep
+
+        cache = ResultCache(tmp_path)
+        grid = [(1, 1), (1, 2)]
+        bad = ExperimentConfig(app="ffvc", n_ranks=1, n_threads=2)
+        journal = SweepJournal.for_cache(cache)
+        for _ in range(QUARANTINE_AFTER):
+            journal.record("f1-ffvc", bad, ok=False,
+                           exc=RuntimeError("boom"))
+
+        table, sweeps = f1_mpi_omp_sweep(
+            apps=["ffvc"], configs=grid, cache=cache, resume=True)
+        assert len(sweeps["ffvc"].rows) == 1
+        assert len(sweeps["ffvc"].errors) == 1
+        # the rendered row keeps both columns (nan cell, not a shift)
+        assert len(table.rows[0]) == 1 + len(grid)

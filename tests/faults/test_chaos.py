@@ -1,0 +1,62 @@
+"""Tests for the chaos campaign runner (repro chaos / CI smoke gate)."""
+
+import json
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.faults.chaos import QUICK_APPS
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(seed=0, apps=("ffvc",))
+
+
+class TestCampaign:
+    def test_all_invariants_hold(self, campaign):
+        assert campaign.ok, campaign.render()
+        assert campaign.violations == []
+
+    def test_scenario_ladder_covered(self, campaign):
+        names = {s["scenario"] for s in campaign.scenarios}
+        assert {"baseline", "delay", "duplicate", "crash", "drop"} <= names
+        assert any(n.startswith("straggler-") for n in names)
+
+    def test_invariant_kinds_checked(self, campaign):
+        kinds = {inv.id for inv in campaign.invariants}
+        assert {"deterministic-replay", "time-conservation",
+                "flop-conservation", "monotone-degradation",
+                "lint-agreement", "degradation-accounting"} <= kinds
+
+    def test_report_is_bit_reproducible(self, campaign):
+        replay = run_campaign(seed=0, apps=("ffvc",))
+        a = json.dumps(campaign.to_json(), sort_keys=True)
+        b = json.dumps(replay.to_json(), sort_keys=True)
+        assert a == b
+
+    def test_render_mentions_verdict(self, campaign):
+        text = campaign.render()
+        assert "all invariants hold" in text
+        assert "seed=0" in text
+
+    def test_json_artifact_shape(self, campaign):
+        doc = campaign.to_json()
+        assert doc["version"] == 1
+        assert doc["ok"] is True
+        assert doc["apps"] == ["ffvc"]
+        # every scenario record carries its plan and run signature
+        for s in doc["scenarios"]:
+            assert "plan" in s
+            assert "elapsed" in s or "error" in s
+
+
+class TestQuickSubset:
+    def test_quick_apps_are_real_apps(self):
+        from repro.miniapps import SUITE
+
+        assert set(QUICK_APPS) <= set(SUITE)
+
+    def test_seed_changes_victims_not_validity(self):
+        a = run_campaign(seed=1, apps=("mvmc",))
+        assert a.ok, a.render()

@@ -1,0 +1,119 @@
+"""Tests for the declarative fault-plan layer (repro.faults.plan)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CrashRank,
+    FaultPlan,
+    MessageFault,
+    Straggler,
+)
+
+
+class TestValidation:
+    def test_bad_message_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="corrupt")
+
+    def test_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="drop", probability=1.5)
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="drop", probability=-0.1)
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="delay")
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="delay", delay_s=-1.0)
+
+    def test_straggler_factor_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            Straggler(rank=0, factor=0.5)
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashRank(rank=0, at=-1.0)
+
+    def test_duplicate_rank_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crashes=(CrashRank(0, 1.0), CrashRank(0, 2.0)))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(stragglers=(Straggler(1, 2.0), Straggler(1, 3.0)))
+
+    def test_max_events_positive(self):
+        with pytest.raises(ConfigurationError):
+            MessageFault(kind="drop", max_events=0)
+
+
+class TestPlan:
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(crashes=(CrashRank(0, 1.0),)).empty
+
+    def test_to_dict_round_trips_specs(self):
+        plan = FaultPlan(
+            seed=7,
+            crashes=(CrashRank(2, 0.5),),
+            stragglers=(Straggler(1, 1.5, start=0.1),),
+            message_faults=(MessageFault(kind="delay", delay_s=1e-6),),
+        )
+        d = plan.to_dict()
+        assert d["seed"] == 7
+        assert d["crashes"] == [{"rank": 2, "at": 0.5}]
+        assert d["stragglers"] == [{"rank": 1, "factor": 1.5, "start": 0.1}]
+        assert d["message_faults"][0]["kind"] == "delay"
+
+
+class TestFaultState:
+    def test_compute_factor_respects_start(self):
+        state = FaultPlan(stragglers=(Straggler(0, 2.0, start=5.0),)).bind()
+        assert state.compute_factor(0, 1.0) == 1.0
+        assert state.compute_factor(0, 5.0) == 2.0
+        assert state.compute_factor(1, 10.0) == 1.0
+        assert state.stats.straggled_regions == 1
+
+    def test_crash_time_lookup(self):
+        state = FaultPlan(crashes=(CrashRank(3, 0.25),)).bind()
+        assert state.crash_time(3) == 0.25
+        assert state.crash_time(0) is None
+
+    def test_message_filter_and_stats(self):
+        state = FaultPlan(message_faults=(
+            MessageFault(kind="drop", src=0, dst=1),)).bind()
+        assert state.message_action(0, 1, 8.0) == ("drop", 0.0)
+        assert state.message_action(1, 0, 8.0) is None
+        assert state.message_action(0, 2, 8.0) is None
+        assert state.stats.drops == 1
+
+    def test_max_events_caps_firing(self):
+        state = FaultPlan(message_faults=(
+            MessageFault(kind="duplicate", max_events=2),)).bind()
+        fired = [state.message_action(0, 1, 1.0) for _ in range(5)]
+        assert sum(a is not None for a in fired) == 2
+        assert state.stats.duplicates == 2
+
+    def test_first_matching_spec_wins(self):
+        state = FaultPlan(message_faults=(
+            MessageFault(kind="delay", src=0, delay_s=1.0),
+            MessageFault(kind="drop"),
+        )).bind()
+        assert state.message_action(0, 1, 1.0) == ("delay", 1.0)
+        assert state.message_action(2, 1, 1.0) == ("drop", 0.0)
+
+    def test_probabilistic_stream_is_seed_deterministic(self):
+        def decisions(seed):
+            state = FaultPlan(seed=seed, message_faults=(
+                MessageFault(kind="drop", probability=0.5),)).bind()
+            return [state.message_action(0, 1, 1.0) is not None
+                    for _ in range(64)]
+
+        assert decisions(1) == decisions(1)
+        assert decisions(1) != decisions(2)  # astronomically unlikely tie
+
+    def test_bind_is_fresh_state(self):
+        plan = FaultPlan(message_faults=(MessageFault(kind="drop"),))
+        a, b = plan.bind(), plan.bind()
+        a.message_action(0, 1, 1.0)
+        assert a.stats.drops == 1 and b.stats.drops == 0
