@@ -1,0 +1,460 @@
+"""Batched closed-form scoring of sweep configurations.
+
+Instead of replaying rank programs event by event, the analytic engine
+scores a whole batch of configurations in one NumPy array pass:
+
+1. every config is *compiled to entries* — one entry per (rank class,
+   compute group, thread context), carrying the per-iteration resource
+   times the ECM model (:func:`repro.kernels.timing.phase_time`) assigns
+   on that context's NUMA domain;
+2. a single vectorized pass applies the roofline
+   ``T_iter = max(T_compute, T_L1, T_L2, T_DRAM) + T_gather_latency``
+   across all entries of all configs at once;
+3. per-group worst-context folds, the analytic communication terms
+   (LogGP collectives via :func:`repro.runtime.collectives.collective_time`,
+   point-to-point waits via :meth:`Cluster.transfer_time`), and the
+   storage model produce the same :class:`~repro.core.runner.Row` fields
+   the event executor emits.
+
+The per-iteration constants are obtained by calling the *event engine's
+own* ``phase_time`` with unit iteration count and unit bandwidth shares,
+so the two engines share one arithmetic by construction; what the
+analytic engine drops is event-level dynamics — fault injection, message
+protocol stalls (NIC serialization, torus contention, eager/rendezvous),
+arrival skew at synchronization points, and storage contention between
+ranks.  Those need ``engine="event"`` (see DESIGN.md).
+
+Determinism: scoring is pure float arithmetic over deterministically
+ordered profiles, so repeated runs are bit-identical.
+
+Assumes homogeneous nodes (every NUMA domain identical), which the
+placement layer already enforces and every cataloged cluster satisfies:
+per-iteration constants are evaluated once on domain (0, 0) and reused
+for every context.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.compile.compiler import Compiler
+from repro.compile.options import PRESETS
+from repro.core.experiment import ExperimentConfig
+from repro.core.runner import Row
+from repro.errors import ConfigurationError, EngineDisagreement, SimulationError
+from repro.kernels.timing import phase_time
+from repro.machine import catalog
+from repro.miniapps import by_name
+from repro.runtime import program as ops
+from repro.runtime.collectives import collective_time, profile_communicator
+from repro.runtime.openmp import _thread_iters, fork_join_overhead
+from repro.runtime.placement import JobPlacement
+
+#: Engine names accepted by ``run_config`` / ``run_sweep`` / the CLI.
+ENGINES = ("event", "analytic", "auto")
+
+#: Agreement tolerances of the seeded sim-vs-analytic cross-validation.
+#: The analytic model's largest divergence is synchronization skew it
+#: cannot see (ranks arriving at collectives/waits at different times).
+#: Calibrated 2026-08 over every processor x every miniapp plus
+#: serial-init, stride/scatter bindings, multi-node allocations, and
+#: compiler presets: worst observed deviation 1.8% on elapsed/gflops
+#: (ffvc/large on 2 nodes, cyclic allocation).  10% leaves ~5x headroom
+#: while still catching real model drift (see DESIGN.md).
+ELAPSED_RTOL = 0.10
+GFLOPS_RTOL = 0.10
+
+#: Configs the ``auto`` engine re-simulates per sweep.
+AUTO_SAMPLE_SIZE = 3
+
+_COLLECTIVE_CLASSES = {
+    "barrier": ops.Barrier,
+    "bcast": ops.Bcast,
+    "reduce": ops.Reduce,
+    "allreduce": ops.Allreduce,
+    "allgather": ops.Allgather,
+    "alltoall": ops.Alltoall,
+    "gather": ops.Gather,
+    "scatter": ops.Scatter,
+    "reducescatter": ops.ReduceScatter,
+    "scan": ops.Scan,
+}
+
+
+def check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    return engine
+
+
+# ----------------------------------------------------------------------
+# memoized model inputs (all keyed on hashable config fields)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def _cluster(processor: str, n_nodes: int):
+    return catalog.by_name(processor, n_nodes=n_nodes)
+
+
+@lru_cache(maxsize=1024)
+def _placement(processor: str, n_nodes: int, n_ranks: int, n_threads: int,
+               allocation, binding) -> JobPlacement:
+    return JobPlacement(_cluster(processor, n_nodes), n_ranks, n_threads,
+                        allocation=allocation, binding=binding)
+
+
+@lru_cache(maxsize=256)
+def _compiled(app: str, dataset: str, preset: str, processor: str):
+    """Compiled kernel set, lowered for the executor's compile target."""
+    cluster = _cluster(processor, 1)
+    app_obj = by_name(app)
+    ds = app_obj.dataset(dataset)
+    core = cluster.node.chips[0].domains[0].core
+    return Compiler(PRESETS[preset]).compile_many(app_obj.kernels(ds), core)
+
+
+@lru_cache(maxsize=512)
+def _profile(app: str, dataset: str, n_ranks: int):
+    app_obj = by_name(app)
+    return app_obj.analytic_profile(app_obj.dataset(dataset), n_ranks)
+
+
+@lru_cache(maxsize=256)
+def _communicator_ranks(app: str, n_ranks: int) -> dict:
+    members = {"world": tuple(range(n_ranks))}
+    extra = by_name(app).communicators(n_ranks)
+    if extra:
+        members.update(extra)
+    return members
+
+
+@lru_cache(maxsize=8192)
+def _phase_consts(app: str, dataset: str, preset: str, processor: str,
+                  kernel: str, ws_scale: float) -> tuple:
+    """Per-iteration ECM constants of one kernel on one processor.
+
+    Returned as ``(t_compute, t_l1, l2_num, dram_num, t_latency,
+    dram_bytes, flops)`` where the context-dependent terms divide the
+    numerators by the context's bandwidth share:
+    ``t_l2 = l2_num / l2_share`` and ``t_dram = dram_num / mem_share``.
+    Produced by the event engine's own ``phase_time`` at unit iteration
+    count and unit shares, so the arithmetic cannot drift between
+    engines.
+    """
+    try:
+        ck = _compiled(app, dataset, preset, processor)[kernel]
+    except KeyError:
+        raise SimulationError(
+            f"{app}/{dataset} references unregistered kernel {kernel!r}"
+        ) from None
+    dom = _cluster(processor, 1).node.chips[0].domains[0]
+    pt = phase_time(
+        ck, 1.0, dom.core, dom.l1d, dom.l2,
+        mem_bandwidth_share=1.0, l2_bandwidth_share=1.0,
+        mem_latency_s=dom.memory.latency_s,
+        working_set_scale=ws_scale,
+    )
+    c = pt.components
+    return (c["compute"], c["l1"], c["l2"], c["dram"], c["latency"],
+            pt.dram_bytes, pt.flops)
+
+
+def clear_memos() -> None:
+    """Drop every engine memo (tests monkeypatching the catalog use this)."""
+    for fn in (_cluster, _placement, _compiled, _profile,
+               _communicator_ranks, _phase_consts):
+        fn.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# per-config compilation to struct-of-arrays entries
+# ----------------------------------------------------------------------
+@dataclass
+class _Group:
+    """One compute group awaiting the batch pass (entry slice + scalars)."""
+
+    start: int
+    end: int
+    max_iters: float        # critical-thread iterations, all regions
+    iters: float            # total iterations (work accounting)
+    overhead_s: float       # fork/join + chunk overhead, all regions
+    flops_per_iter: float
+    class_idx: int
+
+
+@dataclass
+class _Compiled:
+    """One config compiled to entries, plus its per-class scalar terms."""
+
+    config: ExperimentConfig
+    groups: list
+    class_ranks: list       # ranks per class
+    class_comm_s: list      # collective + p2p seconds per class
+    class_other_s: list     # sleep + file I/O seconds per class
+    n_ranks: int
+
+
+def _class_comm_seconds(cluster, placement, profile, cls,
+                        comm_ranks, comm_profiles) -> float:
+    """Collective algorithm time + p2p wait time of one rank class."""
+    total = 0.0
+    rep_addr = placement.thread_cores(cls.rep_rank)[0]
+    for g in cls.collectives:
+        try:
+            members = comm_ranks[g.comm]
+        except KeyError:
+            raise SimulationError(
+                f"profile references unknown communicator {g.comm!r}"
+            ) from None
+        prof = comm_profiles.get(g.comm)
+        if prof is None:
+            addrs = tuple(placement.thread_cores(r)[0] for r in members)
+            prof = profile_communicator(cluster, addrs)
+            comm_profiles[g.comm] = prof
+        try:
+            op_cls = _COLLECTIVE_CLASSES[g.kind]
+        except KeyError:
+            raise SimulationError(
+                f"no analytic model for collective {g.kind!r}"
+            ) from None
+        total += g.count * collective_time(
+            op_cls(size_bytes=g.size_bytes), len(members), prof)
+    n = profile.n_ranks
+    for ex in cls.exchanges:
+        if ex.overlapped:
+            continue    # wait hidden under the interleaved compute
+        wait = 0.0
+        for offset, nbytes in ex.partners:
+            dst_addr = placement.thread_cores(
+                (cls.rep_rank + offset) % n)[0]
+            wait = max(wait,
+                       cluster.transfer_time(rep_addr, dst_addr, nbytes))
+        total += ex.count * wait
+    return total
+
+
+def _mem_share(cluster, dom, key, active, home_key, home_active,
+               data_policy) -> float:
+    if data_policy == "serial-init" and key != home_key:
+        home_dom = cluster.node.chips[home_key[1]].domains[home_key[2]]
+        chip = cluster.node.chips[key[1]]
+        return (home_dom.memory.per_stream_bandwidth(home_active)
+                * chip.remote_access_fraction)
+    return dom.memory.per_stream_bandwidth(active)
+
+
+def _compile_config(config: ExperimentConfig, columns: list) -> _Compiled:
+    """Turn one config into batch entries appended onto ``columns``."""
+    cluster = _cluster(config.processor, config.n_nodes)
+    placement = _placement(config.processor, config.n_nodes,
+                           config.n_ranks, config.n_threads,
+                           config.allocation, config.binding)
+    profile = _profile(config.app, config.dataset, config.n_ranks)
+    comm_ranks = _communicator_ranks(config.app, config.n_ranks)
+    census = placement.threads_per_domain
+    key = (config.app, config.dataset, config.options_preset,
+           config.processor)
+
+    groups: list[_Group] = []
+    class_ranks: list[int] = []
+    class_comm: list[float] = []
+    class_other: list[float] = []
+    comm_profiles: dict = {}
+    storage = cluster.storage
+
+    for class_idx, cls in enumerate(profile.classes):
+        addrs = placement.thread_cores(cls.rep_rank)
+        home_key = placement.home_domain(cls.rep_rank)
+        home_active = max(1, census.get(home_key, 1))
+
+        for g in cls.compute:
+            use_addrs = addrs[:1] if g.serial else addrs
+            n_threads = len(use_addrs)
+            # distinct NUMA domains this group's threads occupy, with the
+            # rank's own thread count in each (shared-L2 footprint scale)
+            contexts: dict[tuple, int] = {}
+            for a in use_addrs:
+                k = (a.node, a.chip, a.domain)
+                contexts[k] = contexts.get(k, 0) + 1
+
+            unit_max, chunk_s = _thread_iters(1.0, n_threads, g.schedule,
+                                              g.imbalance)
+            per_region = chunk_s if g.serial else \
+                fork_join_overhead(n_threads, len(contexts)) + chunk_s
+
+            start = len(columns[0])
+            for ctx_key, rank_threads_here in sorted(contexts.items()):
+                dom = cluster.node.chips[ctx_key[1]].domains[ctx_key[2]]
+                active = max(1, census.get(ctx_key, 1))
+                ws = g.working_set_scale
+                if dom.l2.shared and rank_threads_here > 1:
+                    ws *= max(0.3, 1.0 / rank_threads_here ** 0.5)
+                consts = _phase_consts(*key, g.kernel, ws)
+                mem = _mem_share(cluster, dom, ctx_key, active,
+                                 home_key, home_active, config.data_policy)
+                l2 = dom.l2_bandwidth_share(active)
+                row = consts + (l2, mem)
+                for col, v in zip(columns, row):
+                    col.append(v)
+            groups.append(_Group(
+                start=start, end=len(columns[0]),
+                max_iters=unit_max * g.iters, iters=g.iters,
+                overhead_s=per_region * g.regions,
+                flops_per_iter=consts[6],
+                class_idx=class_idx,
+            ))
+
+        class_ranks.append(cls.n_ranks)
+        class_comm.append(_class_comm_seconds(
+            cluster, placement, profile, cls, comm_ranks, comm_profiles))
+        io_ops = cls.file_reads + cls.file_writes
+        io_bytes = cls.file_read_bytes + cls.file_write_bytes
+        class_other.append(
+            cls.sleep_s
+            + io_ops * storage.open_latency_s
+            + io_bytes / storage.per_node_bandwidth
+        )
+
+    return _Compiled(config=config, groups=groups, class_ranks=class_ranks,
+                     class_comm_s=class_comm, class_other_s=class_other,
+                     n_ranks=config.n_ranks)
+
+
+# ----------------------------------------------------------------------
+# the batch pass
+# ----------------------------------------------------------------------
+def score_configs(configs: list[ExperimentConfig]) -> list:
+    """Score a batch of configs; returns a Row or Exception per config.
+
+    Entries from every config share one vectorized roofline pass;
+    exceptions (bad decompositions, unknown kernels, placement errors)
+    are captured per config so one broken point cannot sink a batch —
+    callers decide whether to raise or record them.
+    """
+    results: list = [None] * len(configs)
+    compiled: list[tuple[int, _Compiled]] = []
+    # entry columns: t_comp, t_l1, l2_num, dram_num, t_lat,
+    #                dram_bytes/iter, flops/iter, l2_share, mem_share
+    columns: list[list[float]] = [[] for _ in range(9)]
+    for i, config in enumerate(configs):
+        mark = len(columns[0])
+        try:
+            compiled.append((i, _compile_config(config, columns)))
+        except Exception as exc:  # noqa: BLE001 - per-config error capture
+            results[i] = exc
+            # discard any partial entries this config appended
+            for col in columns:
+                del col[mark:]
+
+    if compiled:
+        t_comp, t_l1, l2_num, dram_num, t_lat, dram_it, _flops_it, \
+            l2_share, mem_share = (np.asarray(c, dtype=float)
+                                   for c in columns)
+        t_iter = np.maximum(
+            np.maximum(t_comp, t_l1),
+            np.maximum(l2_num / l2_share, dram_num / mem_share),
+        ) + t_lat
+
+    for i, comp in compiled:
+        n_classes = len(comp.class_ranks)
+        compute_s = [0.0] * n_classes
+        flops_c = [0.0] * n_classes
+        dram_c = [0.0] * n_classes
+        for g in comp.groups:
+            seg = t_iter[g.start:g.end]
+            j = int(np.argmax(seg)) if g.end > g.start else 0
+            worst = float(seg[j]) if g.end > g.start else 0.0
+            compute_s[g.class_idx] += worst * g.max_iters + g.overhead_s
+            # work accounting mirrors the event engine: DRAM volume of
+            # the critical context, FLOPs of the full iteration count
+            dram_c[g.class_idx] += float(dram_it[g.start + j]) * g.iters
+            flops_c[g.class_idx] += g.flops_per_iter * g.iters
+
+        totals = [compute_s[c] + comp.class_comm_s[c] + comp.class_other_s[c]
+                  for c in range(n_classes)]
+        elapsed = max(totals, default=0.0)
+        total_flops = sum(r * f for r, f in zip(comp.class_ranks, flops_c))
+        total_dram = sum(r * d for r, d in zip(comp.class_ranks, dram_c))
+        comm_mean = sum(r * s for r, s in
+                        zip(comp.class_ranks, comp.class_comm_s)) \
+            / comp.n_ranks
+        results[i] = Row(
+            config=comp.config,
+            elapsed=elapsed,
+            gflops=(total_flops / elapsed / 1e9) if elapsed > 0 else 0.0,
+            dram_gbytes_per_s=(total_dram / elapsed / 1e9)
+            if elapsed > 0 else 0.0,
+            comm_fraction=min(1.0, comm_mean / elapsed)
+            if elapsed > 0 else 0.0,
+            engine="analytic",
+        )
+    return results
+
+
+def score_config(config: ExperimentConfig) -> Row:
+    """Score one config analytically; raises on failure."""
+    out = score_configs([config])[0]
+    if isinstance(out, Exception):
+        raise out
+    return out
+
+
+# ----------------------------------------------------------------------
+# sim-vs-analytic cross-validation (the ``auto`` engine's gate)
+# ----------------------------------------------------------------------
+def validation_sample(name: str, n: int,
+                      sample_size: int = AUTO_SAMPLE_SIZE) -> list[int]:
+    """Deterministic config indices to re-simulate for a named sweep.
+
+    Seeding ``random.Random`` with a string hashes it through SHA-512,
+    so the sample is stable across processes and Python versions.
+    """
+    if n <= 0:
+        return []
+    rng = random.Random(f"repro-auto:{name}:{n}")
+    return sorted(rng.sample(range(n), min(sample_size, n)))
+
+
+def check_agreement(config: ExperimentConfig, analytic: Row,
+                    event: Row) -> None:
+    """Raise :class:`EngineDisagreement` if the rows differ beyond
+    tolerance on ``elapsed`` or ``gflops``."""
+    for attr, tol in (("elapsed", ELAPSED_RTOL), ("gflops", GFLOPS_RTOL)):
+        a = getattr(analytic, attr)
+        e = getattr(event, attr)
+        rel = abs(a - e) / max(abs(e), 1e-30)
+        if rel > tol:
+            raise EngineDisagreement(
+                f"engines disagree on {attr} for {config.label()}: "
+                f"analytic {a:.6g} vs event {e:.6g} "
+                f"({rel:.1%} > {tol:.0%} tolerance)",
+                config=config, analytic=analytic, event=event,
+            )
+
+
+def cross_validate(name: str, configs: list[ExperimentConfig],
+                   analytic_rows: list, cache=None, *,
+                   sample_size: int = AUTO_SAMPLE_SIZE) -> list[tuple]:
+    """Re-simulate a seeded sample with the event engine and compare.
+
+    Returns the checked ``(config, analytic_row, event_row)`` triples;
+    raises :class:`EngineDisagreement` on the first violation.  Event
+    rows land in ``cache`` under their normal (event) keys, so the
+    cross-check also warms the event cache.
+    """
+    from repro.core.runner import run_config
+
+    checked = []
+    for i in validation_sample(name, len(configs), sample_size):
+        row_a = analytic_rows[i]
+        if isinstance(row_a, Exception) or row_a is None:
+            continue
+        row_e = run_config(configs[i], cache, engine="event")
+        check_agreement(configs[i], row_a, row_e)
+        checked.append((configs[i], row_a, row_e))
+    return checked

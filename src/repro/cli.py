@@ -104,6 +104,13 @@ def _add_exec_flags(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--no-lint", action="store_true",
         help="skip the static pre-flight lint (see `repro lint`)")
+    parser.add_argument(
+        "--engine", default="event",
+        choices=["event", "analytic", "auto"],
+        help="scoring engine: 'event' simulates, 'analytic' scores the "
+             "whole sweep in one closed-form batch pass (~100x faster, "
+             "no fault/protocol effects), 'auto' scores analytically "
+             "and cross-checks a seeded sample against the simulator")
 
 
 def _cache_from_args(args):
@@ -160,6 +167,10 @@ def _cmd_run(args) -> int:
         return _run_error(args, exc)
     print(f"{app.name}/{args.dataset} on {cluster.name}: "
           f"{placement.describe()}")
+    if args.breakdown and args.engine != "event":
+        print("error: --breakdown needs the event executor's traces; "
+              "drop --engine or use --engine event", file=sys.stderr)
+        return 2
     if args.breakdown:
         # the per-phase breakdown needs the full traces, which cached
         # rows don't carry — simulate directly
@@ -184,13 +195,16 @@ def _cmd_run(args) -> int:
             options_preset=args.options, data_policy=args.data_policy,
         )
         try:
-            row = run_config(config, _cache_from_args(args))
+            row = run_config(config, _cache_from_args(args),
+                             engine=args.engine)
         except Exception as exc:  # noqa: BLE001 - CLI error surface
             return _run_error(args, exc)
         elapsed = row.elapsed
         flops_per_s = row.gflops * 1e9
         dram_bw = row.dram_gbytes_per_s * 1e9
         comm = row.comm_fraction
+        if row.engine != "event":
+            print(f"  engine         {row.engine}")
     print(f"  elapsed        {fmt_time(elapsed)}")
     print(f"  performance    {fmt_rate(flops_per_s)}")
     print(f"  DRAM traffic   {fmt_bw(dram_bw)}")
@@ -242,7 +256,7 @@ def _cmd_sweep(args) -> int:
     table, sweeps = f1_mpi_omp_sweep(
         apps=[args.app], dataset=args.dataset, processor=args.processor,
         cache=_cache_from_args(args), workers=args.jobs,
-        resume=args.resume)
+        resume=args.resume, engine=args.engine)
     print(table.render())
     errors = [err for sweep in sweeps.values() for err in sweep.errors]
     if any(sweep.rows for sweep in sweeps.values()):
@@ -257,12 +271,17 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.faults import run_campaign
 
     apps = tuple(_app_name(a) for a in args.apps.split(",")) \
         if args.apps else None
-    report = run_campaign(seed=args.seed, apps=apps, quick=args.quick,
-                          processor=args.processor)
+    try:
+        report = run_campaign(seed=args.seed, apps=apps, quick=args.quick,
+                              processor=args.processor, engine=args.engine)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     if args.json:
         import json
@@ -309,6 +328,8 @@ def _cmd_figure(args) -> int:
             kwargs = {**kwargs, "cache": _cache_from_args(args)}
         if "workers" in params:
             kwargs = {**kwargs, "workers": args.jobs}
+        if "engine" in params and args.engine != "event":
+            kwargs = {**kwargs, "engine": args.engine}
         return fn(**kwargs)
 
     fid = args.id.lower()
@@ -395,7 +416,11 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    if getattr(args, "counters", False):
+    if getattr(args, "engines", False):
+        from repro.validate import validate_engines
+
+        report = validate_engines()
+    elif getattr(args, "counters", False):
         from repro.perf import validate_counters
 
         report = validate_counters()
@@ -487,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(catalog.PROCESSORS))
     chaos.add_argument("--json", default=None, metavar="FILE",
                        help="write the campaign report as JSON")
+    chaos.add_argument(
+        "--engine", default="event",
+        choices=["event", "analytic", "auto"],
+        help="must be 'event': fault injection needs the event executor "
+             "(anything else is rejected rather than silently ignoring "
+             "the fault plans)")
     chaos.set_defaults(func=_cmd_chaos)
 
     fig = sub.add_parser("figure", help="regenerate one paper artifact")
@@ -535,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--counters", action="store_true",
         help="cross-validate the simulated PMU against the analytic "
              "roofline and the executor's work totals (repro.perf)")
+    validate.add_argument(
+        "--engines", action="store_true",
+        help="seeded sim-vs-analytic cross-validation: score every "
+             "app's MPI x OpenMP grid analytically and re-simulate a "
+             "deterministic sample with the event executor (the CI "
+             "analytic-agreement gate)")
     validate.set_defaults(func=_cmd_validate)
 
     report = sub.add_parser(

@@ -88,13 +88,15 @@ def f1_mpi_omp_sweep(
     cache=None,
     workers: int = 1,
     resume: bool = False,
+    engine: str = "event",
     _cache=None,
 ) -> tuple[Table, dict[str, SweepResult]]:
     cache = cache if cache is not None else _cache
     apps = apps if apps is not None else list(SUITE)
     grid = configs if configs is not None else MPI_OMP_CONFIGS
+    tag = "" if engine == "event" else f", {engine} engine"
     t = Table(
-        f"F1: time [ms] vs MPI x OpenMP ({processor}, {dataset})",
+        f"F1: time [ms] vs MPI x OpenMP ({processor}, {dataset}{tag})",
         ["miniapp"] + [f"{r}x{h}" for r, h in grid],
         note="rows: miniapps; best configuration per row in T3",
     )
@@ -106,7 +108,7 @@ def f1_mpi_omp_sweep(
             for nr, nt in grid
         ]
         sweep = run_sweep(f"f1-{app}", cfgs, cache, workers=workers,
-                          resume=resume)
+                          resume=resume, engine=engine)
         sweeps[app] = sweep
         if sweep.errors:
             # resumed sweeps may quarantine configs: blank those cells

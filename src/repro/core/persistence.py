@@ -69,6 +69,7 @@ def row_to_dict(row: Row) -> dict:
         "gflops": row.gflops,
         "dram_gbytes_per_s": row.dram_gbytes_per_s,
         "comm_fraction": row.comm_fraction,
+        "engine": row.engine,
     }
 
 
@@ -80,6 +81,8 @@ def row_from_dict(d: dict) -> Row:
             gflops=d["gflops"],
             dram_gbytes_per_s=d["dram_gbytes_per_s"],
             comm_fraction=d["comm_fraction"],
+            # rows written before the analytic engine existed are event rows
+            engine=d.get("engine", "event"),
         )
     except KeyError as exc:
         raise ConfigurationError(f"malformed row record: missing {exc}") \

@@ -25,13 +25,20 @@ from repro.runtime.placement import JobPlacement
 
 @dataclass(frozen=True)
 class Row:
-    """One sweep result."""
+    """One sweep result.
+
+    ``engine`` records which scoring path produced the numbers —
+    ``"event"`` (discrete-event executor) or ``"analytic"`` (closed-form
+    batch engine) — and survives cache round-trips, so warm hits report
+    their provenance.
+    """
 
     config: ExperimentConfig
     elapsed: float
     gflops: float
     dram_gbytes_per_s: float
     comm_fraction: float
+    engine: str = "event"
 
     @property
     def label(self) -> str:
@@ -127,15 +134,65 @@ def _preflight(config: ExperimentConfig, cache) -> None:
     analyzer.preflight(config, lint_cache)
 
 
-def run_config(config: ExperimentConfig, cache=None) -> Row:
-    """Simulate one configuration.
+def cache_key(config: ExperimentConfig, engine: str):
+    """Cache key for one config under one engine.
+
+    Event rows keep the bare-config key (backward compatible with every
+    cache written before engines existed); analytic rows are tagged so
+    the two scoring paths can never alias in the content-addressed
+    cache.
+    """
+    if engine == "event":
+        return config
+    return (config, f"engine={engine}")
+
+
+def run_config(config: ExperimentConfig, cache=None, *,
+               engine: str = "event", fault_plan=None) -> Row:
+    """Simulate (or analytically score) one configuration.
 
     ``cache`` memoizes identical configs across sweeps — experiments
     share baseline points.  It may be a plain dict (dies with the
     process) or a :class:`~repro.core.cache.ResultCache` (persistent,
     fingerprint-validated).
+
+    ``engine`` selects the scoring path: ``"event"`` (discrete-event
+    executor, the default), ``"analytic"`` (closed-form batch engine —
+    no event-level effects, see DESIGN.md), or ``"auto"`` (analytic
+    score, cross-checked against an event re-simulation; raises
+    :class:`~repro.errors.EngineDisagreement` beyond tolerance).
+
+    A non-empty ``fault_plan`` requires the event engine (the analytic
+    model has no fault dynamics — anything else would silently ignore
+    the plan) and bypasses the cache in both directions: a degraded run
+    must never poison, nor be served from, fault-free rows.
     """
-    if cache is not None:
+    from repro.analytic import engine as analytic_engine
+
+    analytic_engine.check_engine(engine)
+    faulty = fault_plan is not None and not getattr(fault_plan, "empty", False)
+    if faulty and engine != "event":
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"engine={engine!r} cannot inject faults: the analytic model "
+            f"has no fault dynamics; use engine='event' for FaultPlan / "
+            f"chaos runs"
+        )
+
+    if engine in ("analytic", "auto"):
+        key = cache_key(config, "analytic")
+        row = cache.get(key) if cache is not None else None
+        if row is None:
+            row = analytic_engine.score_config(config)
+            if cache is not None:
+                cache[key] = row
+        if engine == "auto":
+            event_row = run_config(config, cache, engine="event")
+            analytic_engine.check_agreement(config, row, event_row)
+        return row
+
+    if cache is not None and not faulty:
         row = cache.get(config)
         if row is not None:
             return row
@@ -156,6 +213,10 @@ def run_config(config: ExperimentConfig, cache=None) -> Row:
         options=config.options,
         data_policy=config.data_policy,
     )
+    if faulty:
+        import dataclasses
+
+        job = dataclasses.replace(job, fault_plan=fault_plan)
     result: RunResult = run_job(job)
     row = Row(
         config=config,
@@ -163,8 +224,9 @@ def run_config(config: ExperimentConfig, cache=None) -> Row:
         gflops=result.achieved_flops_per_s / 1e9,
         dram_gbytes_per_s=result.dram_bandwidth / 1e9,
         comm_fraction=result.communication_fraction(),
+        engine="event",
     )
-    if cache is not None:
+    if cache is not None and not faulty:
         cache[config] = row
     return row
 
@@ -176,7 +238,7 @@ QUARANTINE_AFTER = 2
 def run_sweep(name: str, configs: list[ExperimentConfig],
               cache=None, *, workers: int = 1,
               errors: str = "raise", resume: bool = False,
-              retry=None) -> SweepResult:
+              retry=None, engine: str = "event") -> SweepResult:
     """Simulate every configuration of a sweep, preserving order.
 
     Parameters
@@ -205,6 +267,15 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
     retry:
         Optional :class:`~repro.core.parallel.RetryPolicy` tuning pool
         resilience (progress timeout, retry attempts, backoff).
+    engine:
+        ``"event"`` (default) simulates each config; ``"analytic"``
+        scores the whole sweep in one closed-form batch pass (workers
+        are irrelevant — there is no per-config simulation to fan out);
+        ``"auto"`` scores analytically, then re-simulates a seeded
+        sample with the event executor and raises
+        :class:`~repro.errors.EngineDisagreement` if the engines differ
+        beyond tolerance — whatever the ``errors`` mode, because a
+        model-level disagreement taints every row, not one config.
 
     When the cache is persistent, every fresh completion (success or
     failure) is also journaled next to the cache file — that journal is
@@ -212,8 +283,11 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
     """
     if errors not in ("raise", "capture"):
         raise ValueError(f"errors must be 'raise' or 'capture', not {errors!r}")
+    from repro.analytic import engine as analytic_engine
     from repro.core.journal import SweepJournal
     from repro.core.parallel import SweepError, run_configs
+
+    analytic_engine.check_engine(engine)
 
     journal = SweepJournal.for_cache(cache)
     if resume and journal is None:
@@ -246,19 +320,60 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
                            exc=None if ok else value)
 
     to_run = [c for c in configs if c not in quarantine]
-    outcomes = iter(run_configs(to_run, workers=workers, cache=cache,
-                                on_result=note, retry=retry))
+    if engine == "event":
+        outcome_list = run_configs(to_run, workers=workers, cache=cache,
+                                   on_result=note, retry=retry)
+    else:
+        outcome_list = _score_analytic(to_run, cache, note)
+    outcomes = iter(outcome_list)
     sweep = SweepResult(name)
+    aligned: list = []
     for config in configs:
         quarantined = quarantine.get(config)
         if quarantined is not None:
             sweep.errors.append(quarantined)
+            aligned.append(None)
             continue
         outcome = next(outcomes)
+        aligned.append(outcome)
         if isinstance(outcome, Exception):
             if errors == "raise":
                 raise outcome
             sweep.errors.append(SweepError.from_exception(config, outcome))
         else:
             sweep.add(outcome)
+    if engine == "auto":
+        # fail loudly on model-level disagreement, whatever the errors
+        # mode — it taints every analytic row, not one config
+        analytic_engine.cross_validate(name, configs, aligned, cache)
     return sweep
+
+
+def _score_analytic(configs: list[ExperimentConfig], cache,
+                    note) -> list:
+    """Batch-score configs analytically, honoring the cache + journal.
+
+    Returns one :class:`Row` or Exception per config, in order.  Cached
+    rows (under their engine-tagged keys) are served without scoring;
+    only the misses enter the batch pass.
+    """
+    from repro.analytic import engine as analytic_engine
+
+    outcomes: list = [None] * len(configs)
+    misses: list[tuple[int, ExperimentConfig]] = []
+    for i, config in enumerate(configs):
+        key = cache_key(config, "analytic")
+        row = cache.get(key) if cache is not None else None
+        if row is not None:
+            outcomes[i] = row
+        else:
+            misses.append((i, config))
+    if misses:
+        scored = analytic_engine.score_configs([c for _, c in misses])
+        for (i, config), outcome in zip(misses, scored):
+            outcomes[i] = outcome
+            ok = not isinstance(outcome, Exception)
+            if ok and cache is not None:
+                cache[cache_key(config, "analytic")] = outcome
+            note(config, ok, outcome)
+    return outcomes

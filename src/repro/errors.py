@@ -32,6 +32,21 @@ class CommunicatorError(SimulationError):
     """Misuse of the simulated MPI API (bad rank, tag, or buffer)."""
 
 
+class EngineDisagreement(SimulationError):
+    """Analytic and event engines disagree beyond tolerance.
+
+    Raised by the ``auto`` engine's seeded cross-validation; carries the
+    offending config and both rows so the caller can inspect the gap.
+    """
+
+    def __init__(self, message: str, config=None,
+                 analytic=None, event=None) -> None:
+        super().__init__(message)
+        self.config = config
+        self.analytic = analytic
+        self.event = event
+
+
 class CompileError(ReproError):
     """The compiler model cannot lower a kernel with the given options."""
 

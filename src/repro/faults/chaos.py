@@ -207,12 +207,28 @@ def _lint_verdict(job) -> bool:
 
 def run_campaign(seed: int = 0, *, apps: tuple[str, ...] | None = None,
                  quick: bool = False, processor: str = "A64FX",
-                 n_ranks: int = 4, n_threads: int = 2) -> ChaosReport:
-    """Run the chaos scenario ladder and return the report."""
+                 n_ranks: int = 4, n_threads: int = 2,
+                 engine: str = "event") -> ChaosReport:
+    """Run the chaos scenario ladder and return the report.
+
+    Fault injection is event-level dynamics by definition, so only
+    ``engine="event"`` is meaningful; any other value raises
+    :class:`~repro.errors.ConfigurationError` rather than silently
+    ignoring the fault plans (mirrors ``run_config``'s guard).
+    """
     from repro.compile.options import PRESETS
     from repro.machine import catalog
     from repro.miniapps import SUITE, by_name
     from repro.runtime.placement import JobPlacement
+
+    if engine != "event":
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"engine={engine!r} cannot inject faults: chaos campaigns "
+            f"need the event executor; drop --engine or use "
+            f"--engine event"
+        )
 
     if apps is None:
         apps = QUICK_APPS if quick else tuple(sorted(SUITE))

@@ -91,6 +91,44 @@ class MiniApp(abc.ABC):
         """Extra communicators (default: none beyond world)."""
         return None
 
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     builder) -> None:
+        """Closed-form per-rank profile for the analytic engine.
+
+        Subclasses override this to fill a
+        :class:`~repro.analytic.profile.SummaryBuilder` with rank
+        ``rank``'s compute groups, collectives, exchanges, and I/O using
+        plain arithmetic — mirroring ``make_program`` without building a
+        single op.  The default raises :class:`NotImplementedError`,
+        which ``analytic_profile`` treats as "use the replay fallback".
+        The equivalence tests check every closed form against the
+        replayed oracle, so the two can never drift silently.
+        """
+        raise NotImplementedError
+
+    def analytic_profile(self, dataset: Dataset, n_ranks: int):
+        """Placement-independent profile for the analytic engine.
+
+        Prefers the app's ``rank_summary`` closed form (fast: no op
+        stream is ever constructed); falls back to symbolic replay of
+        the real rank programs when no closed form exists.
+        """
+        from repro.analytic.profile import (
+            profile_from_replay,
+            profile_from_summaries,
+        )
+
+        try:
+            return profile_from_summaries(
+                self.name, dataset.name, n_ranks,
+                lambda rank, b: self.rank_summary(dataset, n_ranks, rank, b),
+            )
+        except NotImplementedError:
+            return profile_from_replay(
+                self.name, dataset.name,
+                self.make_program(dataset, n_ranks), n_ranks,
+            )
+
     def weak_dataset(self, factor: int) -> Dataset:
         """A dataset grown by ``factor`` for weak-scaling studies.
 

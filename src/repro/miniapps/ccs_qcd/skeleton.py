@@ -101,6 +101,70 @@ class CcsQcd(MiniApp):
         return {"qcd-dirac": dirac, "qcd-axpy": axpy, "qcd-dot": dot}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        lt, lz, ly, lx = dataset["lattice"]
+        iters = dataset["iters"]
+        try:
+            pt, pz = decomp.best_factor2(n_ranks, (lt, lz))
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"{self.name}: cannot decompose a {lt}x{lz} (t, z) plane "
+                f"over {n_ranks} ranks"
+            ) from None
+        z_faces_bigger = (lt / pt) > (lz / pz)
+        if z_faces_bigger:
+            ct, cz = rank // pz, rank % pz
+        else:
+            ct, cz = rank % pt, rank // pt
+
+        def rank_of(t: int, z: int) -> int:
+            if z_faces_bigger:
+                return (z % pz) + (t % pt) * pz
+            return (t % pt) + (z % pz) * pt
+
+        lt_loc = decomp.split_1d(lt, pt, ct)
+        lz_loc = decomp.split_1d(lz, pz, cz)
+        sites_local = lt_loc * lz_loc * ly * lx
+        nbrs = []
+        if pt > 1:
+            nbrs.append((rank_of(ct - 1, cz), rank_of(ct + 1, cz),
+                         lz_loc * ly * lx * SPINOR_BYTES))
+        if pz > 1:
+            nbrs.append((rank_of(ct, cz - 1), rank_of(ct, cz + 1),
+                         lt_loc * ly * lx * SPINOR_BYTES))
+        pack_sites = sum(n[2] for n in nbrs) / SPINOR_BYTES * 0.5
+        boundary_fraction = min(
+            0.9,
+            (2.0 / lt_loc if pt > 1 else 0.0)
+            + (2.0 / lz_loc if pz > 1 else 0.0),
+        )
+        interior = sites_local * (1.0 - boundary_fraction)
+        boundary = sites_local - interior
+
+        # serial bookkeeping + 2 pack passes per iteration (same group)
+        serial_iters = 0.005 * sites_local * iters
+        serial_regions = iters
+        if pack_sites > 0:
+            serial_iters += pack_sites * 2 * iters
+            serial_regions += 2 * iters
+        b.compute("qcd-axpy", serial_iters, regions=serial_regions,
+                  serial=True)
+        dirac_regions = 2 * iters * (2 if boundary > 0 else 1)
+        b.compute("qcd-dirac", (interior + boundary) * 2 * iters,
+                  regions=dirac_regions)
+        b.compute("qcd-dot", sites_local * 4 * iters, regions=4 * iters)
+        b.compute("qcd-axpy", 3 * sites_local * 2 * iters,
+                  regions=2 * iters)
+        b.collective("allreduce", 16, count=4 * iters)
+        if nbrs:
+            partners = []
+            for lo, hi, nbytes in nbrs:
+                partners += [(hi, nbytes), (lo, nbytes)]
+            b.exchange(rank, partners, overlapped=True, count=2 * iters)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         lt, lz, ly, lx = dataset["lattice"]

@@ -75,6 +75,33 @@ class Ffb(MiniApp):
                 "ffb-axpy": axpy, "ffb-dot": dot}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        elements = dataset["elements"]
+        steps = dataset["steps"]
+        cg_iters = dataset["cg_iters"]
+        nnz = dataset["nnz_per_row"]
+        my_elems = decomp.split_1d(elements, n_ranks, rank)
+        my_rows = my_elems
+        cg_total = steps * cg_iters
+
+        b.compute("ffb-axpy", 0.05 * my_rows * steps, regions=steps,
+                  serial=True)
+        b.compute("ffb-assembly", my_elems * 8 * steps, regions=steps,
+                  imbalance=1.15)
+        b.compute("ffb-spmv", my_rows * nnz * cg_total, regions=cg_total)
+        b.compute("ffb-dot", my_rows * 2 * cg_total,
+                  regions=2 * cg_total)
+        b.compute("ffb-axpy", 3 * my_rows * cg_total, regions=cg_total)
+        b.collective("allreduce", 8, count=2 * cg_total)
+        if n_ranks > 1:
+            halo_bytes = max(1.0, my_rows ** (2.0 / 3.0)) * 4.0 * FP64_BYTES
+            left, right = (rank - 1) % n_ranks, (rank + 1) % n_ranks
+            b.exchange(rank, [(right, halo_bytes), (left, halo_bytes)],
+                       count=cg_total)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         elements = dataset["elements"]

@@ -97,6 +97,46 @@ class Ffvc(MiniApp):
         return {"ffvc-sor": sor, "ffvc-advect": advect, "ffvc-project": project}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        grid = dataset["grid"]
+        steps = dataset["steps"]
+        sweeps = dataset["sor_sweeps"]
+        pgrid = decomp.best_factor3(n_ranks, grid)
+        coords = decomp.rank_to_coords3(rank, pgrid)
+        local = decomp.local_box(grid, pgrid, coords)
+        cells = local[0] * local[1] * local[2]
+        nbrs = decomp.neighbors3(rank, pgrid)
+        halos = decomp.halo_bytes_3d(local, fields=1)
+        surface = 2.0 * (local[0] * local[1] + local[1] * local[2]
+                         + local[0] * local[2])
+        boundary = min(0.9 * cells, surface)
+        interior = cells - boundary
+
+        b.compute("ffvc-project", surface * steps, regions=steps,
+                  serial=True)
+        b.compute("ffvc-advect", cells * steps, regions=steps)
+        # divergence rhs + velocity correction
+        b.compute("ffvc-project", 2 * cells * steps, regions=2 * steps)
+        # interior + boundary halves of every overlapped SOR sweep
+        b.compute("ffvc-sor", (interior + boundary) * sweeps * steps,
+                  regions=2 * sweeps * steps)
+        b.collective("allreduce", 8, count=sweeps * steps)
+
+        partners = []
+        for axis in "xyz":
+            lo, hi = nbrs[f"{axis}-"], nbrs[f"{axis}+"]
+            if lo == rank:        # axis not decomposed
+                continue
+            partners += [(hi, halos[f"{axis}-"]), (lo, halos[f"{axis}-"])]
+        if partners:
+            b.exchange(rank, [(d, 3 * n) for d, n in partners], count=steps)
+            b.exchange(rank, partners, count=steps)
+            b.exchange(rank, partners, overlapped=True,
+                       count=sweeps * steps)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         grid = dataset["grid"]

@@ -100,6 +100,43 @@ class Modylas(MiniApp):
         }
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        atoms = dataset["atoms"]
+        steps = dataset["steps"]
+        neighbors = dataset["neighbors"]
+        cells = dataset["cells"]
+        pgrid = decomp.factor3(n_ranks)
+        coeffs = (FMM_ORDER + 1) ** 2
+        my_atoms = decomp.split_1d(atoms, n_ranks, rank)
+        my_cells = decomp.split_1d(cells, n_ranks, rank)
+        surface = max(1.0, my_atoms ** (2.0 / 3.0))
+        halo_bytes = surface * 6 * FP64_BYTES
+        nbrs = decomp.neighbors3(rank, pgrid)
+
+        partners = []
+        for axis in "xyz":
+            lo, hi = nbrs[f"{axis}-"], nbrs[f"{axis}+"]
+            if lo == rank:
+                continue
+            partners += [(hi, halo_bytes), (lo, halo_bytes)]
+        if partners:
+            b.exchange(rank, partners, count=steps)
+        b.compute("modylas-cellbuild", 0.25 * my_atoms * steps,
+                  regions=steps, serial=True)
+        b.compute("modylas-cellbuild", my_atoms * steps, regions=steps)
+        b.compute("modylas-pair", my_atoms * neighbors / 2.0 * steps,
+                  regions=steps, schedule="dynamic", imbalance=1.3)
+        b.compute("modylas-m2l", my_cells * 189 * steps, regions=steps)
+        if n_ranks > 1:
+            b.collective("allgather",
+                         max(64, my_cells // 8) * coeffs * FP64_BYTES,
+                         count=steps)
+        b.compute("modylas-integrate", my_atoms * steps, regions=steps)
+        b.collective("allreduce", 16, count=steps)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         atoms = dataset["atoms"]

@@ -71,6 +71,32 @@ class Mvmc(MiniApp):
         }
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        n_sites = dataset["n_sites"]
+        n_elec = dataset["n_elec"]
+        samples = dataset["samples"]
+        sweeps = dataset["sweeps"]
+        opt_steps = dataset["opt_steps"]
+        n_params = dataset["n_params"]
+        my_samples = decomp.split_1d(samples, n_ranks, rank)
+        if my_samples > 0:
+            proposals = my_samples * sweeps * n_elec
+            b.compute("mvmc-ratio", proposals * opt_steps,
+                      regions=opt_steps, schedule="dynamic", imbalance=1.2)
+            b.compute("mvmc-update",
+                      proposals * 0.45 * n_elec * n_elec * opt_steps,
+                      regions=opt_steps, schedule="dynamic", imbalance=1.2)
+            b.compute("mvmc-green",
+                      my_samples * (n_elec ** 2 * n_sites) / 2.0 * opt_steps,
+                      regions=opt_steps)
+        b.compute("mvmc-update", n_params * n_params / 4.0 * opt_steps,
+                  regions=opt_steps, serial=True)
+        b.collective("allreduce", n_params * n_params * FP64_BYTES,
+                     count=opt_steps)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         n_sites = dataset["n_sites"]

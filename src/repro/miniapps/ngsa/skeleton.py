@@ -94,6 +94,30 @@ class Ngsa(MiniApp):
         return {"ngsa-align": align, "ngsa-pileup": pileup, "ngsa-sort": sort}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        reads = dataset["reads"]
+        read_len = dataset["read_len"]
+        window = dataset["dp_window"]
+        my_reads = decomp.split_1d(reads, n_ranks, rank)
+        if rank == 0:
+            b.file_read(reads * read_len)
+        if n_ranks > 1:
+            b.collective("scatter",
+                         (reads // max(1, n_ranks)) * read_len)
+        b.compute("ngsa-align", my_reads * read_len * window,
+                  schedule="dynamic", imbalance=1.4)
+        b.compute("ngsa-sort",
+                  my_reads * max(1, my_reads).bit_length())
+        b.compute("ngsa-pileup", my_reads * read_len)
+        if n_ranks > 1:
+            b.collective("gather", my_reads * 16)
+        if rank == 0:
+            b.compute("ngsa-sort", reads * 0.05, serial=True)
+            b.file_write(reads * 16)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         reads = dataset["reads"]

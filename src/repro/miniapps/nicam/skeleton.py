@@ -80,6 +80,31 @@ class NicamDc(MiniApp):
         return {"nicam-dycore": dycore, "nicam-vertical": vertical}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        regions = dataset["regions"]
+        rsize = dataset["region_size"]
+        levels = dataset["levels"]
+        steps = dataset["steps"]
+        total_cells = regions * rsize * rsize * levels
+        edge_bytes = rsize * levels * FIELDS * FP64_BYTES
+
+        cells = decomp.split_1d(total_cells, n_ranks, rank)
+        slices = max(1, round(regions / n_ranks))
+        b.compute("nicam-vertical", 0.01 * cells * steps, regions=steps,
+                  serial=True)
+        b.compute("nicam-dycore", cells * 2 * steps, regions=2 * steps,
+                  imbalance=1.05)
+        b.compute("nicam-vertical", cells * steps, regions=steps)
+        b.collective("allreduce", 8 * FIELDS, count=steps)
+        if n_ranks > 1:
+            left, right = (rank - 1) % n_ranks, (rank + 1) % n_ranks
+            nbytes = edge_bytes * slices
+            b.exchange(rank, [(right, nbytes), (left, nbytes)],
+                       count=2 * steps)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         regions = dataset["regions"]

@@ -60,6 +60,24 @@ class NtChem(MiniApp):
         return {"ntchem-gemm": gemm, "ntchem-assemble": assemble}
 
     # ------------------------------------------------------------------
+    def rank_summary(self, dataset: Dataset, n_ranks: int, rank: int,
+                     b) -> None:
+        """Closed form of ``make_program`` (checked against replay)."""
+        n_occ = dataset["n_occ"]
+        n_vir = dataset["n_vir"]
+        n_aux = dataset["n_aux"]
+        n_pairs = n_occ * (n_occ + 1) // 2
+        my_pairs = decomp.split_1d(n_pairs, n_ranks, rank)
+        if n_ranks > 1:
+            b_bytes = n_aux * n_occ * n_vir * FP64_BYTES
+            b.collective("alltoall", b_bytes / n_ranks)
+        b.compute("ntchem-gemm", my_pairs * n_vir * n_vir * n_aux,
+                  schedule="dynamic", imbalance=1.1)
+        b.compute("ntchem-assemble", my_pairs * n_vir * n_vir)
+        b.compute("ntchem-assemble", my_pairs * n_vir / 2.0, serial=True)
+        b.collective("allreduce", 8)
+
+    # ------------------------------------------------------------------
     def make_program(self, dataset: Dataset,
                      n_ranks: int) -> Callable[[int, int], Iterator]:
         n_occ = dataset["n_occ"]

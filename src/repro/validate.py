@@ -164,6 +164,52 @@ def check_bandwidth_curve() -> list[ValidationIssue]:
     return issues
 
 
+def check_engine_agreement(sample_size: int = 2) -> list[ValidationIssue]:
+    """Seeded sim-vs-analytic cross-validation over the f1 grid.
+
+    Scores every app's MPI x OpenMP grid with the analytic engine, then
+    re-simulates a seeded sample of each grid with the event executor
+    and reports any disagreement beyond the calibrated tolerance
+    (:data:`repro.analytic.ELAPSED_RTOL` /
+    :data:`repro.analytic.GFLOPS_RTOL`).  The sample is deterministic
+    (string-seeded), so CI failures reproduce locally.
+    """
+    from repro.analytic import engine as analytic
+    from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
+    from repro.errors import EngineDisagreement
+
+    issues: list[ValidationIssue] = []
+    for app_name in SUITE:
+        configs = [
+            ExperimentConfig(app=app_name, dataset="as-is",
+                             n_ranks=nr, n_threads=nt)
+            for nr, nt in MPI_OMP_CONFIGS
+        ]
+        rows = analytic.score_configs(configs)
+        for config, row in zip(configs, rows):
+            if isinstance(row, Exception):
+                issues.append(ValidationIssue(
+                    "engine-agreement",
+                    f"{config.label()}: analytic scoring failed: {row}"))
+        try:
+            analytic.cross_validate(f"validate-{app_name}", configs, rows,
+                                    sample_size=sample_size)
+        except EngineDisagreement as exc:
+            issues.append(ValidationIssue("engine-agreement", str(exc)))
+    return issues
+
+
+def validate_engines(sample_size: int = 2):
+    """:func:`check_engine_agreement` as a DiagnosticReport (the
+    ``repro validate --engines`` CI gate)."""
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    report = DiagnosticReport("engine agreement")
+    report.extend(issue.to_diagnostic()
+                  for issue in check_engine_agreement(sample_size))
+    return report
+
+
 def validate_all() -> list[ValidationIssue]:
     """Run every check; returns the list of discrepancies (empty = OK)."""
     issues: list[ValidationIssue] = []

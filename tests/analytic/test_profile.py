@@ -1,0 +1,108 @@
+"""Closed-form rank summaries must match the replayed programs.
+
+Every miniapp ships a ``rank_summary`` closed form *and* a
+``make_program`` generator.  The analytic engine trusts the closed
+form, so these tests replay the generator through the profile builder
+and require the two AppProfiles to be structurally identical (floats
+compared with a tight isclose — replay accumulates per-region sums the
+closed forms express as products, which can differ in ulps).
+"""
+
+import math
+
+import pytest
+
+from repro.analytic.profile import (
+    AppProfile,
+    profile_from_replay,
+    profile_from_summaries,
+)
+from repro.miniapps import SUITE, by_name
+
+RANK_COUNTS = (1, 2, 4, 12, 48)
+
+
+def _closed_form(app, dataset, n_ranks):
+    return profile_from_summaries(
+        app.name, dataset.name, n_ranks,
+        lambda rank, b: app.rank_summary(dataset, n_ranks, rank, b))
+
+
+def _replayed(app, dataset, n_ranks):
+    return profile_from_replay(
+        app.name, dataset.name, app.make_program(dataset, n_ranks), n_ranks)
+
+
+def _tuple_close(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12), (x, y)
+        elif isinstance(x, tuple):
+            _tuple_close(x, y)
+        else:
+            assert x == y
+
+
+def _assert_profiles_match(cf: AppProfile, rp: AppProfile):
+    assert cf.app == rp.app
+    assert cf.dataset == rp.dataset
+    assert cf.n_ranks == rp.n_ranks
+    assert len(cf.classes) == len(rp.classes)
+    for c, r in zip(cf.classes, rp.classes):
+        assert c.n_ranks == r.n_ranks
+        assert len(c.compute) == len(r.compute)
+        for gc, gr in zip(c.compute, r.compute):
+            assert (gc.kernel, gc.schedule, gc.serial) == \
+                   (gr.kernel, gr.schedule, gr.serial)
+            assert gc.regions == gr.regions
+            _tuple_close((gc.iters, gc.imbalance, gc.working_set_scale),
+                         (gr.iters, gr.imbalance, gr.working_set_scale))
+        assert len(c.collectives) == len(r.collectives)
+        for gc, gr in zip(c.collectives, r.collectives):
+            assert (gc.kind, gc.count, gc.comm) == (gr.kind, gr.count,
+                                                    gr.comm)
+            _tuple_close((gc.size_bytes,), (gr.size_bytes,))
+        assert len(c.exchanges) == len(r.exchanges)
+        for gc, gr in zip(c.exchanges, r.exchanges):
+            assert gc.count == gr.count
+            assert gc.overlapped == gr.overlapped
+            _tuple_close(gc.partners, gr.partners)
+        _tuple_close(
+            (c.sleep_s, c.file_read_bytes, c.file_write_bytes),
+            (r.sleep_s, r.file_read_bytes, r.file_write_bytes))
+        assert (c.file_reads, c.file_writes) == (r.file_reads, r.file_writes)
+
+
+@pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+@pytest.mark.parametrize("app_name", SUITE)
+def test_closed_form_matches_replay(app_name, n_ranks):
+    app = by_name(app_name)
+    dataset = app.dataset("as-is")
+    _assert_profiles_match(_closed_form(app, dataset, n_ranks),
+                           _replayed(app, dataset, n_ranks))
+
+
+@pytest.mark.parametrize("app_name", SUITE)
+def test_closed_form_matches_replay_large(app_name):
+    app = by_name(app_name)
+    dataset = app.dataset("large")
+    _assert_profiles_match(_closed_form(app, dataset, 4),
+                           _replayed(app, dataset, 4))
+
+
+@pytest.mark.parametrize("app_name", SUITE)
+def test_analytic_profile_prefers_closed_form(app_name):
+    """MiniApp.analytic_profile routes through rank_summary when present."""
+    app = by_name(app_name)
+    dataset = app.dataset("as-is")
+    prof = app.analytic_profile(dataset, 4)
+    _assert_profiles_match(prof, _closed_form(app, dataset, 4))
+
+
+def test_rank_classes_cover_all_ranks():
+    app = by_name("ffvc")
+    prof = app.analytic_profile(app.dataset("as-is"), 12)
+    assert sum(c.n_ranks for c in prof.classes) == 12
+    reps = [c.rep_rank for c in prof.classes]
+    assert len(set(reps)) == len(reps)
