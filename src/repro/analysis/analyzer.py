@@ -25,7 +25,7 @@ travels into sweep worker processes.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.analysis import checks
 from repro.analysis.deadlock import find_deadlocks
@@ -33,6 +33,10 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 from repro.analysis.trace import DEFAULT_MAX_OPS, trace_program
 from repro.errors import LintError, ReproError
 from repro.runtime.executor import Job
+
+if TYPE_CHECKING:
+    from repro.analysis.cache import LintCache
+    from repro.core.experiment import ExperimentConfig
 
 #: Environment switch: set to any non-empty value to skip the pre-flight.
 ENV_NO_LINT = "REPRO_NO_LINT"
@@ -121,7 +125,8 @@ def _check_kernel_refs(job: Job) -> list[Diagnostic]:
     return out
 
 
-def analyze_config(config, cache=None,
+def analyze_config(config: ExperimentConfig,
+                   cache: LintCache | None = None,
                    max_ops: int = DEFAULT_MAX_OPS) -> DiagnosticReport:
     """Full pre-flight of one :class:`ExperimentConfig`.
 
@@ -145,7 +150,8 @@ def analyze_config(config, cache=None,
     return report
 
 
-def _analyze_config_fresh(config, max_ops: int) -> DiagnosticReport:
+def _analyze_config_fresh(config: ExperimentConfig,
+                          max_ops: int) -> DiagnosticReport:
     from repro.errors import PlacementError
     from repro.machine import catalog
     from repro.miniapps import by_name
@@ -227,7 +233,8 @@ def set_preflight(enabled: bool) -> None:
         os.environ[ENV_NO_LINT] = "1"
 
 
-def preflight(config, lint_cache=None) -> None:
+def preflight(config: ExperimentConfig,
+              lint_cache: LintCache | None = None) -> None:
     """Raise :class:`~repro.errors.LintError` if ``config`` has
     error-severity findings; warnings pass silently.
 

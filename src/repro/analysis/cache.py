@@ -6,6 +6,14 @@ beside ``results.jsonl`` in the same cache directory, so one
 ``--cache-dir`` governs both, and any model change invalidates both at
 once through the shared fingerprint.
 
+Records additionally carry the **analyzer fingerprint**
+(:func:`repro.analysis.rules.analyzer_fingerprint`) — a digest of the
+rule catalog plus a behaviour version.  A model change invalidates
+verdicts because the *subject* changed; an analyzer upgrade invalidates
+them because the *checks* changed.  Without the second tag, a cache
+written by an older analyzer would keep serving "clean" verdicts that a
+newer check would reject.
+
 Verdicts are tiny (usually ``[]``), so the in-memory layer is a plain
 dict loaded once per process; :func:`lint_cache_for` memoizes one
 instance per directory so repeated ``run_config`` calls share a single
@@ -19,6 +27,7 @@ import os
 from pathlib import Path
 
 from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.rules import analyzer_fingerprint
 from repro.core.cache import CACHE_FORMAT, default_cache_dir, \
     model_fingerprint
 
@@ -55,14 +64,16 @@ class LintCache:
         except OSError:
             return
         fp = self.fingerprint
+        afp = analyzer_fingerprint()
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 rec = json.loads(line)
-                if rec.get("format") != CACHE_FORMAT or rec.get("fp") != fp:
-                    continue
+                if rec.get("format") != CACHE_FORMAT or rec.get("fp") != fp \
+                        or rec.get("analyzer") != afp:
+                    continue    # stale model or stale analyzer: re-analyze
                 self._mem[rec["key"]] = \
                     DiagnosticReport.from_dict(rec["report"])
             except (ValueError, KeyError, TypeError):
@@ -81,6 +92,7 @@ class LintCache:
             return
         self._mem[digest] = report
         rec = {"format": CACHE_FORMAT, "fp": self.fingerprint,
+               "analyzer": analyzer_fingerprint(),
                "key": digest, "report": report.to_dict()}
         line = json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n"
         self.directory.mkdir(parents=True, exist_ok=True)

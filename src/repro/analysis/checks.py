@@ -21,6 +21,8 @@ see :mod:`repro.analysis.deadlock`.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.trace import ProgramTrace, TracedOp, TracedRequest
 from repro.runtime import program as ops
@@ -218,7 +220,9 @@ def check_requests(traces: Traces) -> list[Diagnostic]:
 # ----------------------------------------------------------------------
 # point-to-point count matching per (destination, tag) channel
 # ----------------------------------------------------------------------
-def _p2p_endpoints(rec: TracedOp, n_ranks: int):
+def _p2p_endpoints(
+        rec: TracedOp, n_ranks: int,
+) -> tuple[list[tuple[Any, Any, int]], list[tuple[Any, Any, int]]]:
     """(sends, recvs) this op contributes, skipping invalid endpoints
     (those already carry a ``p2p-invalid-*`` error)."""
     sends, recvs = [], []

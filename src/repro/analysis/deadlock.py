@@ -19,6 +19,8 @@ O(total ops) work regardless of program shape.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.trace import ProgramTrace, TracedOp, TracedRequest
 from repro.runtime import program as ops
@@ -100,7 +102,8 @@ class _Scheduler:
                 return
         self.recvs[dst].append(_Pending(src, tag, token))
 
-    def _arrive_collective(self, rank: int, op, token: object) -> None:
+    def _arrive_collective(self, rank: int, op: Any,
+                           token: object) -> None:
         members = self.comms.get(op.comm)
         if members is None or rank not in members:
             self._complete(token)       # already flagged by check_domains

@@ -1,25 +1,41 @@
-"""Structured findings of the static communication analyzer.
+"""Structured findings of the static analyzers (lint and advise).
 
-A :class:`Diagnostic` is one concrete problem found before execution —
+A :class:`Diagnostic` is one concrete finding produced before execution —
 an unmatched receive, a diverging collective sequence, an infeasible
-placement — carrying enough context (severity, check id, rank, op index,
-rendered op, fix hint) for a user to act on it without re-running
-anything.  A :class:`DiagnosticReport` is the ordered collection one
-analysis pass produces; ``repro lint`` renders it, the pre-flight gate in
-:mod:`repro.core.runner` raises :class:`~repro.errors.LintError` when it
-contains errors, and the lint cache serializes it by config digest.
+placement, a memory-bound kernel with placement headroom — carrying
+enough context (severity, check id, rank, op index, rendered op, fix
+hint) for a user to act on it without re-running anything.  A
+:class:`DiagnosticReport` is the ordered collection one analysis pass
+produces; ``repro lint`` / ``repro advise`` render it, the pre-flight
+gates in :mod:`repro.core.runner` raise
+:class:`~repro.errors.LintError` / :class:`~repro.errors.AdviseError`
+when it contains blocking findings, and the lint cache serializes it by
+config digest.
+
+Serialization is deterministic by construction: :meth:`Diagnostic.to_dict`
+emits keys in one canonical order and :meth:`DiagnosticReport.to_dict`
+sorts findings by :meth:`Diagnostic.sort_key` (rule id first), so two
+runs producing the same findings — in whatever discovery order, on
+whatever Python version — serialize to byte-identical artifacts that
+diff cleanly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
 #: Finding severities, most severe first.  ``error`` findings block a run
 #: (the program would crash, deadlock, or not place); ``warning`` findings
-#: are suspicious but executable.
-SEVERITIES = ("error", "warning")
+#: are suspicious but executable; ``info`` findings are advisory model
+#: observations (e.g. "this kernel is memory-bound") that explain where a
+#: configuration's time goes without implying anything is wrong.
+SEVERITIES = ("error", "warning", "info")
+
+#: Severity -> rank (lower = more severe), for sorting and filtering.
+SEVERITY_RANK = {name: i for i, name in enumerate(SEVERITIES)}
 
 
 @dataclass(frozen=True)
@@ -28,7 +44,7 @@ class Diagnostic:
 
     #: Stable check identifier, e.g. ``"p2p-unmatched-recv"``.
     check: str
-    #: ``"error"`` or ``"warning"``.
+    #: ``"error"``, ``"warning"``, or ``"info"``.
     severity: str
     #: Human-readable statement of the problem.
     message: str
@@ -77,7 +93,26 @@ class Diagnostic:
         return self.render()
 
     # ------------------------------------------------------------------
+    def sort_key(self) -> tuple:
+        """Stable artifact ordering: rule id, then severity, then anchor.
+
+        ``None`` anchors sort before numbered ones, so whole-job findings
+        lead their rule's group.  The message is the final tiebreaker —
+        two runs emitting the same findings serialize identically however
+        the analysis discovered them.
+        """
+        return (
+            self.check,
+            SEVERITY_RANK[self.severity],
+            self.rank is not None, self.rank or 0,
+            self.op_index is not None, self.op_index or 0,
+            self.message,
+        )
+
     def to_dict(self) -> dict:
+        # Canonical key order (check, severity, message, rank, op_index,
+        # op, hint): insertion-ordered dicts keep json.dumps output
+        # deterministic even without sort_keys.
         d = {"check": self.check, "severity": self.severity,
              "message": self.message}
         if self.rank is not None:
@@ -110,7 +145,7 @@ class DiagnosticReport:
     def add(self, diag: Diagnostic) -> None:
         self.diagnostics.append(diag)
 
-    def extend(self, diags) -> None:
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
 
     # ------------------------------------------------------------------
@@ -123,6 +158,10 @@ class DiagnosticReport:
         return [d for d in self.diagnostics if d.severity == "warning"]
 
     @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "info"]
+
+    @property
     def ok(self) -> bool:
         """True when the report is completely clean."""
         return not self.diagnostics
@@ -130,23 +169,40 @@ class DiagnosticReport:
     def by_check(self, check: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.check == check]
 
+    def at_least(self, severity: str) -> list[Diagnostic]:
+        """Findings at or above ``severity`` (``"warning"`` means
+        errors + warnings)."""
+        if severity not in SEVERITY_RANK:
+            raise ConfigurationError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        cut = SEVERITY_RANK[severity]
+        return [d for d in self.diagnostics
+                if SEVERITY_RANK[d.severity] <= cut]
+
     # ------------------------------------------------------------------
     def summary(self) -> str:
         if self.ok:
             return f"{self.subject}: clean"
-        return (f"{self.subject}: {len(self.errors)} error(s), "
+        text = (f"{self.subject}: {len(self.errors)} error(s), "
                 f"{len(self.warnings)} warning(s)")
+        infos = self.infos
+        if infos:
+            text += f", {len(infos)} info(s)"
+        return text
 
-    def render(self) -> str:
+    def render(self, min_severity: str = "info") -> str:
+        shown = self.at_least(min_severity)
         lines = [self.summary()]
-        lines.extend(f"  {line}" for d in self.diagnostics
+        lines.extend(f"  {line}" for d in shown
                      for line in d.render().splitlines())
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        ordered = sorted(self.diagnostics, key=Diagnostic.sort_key)
         return {"subject": self.subject,
-                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+                "diagnostics": [d.to_dict() for d in ordered]}
 
     @classmethod
     def from_dict(cls, d: dict) -> "DiagnosticReport":

@@ -17,7 +17,7 @@ one broken rank cannot hide findings on the others.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.errors import ReproError
@@ -33,7 +33,7 @@ class TracedRequest:
 
     __slots__ = ("rank", "op_index", "op")
 
-    def __init__(self, rank: int, op_index: int, op) -> None:
+    def __init__(self, rank: int, op_index: int, op: Any) -> None:
         self.rank = rank
         self.op_index = op_index
         self.op = op
@@ -50,7 +50,7 @@ class TracedOp:
 
     __slots__ = ("rank", "index", "op", "request")
 
-    def __init__(self, rank: int, index: int, op,
+    def __init__(self, rank: int, index: int, op: Any,
                  request: TracedRequest | None) -> None:
         self.rank = rank
         self.index = index

@@ -38,16 +38,20 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Any
 
 import numpy as np
 
-from repro.compile.compiler import Compiler
+from repro.analytic.profile import AppProfile, RankClass
+from repro.compile.compiler import CompiledKernel, Compiler
 from repro.compile.options import PRESETS
 from repro.core.experiment import ExperimentConfig
 from repro.core.runner import Row
 from repro.errors import ConfigurationError, EngineDisagreement, SimulationError
 from repro.kernels.timing import phase_time
 from repro.machine import catalog
+from repro.machine.numa import NumaDomain
+from repro.machine.topology import Cluster
 from repro.miniapps import by_name
 from repro.runtime import program as ops
 from repro.runtime.collectives import collective_time, profile_communicator
@@ -97,19 +101,20 @@ def check_engine(engine: str) -> str:
 # memoized model inputs (all keyed on hashable config fields)
 # ----------------------------------------------------------------------
 @lru_cache(maxsize=64)
-def _cluster(processor: str, n_nodes: int):
+def _cluster(processor: str, n_nodes: int) -> Cluster:
     return catalog.by_name(processor, n_nodes=n_nodes)
 
 
 @lru_cache(maxsize=1024)
 def _placement(processor: str, n_nodes: int, n_ranks: int, n_threads: int,
-               allocation, binding) -> JobPlacement:
+               allocation: str, binding: str) -> JobPlacement:
     return JobPlacement(_cluster(processor, n_nodes), n_ranks, n_threads,
                         allocation=allocation, binding=binding)
 
 
 @lru_cache(maxsize=256)
-def _compiled(app: str, dataset: str, preset: str, processor: str):
+def _compiled(app: str, dataset: str, preset: str,
+              processor: str) -> dict[str, CompiledKernel]:
     """Compiled kernel set, lowered for the executor's compile target."""
     cluster = _cluster(processor, 1)
     app_obj = by_name(app)
@@ -119,13 +124,14 @@ def _compiled(app: str, dataset: str, preset: str, processor: str):
 
 
 @lru_cache(maxsize=512)
-def _profile(app: str, dataset: str, n_ranks: int):
+def _profile(app: str, dataset: str, n_ranks: int) -> AppProfile:
     app_obj = by_name(app)
     return app_obj.analytic_profile(app_obj.dataset(dataset), n_ranks)
 
 
 @lru_cache(maxsize=256)
-def _communicator_ranks(app: str, n_ranks: int) -> dict:
+def _communicator_ranks(app: str,
+                        n_ranks: int) -> dict[str, tuple[int, ...]]:
     members = {"world": tuple(range(n_ranks))}
     extra = by_name(app).communicators(n_ranks)
     if extra:
@@ -135,7 +141,9 @@ def _communicator_ranks(app: str, n_ranks: int) -> dict:
 
 @lru_cache(maxsize=8192)
 def _phase_consts(app: str, dataset: str, preset: str, processor: str,
-                  kernel: str, ws_scale: float) -> tuple:
+                  kernel: str, ws_scale: float
+                  ) -> tuple[float, float, float, float, float,
+                             float, float]:
     """Per-iteration ECM constants of one kernel on one processor.
 
     Returned as ``(t_compute, t_l1, l2_num, dram_num, t_latency,
@@ -185,6 +193,10 @@ class _Group:
     overhead_s: float       # fork/join + chunk overhead, all regions
     flops_per_iter: float
     class_idx: int
+    kernel: str             # kernel name (advisor attribution)
+    schedule: str           # OpenMP schedule of the parallel region
+    serial: bool            # single-thread region
+    regions: int            # parallel regions per group execution
 
 
 @dataclass
@@ -192,17 +204,29 @@ class _Compiled:
     """One config compiled to entries, plus its per-class scalar terms."""
 
     config: ExperimentConfig
-    groups: list
-    class_ranks: list       # ranks per class
-    class_comm_s: list      # collective + p2p seconds per class
-    class_other_s: list     # sleep + file I/O seconds per class
+    groups: list[_Group]
+    class_ranks: list[int]          # ranks per class
+    class_rep_ranks: list[int]      # representative rank per class
+    class_comm_s: list[float]       # collective + p2p seconds per class
+    class_other_s: list[float]      # sleep + file I/O seconds per class
+    class_comm_items: list[tuple[tuple[str, float], ...]]
     n_ranks: int
 
 
-def _class_comm_seconds(cluster, placement, profile, cls,
-                        comm_ranks, comm_profiles) -> float:
-    """Collective algorithm time + p2p wait time of one rank class."""
-    total = 0.0
+def _class_comm_items(cluster: Cluster, placement: JobPlacement,
+                      profile: AppProfile, cls: RankClass,
+                      comm_ranks: dict[str, tuple[int, ...]],
+                      comm_profiles: dict[str, Any],
+                      ) -> list[tuple[str, float]]:
+    """Itemized collective + p2p wait time of one rank class.
+
+    Returns ``(label, seconds)`` pairs — one per collective group and one
+    per exchange — whose sum is the class's communication term.  The
+    itemization feeds :func:`config_breakdown` (and through it the
+    advisor's collective-domination rule); :func:`_compile_config` sums
+    it, so the scoring pass and the breakdown share one arithmetic.
+    """
+    items: list[tuple[str, float]] = []
     rep_addr = placement.thread_cores(cls.rep_rank)[0]
     for g in cls.collectives:
         try:
@@ -222,8 +246,11 @@ def _class_comm_seconds(cluster, placement, profile, cls,
             raise SimulationError(
                 f"no analytic model for collective {g.kind!r}"
             ) from None
-        total += g.count * collective_time(
-            op_cls(size_bytes=g.size_bytes), len(members), prof)
+        items.append((
+            f"{g.kind}[{g.comm}] x{g.count} @{g.size_bytes}B",
+            g.count * collective_time(
+                op_cls(size_bytes=g.size_bytes), len(members), prof),
+        ))
     n = profile.n_ranks
     for ex in cls.exchanges:
         if ex.overlapped:
@@ -234,12 +261,16 @@ def _class_comm_seconds(cluster, placement, profile, cls,
                 (cls.rep_rank + offset) % n)[0]
             wait = max(wait,
                        cluster.transfer_time(rep_addr, dst_addr, nbytes))
-        total += ex.count * wait
-    return total
+        items.append((
+            f"p2p exchange x{ex.count} ({len(ex.partners)} partners)",
+            ex.count * wait,
+        ))
+    return items
 
 
-def _mem_share(cluster, dom, key, active, home_key, home_active,
-               data_policy) -> float:
+def _mem_share(cluster: Cluster, dom: NumaDomain, key: tuple,
+               active: int, home_key: tuple, home_active: int,
+               data_policy: str) -> float:
     if data_policy == "serial-init" and key != home_key:
         home_dom = cluster.node.chips[home_key[1]].domains[home_key[2]]
         chip = cluster.node.chips[key[1]]
@@ -248,7 +279,8 @@ def _mem_share(cluster, dom, key, active, home_key, home_active,
     return dom.memory.per_stream_bandwidth(active)
 
 
-def _compile_config(config: ExperimentConfig, columns: list) -> _Compiled:
+def _compile_config(config: ExperimentConfig,
+                    columns: list[list[float]]) -> _Compiled:
     """Turn one config into batch entries appended onto ``columns``."""
     cluster = _cluster(config.processor, config.n_nodes)
     placement = _placement(config.processor, config.n_nodes,
@@ -262,9 +294,11 @@ def _compile_config(config: ExperimentConfig, columns: list) -> _Compiled:
 
     groups: list[_Group] = []
     class_ranks: list[int] = []
+    class_rep_ranks: list[int] = []
     class_comm: list[float] = []
     class_other: list[float] = []
-    comm_profiles: dict = {}
+    class_comm_items: list[tuple[tuple[str, float], ...]] = []
+    comm_profiles: dict[str, Any] = {}
     storage = cluster.storage
 
     for class_idx, cls in enumerate(profile.classes):
@@ -307,11 +341,16 @@ def _compile_config(config: ExperimentConfig, columns: list) -> _Compiled:
                 overhead_s=per_region * g.regions,
                 flops_per_iter=consts[6],
                 class_idx=class_idx,
+                kernel=g.kernel, schedule=g.schedule, serial=g.serial,
+                regions=g.regions,
             ))
 
         class_ranks.append(cls.n_ranks)
-        class_comm.append(_class_comm_seconds(
-            cluster, placement, profile, cls, comm_ranks, comm_profiles))
+        class_rep_ranks.append(cls.rep_rank)
+        items = _class_comm_items(
+            cluster, placement, profile, cls, comm_ranks, comm_profiles)
+        class_comm_items.append(tuple(items))
+        class_comm.append(sum(s for _, s in items))
         io_ops = cls.file_reads + cls.file_writes
         io_bytes = cls.file_read_bytes + cls.file_write_bytes
         class_other.append(
@@ -321,14 +360,17 @@ def _compile_config(config: ExperimentConfig, columns: list) -> _Compiled:
         )
 
     return _Compiled(config=config, groups=groups, class_ranks=class_ranks,
+                     class_rep_ranks=class_rep_ranks,
                      class_comm_s=class_comm, class_other_s=class_other,
+                     class_comm_items=class_comm_items,
                      n_ranks=config.n_ranks)
 
 
 # ----------------------------------------------------------------------
 # the batch pass
 # ----------------------------------------------------------------------
-def score_configs(configs: list[ExperimentConfig]) -> list:
+def score_configs(configs: list[ExperimentConfig]
+                  ) -> list[Row | Exception]:
     """Score a batch of configs; returns a Row or Exception per config.
 
     Entries from every config share one vectorized roofline pass;
@@ -336,7 +378,7 @@ def score_configs(configs: list[ExperimentConfig]) -> list:
     are captured per config so one broken point cannot sink a batch —
     callers decide whether to raise or record them.
     """
-    results: list = [None] * len(configs)
+    results: list[Any] = [None] * len(configs)
     compiled: list[tuple[int, _Compiled]] = []
     # entry columns: t_comp, t_l1, l2_num, dram_num, t_lat,
     #                dram_bytes/iter, flops/iter, l2_share, mem_share
@@ -405,6 +447,139 @@ def score_config(config: ExperimentConfig) -> Row:
 
 
 # ----------------------------------------------------------------------
+# itemized cost breakdown (the static advisor's data source)
+# ----------------------------------------------------------------------
+#: ECM pipeline phases of the roofline max (latency is additive on top).
+ECM_PHASES = ("compute", "l1", "l2", "dram")
+
+
+@dataclass(frozen=True)
+class GroupCost:
+    """Closed-form cost of one compute group on its critical context."""
+
+    class_idx: int
+    kernel: str
+    schedule: str
+    serial: bool
+    iters: float            # total iterations across threads
+    regions: int            # parallel regions per group execution
+    contexts: int           # distinct NUMA domains the threads span
+    seconds: float          # worst-context time incl. fork/join overhead
+    overhead_s: float       # fork/join + chunk overhead share of seconds
+    iter_s: float           # critical-context seconds per iteration
+    bound: str              # dominant phase: compute|l1|l2|dram|latency
+    per_iter: dict[str, float]  # phase -> critical-context seconds/iter
+
+    @property
+    def memory_bound(self) -> bool:
+        """Off-core bound (same cut as counter rooflines)."""
+        return self.bound in ("l2", "dram", "latency")
+
+
+@dataclass(frozen=True)
+class ClassCost:
+    """Per-step time of one rank equivalence class, itemized."""
+
+    class_idx: int
+    rep_rank: int
+    n_ranks: int
+    compute_s: float
+    comm_s: float
+    other_s: float          # sleep + file I/O
+    comm_items: tuple[tuple[str, float], ...]
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s + self.other_s
+
+
+@dataclass(frozen=True)
+class ConfigBreakdown:
+    """Itemized closed-form cost model of one configuration.
+
+    The same entries the batch scorer folds into a single
+    :class:`~repro.core.runner.Row`, kept apart: per-group ECM phase
+    times on the critical thread context, per-class communication items,
+    and the class totals whose max is the elapsed time.  This is what
+    the static advisor (:mod:`repro.analysis.advisor`) reasons over —
+    by construction every number it cites is the scoring engine's own.
+    """
+
+    config: ExperimentConfig
+    classes: tuple[ClassCost, ...]
+    groups: tuple[GroupCost, ...]
+    elapsed: float
+
+    @property
+    def critical_class(self) -> ClassCost:
+        """The class whose total sets the elapsed time."""
+        return max(self.classes, key=lambda c: c.total_s)
+
+    def class_groups(self, class_idx: int) -> list[GroupCost]:
+        return [g for g in self.groups if g.class_idx == class_idx]
+
+
+def config_breakdown(config: ExperimentConfig) -> ConfigBreakdown:
+    """Compile one config and keep the per-group/per-class terms apart.
+
+    Raises the same exceptions as :func:`score_config` (placement,
+    decomposition, unknown-kernel errors); never runs the event
+    executor.
+    """
+    columns: list[list[float]] = [[] for _ in range(9)]
+    comp = _compile_config(config, columns)
+    (t_comp, t_l1, l2_num, dram_num, t_lat,
+     _dram_it, _flops_it, l2_share, mem_share) = columns
+
+    n_classes = len(comp.class_ranks)
+    compute_s = [0.0] * n_classes
+    groups: list[GroupCost] = []
+    for g in comp.groups:
+        best_j, best_t = -1, 0.0
+        for j in range(g.start, g.end):
+            t = max(t_comp[j], t_l1[j],
+                    l2_num[j] / l2_share[j],
+                    dram_num[j] / mem_share[j]) + t_lat[j]
+            if best_j < 0 or t > best_t:
+                best_j, best_t = j, t
+        if best_j < 0:      # group compiled to no contexts
+            per_iter = dict.fromkeys(ECM_PHASES + ("latency",), 0.0)
+            bound = "compute"
+        else:
+            j = best_j
+            per_iter = {
+                "compute": t_comp[j], "l1": t_l1[j],
+                "l2": l2_num[j] / l2_share[j],
+                "dram": dram_num[j] / mem_share[j],
+                "latency": t_lat[j],
+            }
+            bound = max(ECM_PHASES, key=per_iter.__getitem__)
+            if per_iter["latency"] > per_iter[bound]:
+                bound = "latency"
+        seconds = best_t * g.max_iters + g.overhead_s
+        compute_s[g.class_idx] += seconds
+        groups.append(GroupCost(
+            class_idx=g.class_idx, kernel=g.kernel, schedule=g.schedule,
+            serial=g.serial, iters=g.iters, regions=g.regions,
+            contexts=g.end - g.start, seconds=seconds,
+            overhead_s=g.overhead_s, iter_s=best_t, bound=bound,
+            per_iter=per_iter,
+        ))
+
+    classes = tuple(
+        ClassCost(class_idx=c, rep_rank=comp.class_rep_ranks[c],
+                  n_ranks=comp.class_ranks[c], compute_s=compute_s[c],
+                  comm_s=comp.class_comm_s[c],
+                  other_s=comp.class_other_s[c],
+                  comm_items=comp.class_comm_items[c])
+        for c in range(n_classes)
+    )
+    elapsed = max((c.total_s for c in classes), default=0.0)
+    return ConfigBreakdown(config=config, classes=classes,
+                           groups=tuple(groups), elapsed=elapsed)
+
+
+# ----------------------------------------------------------------------
 # sim-vs-analytic cross-validation (the ``auto`` engine's gate)
 # ----------------------------------------------------------------------
 def validation_sample(name: str, n: int,
@@ -438,8 +613,9 @@ def check_agreement(config: ExperimentConfig, analytic: Row,
 
 
 def cross_validate(name: str, configs: list[ExperimentConfig],
-                   analytic_rows: list, cache=None, *,
-                   sample_size: int = AUTO_SAMPLE_SIZE) -> list[tuple]:
+                   analytic_rows: list[Row | Exception], cache: Any = None,
+                   *, sample_size: int = AUTO_SAMPLE_SIZE
+                   ) -> list[tuple[ExperimentConfig, Row, Row]]:
     """Re-simulate a seeded sample with the event engine and compare.
 
     Returns the checked ``(config, analytic_row, event_row)`` triples;

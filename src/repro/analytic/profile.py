@@ -30,6 +30,7 @@ overheads are preserved via the group's ``regions`` counter.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
 from repro.runtime import program as ops
@@ -158,8 +159,9 @@ class SummaryBuilder:
         key = (kind, float(size_bytes), comm)
         self._collectives[key] = self._collectives.get(key, 0) + count
 
-    def exchange(self, rank: int, partners, *, overlapped: bool = False,
-                 count: int = 1) -> None:
+    def exchange(self, rank: int,
+                 partners: Iterable[tuple[int, float]], *,
+                 overlapped: bool = False, count: int = 1) -> None:
         """One exchange: ``partners`` is an iterable of (dst, bytes)."""
         if count <= 0:
             return
@@ -236,7 +238,8 @@ def _cluster_classes(app: str, dataset: str, n_ranks: int,
 
 
 def profile_from_summaries(app: str, dataset: str, n_ranks: int,
-                           summary_fn) -> AppProfile:
+                           summary_fn: Callable[[int, SummaryBuilder],
+                                                None]) -> AppProfile:
     """Build a profile from a closed-form per-rank summary function.
 
     ``summary_fn(rank, builder)`` fills a :class:`SummaryBuilder` with
@@ -265,7 +268,8 @@ class _Token:
         self.order = order        # op index at post time
 
 
-def _replay_rank(factory, rank: int, n_ranks: int) -> SummaryBuilder:
+def _replay_rank(factory: Callable[[int, int], Any], rank: int,
+                 n_ranks: int) -> SummaryBuilder:
     """Fold one rank's generator into a summary without simulating time.
 
     Outgoing ``Isend`` volumes are kept in a pending ledger: the
@@ -340,7 +344,8 @@ def _replay_rank(factory, rank: int, n_ranks: int) -> SummaryBuilder:
     return b
 
 
-def profile_from_replay(app: str, dataset: str, factory,
+def profile_from_replay(app: str, dataset: str,
+                        factory: Callable[[int, int], Any],
                         n_ranks: int) -> AppProfile:
     """Exact profile by symbolic replay of every rank's generator."""
     per_rank = [

@@ -105,6 +105,13 @@ def _add_exec_flags(parser: argparse.ArgumentParser,
         "--no-lint", action="store_true",
         help="skip the static pre-flight lint (see `repro lint`)")
     parser.add_argument(
+        "--advise", default=None, choices=["off", "warn", "error"],
+        metavar="MODE",
+        help="static performance gate (see `repro advise`): 'warn' "
+             "blocks configs with error findings (infeasible "
+             "placements), 'error' blocks on warnings too "
+             "(default: $REPRO_ADVISE or off)")
+    parser.add_argument(
         "--engine", default="event",
         choices=["event", "analytic", "auto"],
         help="scoring engine: 'event' simulates, 'analytic' scores the "
@@ -415,6 +422,67 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_advise(args) -> int:
+    from repro.analysis import advise_config
+    from repro.core.experiment import ExperimentConfig
+    from repro.runtime.affinity import ProcessAllocation, ThreadBinding
+
+    apps = [args.app] if args.app else sorted(SUITE)
+    cluster = catalog.by_name(args.processor, n_nodes=args.nodes)
+    if args.ranks is not None or args.threads is not None:
+        grid = [(args.ranks or 4, args.threads or 12)]
+    else:
+        # machine-sized default grid: both corners plus one rank per
+        # NUMA domain (4x12 on A64FX), the paper's sweet spot
+        cores = cluster.cores_per_node
+        n_dom = cluster.node.n_domains
+        grid = [(1, cores)]
+        if cores % n_dom == 0 and 1 < n_dom < cores:
+            grid.append((n_dom, cores // n_dom))
+        grid.append((cores, 1))
+
+    cache = None
+    if not args.no_cache:
+        from repro.analysis.cache import lint_cache_for
+
+        cache = lint_cache_for(args.cache_dir)
+
+    binding = (ThreadBinding("compact") if args.stride == 1
+               else ThreadBinding("stride", stride=args.stride))
+    reports = []
+    n_errors = 0
+    for app in apps:
+        for n_ranks, n_threads in grid:
+            config = ExperimentConfig(
+                app=app, dataset=args.dataset, processor=args.processor,
+                n_nodes=args.nodes, n_ranks=n_ranks, n_threads=n_threads,
+                binding=binding,
+                allocation=ProcessAllocation(args.allocation),
+                options_preset=args.options,
+                data_policy=args.data_policy,
+            )
+            report = advise_config(config, cache=cache)
+            reports.append(report)
+            n_errors += len(report.errors)
+            shown = report.at_least(args.min_severity)
+            if not shown:
+                print(f"{report.subject}: clean at severity >= "
+                      f"{args.min_severity}")
+            else:
+                print(report.render(args.min_severity))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump({"reports": [r.to_dict() for r in reports]},
+                      fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if n_errors:
+        print(f"advise: {n_errors} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_validate(args) -> int:
     if getattr(args, "engines", False):
         from repro.validate import validate_engines
@@ -424,10 +492,31 @@ def _cmd_validate(args) -> int:
         from repro.perf import validate_counters
 
         report = validate_counters()
+    elif getattr(args, "advise", False):
+        from repro.validate import validate_advise
+
+        report = validate_advise()
     else:
         from repro.validate import validate_diagnostics
 
         report = validate_diagnostics()
+    if getattr(args, "json", None):
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if getattr(args, "advise", False):
+        # the advise-clean gate: errors fail, warnings/infos are the
+        # recorded-but-expected model observations
+        errors = report.errors
+        if not errors:
+            print(f"{report.subject}: no error-severity findings "
+                  f"({len(report.warnings)} warning(s), "
+                  f"{len(report.infos)} info(s) recorded)")
+            return 0
+        print(report.render("error"), file=sys.stderr)
+        return 1
     if report.ok:
         print(f"{report.subject}: all consistency checks passed")
         return 0
@@ -559,6 +648,47 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-analyze even if a cached verdict exists")
     lint.set_defaults(func=_cmd_lint)
 
+    advise = sub.add_parser(
+        "advise",
+        help="static performance analysis: where does the model say the "
+             "time goes, and which placement choices leave performance "
+             "on the table")
+    advise.add_argument("app", nargs="?", type=_app_name,
+                        choices=sorted(SUITE),
+                        help="miniapp to advise on (default: whole suite)")
+    advise.add_argument("--dataset", default="as-is")
+    advise.add_argument("--processor", default="A64FX",
+                        type=_processor_name,
+                        choices=sorted(catalog.PROCESSORS))
+    advise.add_argument("--nodes", type=int, default=1)
+    advise.add_argument("--ranks", type=int, default=None,
+                        help="advise one placement instead of the "
+                             "default grid")
+    advise.add_argument("--threads", type=int, default=None)
+    advise.add_argument("--stride", type=int, default=1,
+                        help="thread-binding stride (1 = compact)")
+    advise.add_argument("--allocation", default="block",
+                        choices=["block", "cyclic", "domain-pack",
+                                 "spread"])
+    advise.add_argument("--options", default="kfast",
+                        choices=["as-is", "+simd", "+simd+sched", "tuned",
+                                 "kfast"])
+    advise.add_argument("--data-policy", default="first-touch",
+                        choices=["first-touch", "serial-init"])
+    advise.add_argument("--min-severity", default="info",
+                        choices=["error", "warning", "info"],
+                        help="hide findings below this severity "
+                             "(default: show everything)")
+    advise.add_argument("--json", default=None, metavar="FILE",
+                        help="also write every report as JSON")
+    advise.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="advise-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro; shared with the lint cache)")
+    advise.add_argument("--no-cache", action="store_true",
+                        help="re-analyze even if a cached verdict exists")
+    advise.set_defaults(func=_cmd_advise)
+
     validate = sub.add_parser(
         "validate",
         help="run the model's internal consistency checks")
@@ -572,6 +702,14 @@ def build_parser() -> argparse.ArgumentParser:
              "app's MPI x OpenMP grid analytically and re-simulate a "
              "deterministic sample with the event executor (the CI "
              "analytic-agreement gate)")
+    validate.add_argument(
+        "--advise", action="store_true",
+        help="advisor cleanliness over every catalog machine x miniapp "
+             "F1 grid: fails only on error-severity perf findings (the "
+             "CI advise-clean gate)")
+    validate.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the report as JSON (the CI warning artifact)")
     validate.set_defaults(func=_cmd_validate)
 
     report = sub.add_parser(
@@ -592,6 +730,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis import set_preflight
 
         set_preflight(False)
+    # exec-flags --advise carries a mode string; validate's --advise is a
+    # boolean gate selector — only the former sets the global gate mode
+    mode = getattr(args, "advise", None)
+    if isinstance(mode, str):
+        from repro.analysis import set_advise_mode
+
+        set_advise_mode(mode)
     return args.func(args)
 
 

@@ -134,6 +134,33 @@ def _preflight(config: ExperimentConfig, cache) -> None:
     analyzer.preflight(config, lint_cache)
 
 
+def _advise_preflight(config: ExperimentConfig, cache,
+                      mode: str | None) -> None:
+    """Opt-in static performance gate before spending simulation time.
+
+    ``mode=None`` defers to the global :func:`repro.analysis.advisor.
+    advise_mode` (``REPRO_ADVISE``, worker-propagating); ``"off"`` is a
+    no-op.  ``"warn"`` raises :class:`~repro.errors.AdviseError` on
+    error-severity findings (infeasible placements); ``"error"``
+    additionally blocks on warnings.  Unlike the lint gate this runs for
+    every engine — the advisor consumes only the closed-form model, so
+    the analytic path is gated too.
+    """
+    from repro.analysis import advisor
+
+    mode = advisor.advise_mode() if mode is None else \
+        advisor.check_mode(mode)
+    if mode == "off":
+        return
+    lint_cache = None
+    directory = getattr(cache, "directory", None)
+    if directory is not None:
+        from repro.analysis.cache import lint_cache_for
+
+        lint_cache = lint_cache_for(directory)
+    advisor.advise_gate(config, lint_cache, mode=mode)
+
+
 def cache_key(config: ExperimentConfig, engine: str):
     """Cache key for one config under one engine.
 
@@ -148,7 +175,8 @@ def cache_key(config: ExperimentConfig, engine: str):
 
 
 def run_config(config: ExperimentConfig, cache=None, *,
-               engine: str = "event", fault_plan=None) -> Row:
+               engine: str = "event", fault_plan=None,
+               advise: str | None = None) -> Row:
     """Simulate (or analytically score) one configuration.
 
     ``cache`` memoizes identical configs across sweeps — experiments
@@ -162,6 +190,15 @@ def run_config(config: ExperimentConfig, cache=None, *,
     score, cross-checked against an event re-simulation; raises
     :class:`~repro.errors.EngineDisagreement` beyond tolerance).
 
+    ``advise`` opts into the static performance gate
+    (:mod:`repro.analysis.advisor`): ``"warn"`` raises
+    :class:`~repro.errors.AdviseError` on error-severity findings,
+    ``"error"`` blocks on warnings too, ``"off"`` skips; ``None``
+    (default) follows the global mode (``REPRO_ADVISE`` /
+    ``set_advise_mode``).  The gate runs before the cache lookup — an
+    opted-in caller wants the verdict even for warm rows, and the
+    advisor memoizes per config so the repeat cost is a dict probe.
+
     A non-empty ``fault_plan`` requires the event engine (the analytic
     model has no fault dynamics — anything else would silently ignore
     the plan) and bypasses the cache in both directions: a degraded run
@@ -170,6 +207,7 @@ def run_config(config: ExperimentConfig, cache=None, *,
     from repro.analytic import engine as analytic_engine
 
     analytic_engine.check_engine(engine)
+    _advise_preflight(config, cache, advise)
     faulty = fault_plan is not None and not getattr(fault_plan, "empty", False)
     if faulty and engine != "event":
         from repro.errors import ConfigurationError
@@ -238,7 +276,8 @@ QUARANTINE_AFTER = 2
 def run_sweep(name: str, configs: list[ExperimentConfig],
               cache=None, *, workers: int = 1,
               errors: str = "raise", resume: bool = False,
-              retry=None, engine: str = "event") -> SweepResult:
+              retry=None, engine: str = "event",
+              advise: str | None = None) -> SweepResult:
     """Simulate every configuration of a sweep, preserving order.
 
     Parameters
@@ -276,6 +315,16 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
         :class:`~repro.errors.EngineDisagreement` if the engines differ
         beyond tolerance — whatever the ``errors`` mode, because a
         model-level disagreement taints every row, not one config.
+    advise:
+        Opt-in static performance gate, checked serially before any
+        config is dispatched (the advisor is closed-form — no
+        simulation time is spent).  ``"warn"`` blocks configs with
+        error-severity findings, ``"error"`` blocks on warnings too,
+        ``"off"`` skips, ``None`` (default) follows the global mode.
+        Under ``errors="capture"`` a gated config is recorded on
+        ``SweepResult.errors`` (like a quarantined one) and the rest of
+        the sweep proceeds; under ``errors="raise"`` the first
+        :class:`~repro.errors.AdviseError` propagates.
 
     When the cache is persistent, every fresh completion (success or
     failure) is also journaled next to the cache file — that journal is
@@ -318,6 +367,18 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
         if journal is not None:
             journal.record(name, config, ok,
                            exc=None if ok else value)
+
+    from repro.errors import AdviseError
+
+    for config in configs:
+        if config in quarantine:
+            continue
+        try:
+            _advise_preflight(config, cache, advise)
+        except AdviseError as exc:
+            if errors == "raise":
+                raise
+            quarantine[config] = SweepError.from_exception(config, exc)
 
     to_run = [c for c in configs if c not in quarantine]
     if engine == "event":

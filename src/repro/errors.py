@@ -66,3 +66,18 @@ class LintError(ReproError):
     def __init__(self, message: str, diagnostics: tuple = ()) -> None:
         super().__init__(message)
         self.diagnostics = tuple(diagnostics)
+
+
+class AdviseError(ReproError):
+    """The pre-flight performance advisor found blocking diagnostics.
+
+    Raised by the opt-in advise gate in :mod:`repro.core.runner` when a
+    config's static performance analysis reports findings at or above
+    the gate's severity cut (``advise="warn"`` blocks on errors,
+    ``advise="error"`` blocks on warnings too).  ``diagnostics`` carries
+    the structured records behind the rendered message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)

@@ -1,0 +1,70 @@
+"""Advisor boundedness claims vs the simulated PMU counters.
+
+The advisor's ``perf-memory-bound`` / ``perf-l2-bound`` findings are
+derived purely from the closed-form ECM breakdown
+(:func:`repro.analytic.engine.config_breakdown`), never from execution.
+These tests run the event executor *with* the counter profiler
+(:func:`repro.perf.profile.profile_job`) and assert that the static
+verdict per kernel — the dominant ECM phase and the memory-bound
+classification — agrees with the counter-derived roofline placement
+(:func:`repro.perf.accounting.counter_roofline`, whose ``bound`` comes
+from the dominant stall category).  If these ever diverge, either the
+advisor or the counter attribution drifted from the shared timing model.
+"""
+
+import pytest
+
+from repro.analytic.engine import config_breakdown
+from repro.core.experiment import ExperimentConfig
+from repro.machine import catalog
+from repro.miniapps import SUITE, by_name
+from repro.perf.accounting import counter_roofline
+from repro.perf.profile import profile_job
+from repro.runtime.placement import JobPlacement
+
+N_RANKS, N_THREADS = 4, 12      # the paper's per-CMG sweet spot
+
+
+def _advisor_bounds(app_name: str) -> dict:
+    """kernel -> costliest GroupCost, from the closed-form breakdown."""
+    config = ExperimentConfig(app=app_name, dataset="as-is",
+                              n_ranks=N_RANKS, n_threads=N_THREADS)
+    best = {}
+    for g in config_breakdown(config).groups:
+        cur = best.get(g.kernel)
+        if cur is None or g.seconds > cur.seconds:
+            best[g.kernel] = g
+    return best
+
+
+def _counter_bounds(app_name: str) -> dict:
+    """kernel -> CounterRooflinePoint, from a profiled event run."""
+    cluster = catalog.a64fx()
+    placement = JobPlacement(cluster, N_RANKS, N_THREADS)
+    app = by_name(app_name)
+    _, profile = profile_job(app.build_job(cluster, placement, "as-is"))
+    return {p.kernel: p for p in counter_roofline(profile, cluster)}
+
+
+@pytest.mark.parametrize("app_name", sorted(SUITE))
+def test_static_bound_agrees_with_counters(app_name):
+    static = _advisor_bounds(app_name)
+    counted = _counter_bounds(app_name)
+    shared = sorted(set(static) & set(counted))
+    assert shared, f"{app_name}: no kernels shared between the views"
+    for kernel in shared:
+        g, p = static[kernel], counted[kernel]
+        assert g.bound == p.bound, (
+            f"{app_name}/{kernel}: advisor says {g.bound}-bound "
+            f"(per-iter {g.per_iter}), counters say {p.bound}")
+        assert g.memory_bound == p.memory_bound
+
+
+@pytest.mark.parametrize("app_name", sorted(SUITE))
+def test_every_profiled_kernel_is_modeled(app_name):
+    """The advisor sees every kernel the profiler attributes work to."""
+    static = _advisor_bounds(app_name)
+    counted = _counter_bounds(app_name)
+    assert set(counted) <= set(static), (
+        f"{app_name}: counters profiled {sorted(set(counted) - set(static))} "
+        f"which the breakdown never modeled")

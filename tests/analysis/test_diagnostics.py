@@ -75,3 +75,45 @@ class TestDiagnosticReport:
         again = DiagnosticReport.from_dict(report.to_dict())
         assert again.subject == "subj"
         assert again.diagnostics == report.diagnostics
+
+    def test_info_severity(self):
+        report = DiagnosticReport("x", [
+            diag(check="perf-memory-bound", severity="info"),
+            diag(check="perf-cmg-span", severity="warning"),
+        ])
+        assert len(report.infos) == 1
+        assert "1 info(s)" in report.summary()
+
+    def test_at_least_cuts(self):
+        report = DiagnosticReport("x", [
+            diag(),                                            # error
+            diag(check="perf-cmg-span", severity="warning"),
+            diag(check="perf-memory-bound", severity="info"),
+        ])
+        assert len(report.at_least("error")) == 1
+        assert len(report.at_least("warning")) == 2
+        assert len(report.at_least("info")) == 3
+        with pytest.raises(ConfigurationError):
+            report.at_least("fatal")
+
+    def test_render_honors_min_severity(self):
+        report = DiagnosticReport("x", [
+            diag(check="perf-memory-bound", severity="info"),
+            diag(check="perf-cmg-span", severity="warning"),
+        ])
+        text = report.render("warning")
+        assert "perf-cmg-span" in text
+        assert "perf-memory-bound" not in text
+
+    def test_to_dict_order_independent(self):
+        a = diag(check="perf-cmg-span", severity="warning", rank=1)
+        b = diag(check="perf-memory-bound", severity="info")
+        c = diag(rank=0)
+        one = DiagnosticReport("s", [a, b, c]).to_dict()
+        two = DiagnosticReport("s", [c, a, b]).to_dict()
+        assert one == two
+
+    def test_sort_key_whole_job_first(self):
+        anchored = diag(rank=3)
+        whole = diag()
+        assert whole.sort_key() < anchored.sort_key()
