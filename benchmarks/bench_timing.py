@@ -16,7 +16,14 @@ Runs the F1 MPI x OpenMP grid for one app
 
 plus a profiling-overhead leg: the same job simulated with the PMU sink
 off (the default) and on, so ``BENCH_sweep.json`` records what turning
-:mod:`repro.perf` on costs — and that leaving it off costs nothing.
+:mod:`repro.perf` on costs — and that leaving it off costs nothing,
+
+plus a telemetry-overhead leg: the same cold event sweep with run
+recording off (``REPRO_TELEMETRY=off``) and on (the default, writing a
+run directory into a scratch results root), asserting the manifest /
+metrics / span machinery stays under 3% of sweep wall time
+(``telemetry_overhead_pct``).  All other legs run with telemetry off so
+their figures stay comparable with pre-telemetry datapoints.
 
 Writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as an
 artifact, so every PR leaves a comparable perf datapoint.
@@ -45,6 +52,10 @@ OUTPUT = REPO_ROOT / "BENCH_sweep.json"
 #: Repetitions of the profiling-overhead job (keeps timer noise down
 #: while staying a small fraction of the sweep legs).
 _PROFILE_REPS = 3
+
+#: Interleaved (off, on) repetitions of the telemetry-overhead sweep;
+#: the per-mode minimum filters scheduler noise out of a <3% signal.
+_TELEMETRY_REPS = 2
 
 
 def _timed(fn) -> tuple[float, object]:
@@ -81,6 +92,10 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default=str(OUTPUT))
     args = parser.parse_args(argv)
 
+    # Baseline legs run unrecorded so their figures stay comparable
+    # with pre-telemetry datapoints; the telemetry leg flips this.
+    os.environ["REPRO_TELEMETRY"] = "off"
+
     import repro
     from repro.core.cache import ResultCache
     from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
@@ -115,6 +130,25 @@ def main(argv=None) -> int:
         t_ana_warm, sweep_ana_warm = _timed(
             lambda: run_sweep("f1", configs, ResultCache(ana_dir),
                               engine="analytic"))
+        # telemetry overhead: cold event sweeps with recording off vs on
+        # (run directories land in a scratch results root).  The legs
+        # are interleaved and the per-mode minimum taken, because on a
+        # busy single-CPU runner back-to-back ~3 s sweeps drift by more
+        # than the budget being measured.
+        tel = {"off": [], "on": []}
+        os.environ["REPRO_RESULTS_DIR"] = str(Path(tmp) / "tel-results")
+        try:
+            for rep in range(_TELEMETRY_REPS):
+                for mode in ("off", "on"):
+                    os.environ["REPRO_TELEMETRY"] = mode
+                    t, _ = _timed(lambda: run_sweep(
+                        "f1", configs,
+                        ResultCache(Path(tmp) / f"tel-{mode}-{rep}")))
+                    tel[mode].append(t)
+        finally:
+            os.environ["REPRO_TELEMETRY"] = "off"
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        t_tel_off, t_tel_on = min(tel["off"]), min(tel["on"])
 
     rows = [(r.config.label(), r.elapsed) for r in sweep_cold.rows]
     assert rows == [(r.config.label(), r.elapsed) for r in sweep_warm.rows]
@@ -147,6 +181,10 @@ def main(argv=None) -> int:
         "profiling_off_s": round(prof_off, 4),
         "profiling_on_s": round(prof_on, 4),
         "profiling_overhead_x": round(prof_on / max(prof_off, 1e-9), 2),
+        "telemetry_off_s": round(t_tel_off, 4),
+        "telemetry_on_s": round(t_tel_on, 4),
+        "telemetry_overhead_pct": round(
+            100.0 * (t_tel_on - t_tel_off) / max(t_tel_off, 1e-9), 2),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -159,6 +197,10 @@ def main(argv=None) -> int:
         status = 1
     if payload["analytic_speedup_x"] < 100:
         print("WARNING: analytic-engine cold speedup below the 100x target",
+              file=sys.stderr)
+        status = 1
+    if payload["telemetry_overhead_pct"] >= 3:
+        print("WARNING: run-telemetry overhead at or above the 3% budget",
               file=sys.stderr)
         status = 1
     return status

@@ -42,6 +42,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.analytic.profile import AppProfile, RankClass
 from repro.compile.compiler import CompiledKernel, Compiler
 from repro.compile.options import PRESETS
@@ -378,6 +379,12 @@ def score_configs(configs: list[ExperimentConfig]
     are captured per config so one broken point cannot sink a batch —
     callers decide whether to raise or record them.
     """
+    with telemetry.span("score.analytic.batch", configs=len(configs)):
+        return _score_configs_batch(configs)
+
+
+def _score_configs_batch(configs: list[ExperimentConfig]
+                         ) -> list[Row | Exception]:
     results: list[Any] = [None] * len(configs)
     compiled: list[tuple[int, _Compiled]] = []
     # entry columns: t_comp, t_l1, l2_num, dram_num, t_lat,

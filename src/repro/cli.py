@@ -11,7 +11,15 @@ Commands mirror what a user of the original study's scripts would run:
   checks (the CI resilience gate);
 * ``figure`` — regenerate one paper artifact (t1..t2, f1..f10, a1..a5);
 * ``roofline`` — per-kernel roofline placement for one app;
-* ``energy`` — the power-mode study for one app.
+* ``energy`` — the power-mode study for one app;
+* ``runs`` / ``report <run_id>`` / ``reproduce <run_id>`` — the
+  telemetry trio: list recorded runs, summarize one (metrics, gate
+  timings, fault events, Chrome trace export), and re-execute one from
+  its manifest, diffing the replay against the recorded rows.
+
+Sweep-running commands record themselves under ``results/runs/<id>/``
+by default; ``--no-telemetry`` (or ``REPRO_TELEMETRY=off``) restores
+the unrecorded path.
 
 ``run`` and ``profile`` accept the same app/placement flags (one shared
 wiring, :func:`_add_app_flags` / :func:`_add_placement_flags`), with
@@ -118,6 +126,15 @@ def _add_exec_flags(parser: argparse.ArgumentParser,
              "whole sweep in one closed-form batch pass (~100x faster, "
              "no fault/protocol effects), 'auto' scores analytically "
              "and cross-checks a seeded sample against the simulator")
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not record this invocation as a run directory "
+             "(equivalent to REPRO_TELEMETRY=off)")
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="root for recorded run directories (default: "
+             "$REPRO_RESULTS_DIR or ./results; runs land in "
+             "<DIR>/runs/<run_id>/)")
 
 
 def _cache_from_args(args):
@@ -524,7 +541,80 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _cmd_runs(args) -> int:
+    import json
+
+    from repro.telemetry.report import list_runs, render_runs
+
+    entries = list_runs(args.results_dir, kind=args.kind,
+                        status=args.status, name=args.name)
+    if args.latest:
+        entries = entries[-1:]
+        if not entries:
+            print("no recorded runs", file=sys.stderr)
+            return 1
+        if not args.json:
+            # bare id, so `repro reproduce $(repro runs --latest)` works
+            print(entries[0].run_id)
+            return 0
+    if args.json:
+        print(json.dumps([e.to_dict() for e in entries],
+                         indent=2, sort_keys=True))
+        return 0
+    print(render_runs(entries))
+    return 0
+
+
+def _report_run(args) -> int:
+    """``repro report <run_id>``: summarize one recorded run."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.telemetry.report import RunReport
+
+    try:
+        rep = RunReport.load(args.run_id, args.results_dir)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            json.dump(rep.chrome_trace(), fh)
+        print(f"wrote {args.trace}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rep.to_dict(), fh, indent=2, sort_keys=True,
+                      default=str)
+        print(f"wrote {args.json}")
+    print(rep.render())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.errors import ReproError
+    from repro.telemetry.reproduce import reproduce_run
+
+    try:
+        report = reproduce_run(args.run_id, args.results_dir,
+                               rtol=args.rtol, atol=args.atol,
+                               workers=args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args) -> int:
+    if args.run_id is not None:
+        return _report_run(args)
+
     from repro.core.reportgen import write_report
 
     path = write_report(
@@ -713,12 +803,65 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(func=_cmd_validate)
 
     report = sub.add_parser(
-        "report", help="regenerate every artifact into one Markdown file")
+        "report",
+        help="regenerate every artifact into one Markdown file, or — "
+             "with a run id — summarize one recorded run")
+    report.add_argument(
+        "run_id", nargs="?", default=None,
+        help="recorded run id (or unique prefix): print its metrics, "
+             "gate timings, fault events, and slowest configs instead "
+             "of generating the Markdown report")
     report.add_argument("-o", "--output", default="REPORT.md")
     report.add_argument("--quick", action="store_true",
                         help="skip the slow sweep artifacts")
+    report.add_argument("--json", default=None, metavar="FILE",
+                        help="with a run id: also write the full report "
+                             "as JSON")
+    report.add_argument("--trace", default=None, metavar="FILE",
+                        help="with a run id: write the run's spans as a "
+                             "Chrome trace (chrome://tracing, Perfetto)")
     _add_exec_flags(report)
     report.set_defaults(func=_cmd_report)
+
+    runs = sub.add_parser(
+        "runs", help="list recorded runs (see `repro report <run_id>`)")
+    runs.add_argument("--results-dir", default=None, metavar="DIR",
+                      help="results root (default: $REPRO_RESULTS_DIR "
+                           "or ./results)")
+    runs.add_argument("--kind", default=None,
+                      choices=["sweep", "config"],
+                      help="only runs of this kind")
+    runs.add_argument("--status", default=None,
+                      choices=["running", "completed", "failed"],
+                      help="only runs with this final status")
+    runs.add_argument("--name", default=None, metavar="SUBSTR",
+                      help="only runs whose name contains SUBSTR")
+    runs.add_argument("--latest", action="store_true",
+                      help="print only the newest matching run id "
+                           "(bare, for shell substitution)")
+    runs.add_argument("--json", action="store_true",
+                      help="emit the run list as JSON")
+    runs.set_defaults(func=_cmd_runs)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="re-execute a recorded run from its manifest and diff the "
+             "replay against the recorded rows (non-zero exit on drift)")
+    reproduce.add_argument("run_id",
+                           help="recorded run id (or unique prefix)")
+    reproduce.add_argument("--results-dir", default=None, metavar="DIR",
+                           help="results root (default: "
+                                "$REPRO_RESULTS_DIR or ./results)")
+    reproduce.add_argument("--rtol", type=float, default=1e-9,
+                           help="relative tolerance per compared field "
+                                "(default 1e-9; 0 = bit-for-bit)")
+    reproduce.add_argument("--atol", type=float, default=0.0,
+                           help="absolute tolerance per compared field")
+    reproduce.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="replay up to N sweep points in parallel")
+    reproduce.add_argument("--json", default=None, metavar="FILE",
+                           help="also write the drift report as JSON")
+    reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser
 
@@ -730,6 +873,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis import set_preflight
 
         set_preflight(False)
+    if getattr(args, "no_telemetry", False):
+        from repro import telemetry
+
+        telemetry.set_telemetry(False)
+    # exec commands route recorded runs via the env so worker processes
+    # and nested builders agree on the root; read-side commands (runs /
+    # report <id> / reproduce) also take the flag directly
+    if getattr(args, "results_dir", None):
+        from repro import telemetry
+
+        telemetry.set_results_dir(args.results_dir)
     # exec-flags --advise carries a mode string; validate's --advise is a
     # boolean gate selector — only the former sets the global gate mode
     mode = getattr(args, "advise", None)

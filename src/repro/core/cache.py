@@ -33,6 +33,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.core.experiment import ExperimentConfig
 from repro.core.persistence import config_to_dict, row_from_dict, row_to_dict
 from repro.core.runner import Row
@@ -136,7 +137,7 @@ class ResultCache:
     """
 
     __slots__ = ("directory", "max_memory_entries", "hits", "misses",
-                 "_mem", "_loaded", "_fingerprint")
+                 "torn_lines", "_mem", "_loaded", "_fingerprint")
 
     FILENAME = "results.jsonl"
 
@@ -149,6 +150,7 @@ class ResultCache:
         self.max_memory_entries = max_memory_entries
         self.hits = 0
         self.misses = 0
+        self.torn_lines = 0
         self._mem: OrderedDict[str, Row] = OrderedDict()
         self._loaded = False
         self._fingerprint: str | None = None
@@ -208,14 +210,12 @@ class ResultCache:
                 continue
             self._remember(digest, row)
         if corrupt:
-            import warnings
-
-            warnings.warn(
-                f"result cache {self.path}: skipped {corrupt} "
-                f"corrupt/truncated line(s)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            # Surface through telemetry rather than a one-shot
+            # warnings.warn: the count lands in metrics.jsonl and shows
+            # up as a `repro report` line item, and stays inspectable on
+            # the cache object itself.
+            self.torn_lines += corrupt
+            telemetry.count("cache.torn_lines", corrupt)
 
     def _append(self, digest: str, row: Row) -> None:
         rec = {"format": CACHE_FORMAT, "fp": self.fingerprint,
@@ -240,9 +240,11 @@ class ResultCache:
         row = self._mem.get(digest)
         if row is None:
             self.misses += 1
+            telemetry.count("cache.miss")
             return default
         self._mem.move_to_end(digest)
         self.hits += 1
+        telemetry.count("cache.hit")
         return row
 
     def put(self, key: Any, row: Row) -> None:
@@ -254,6 +256,7 @@ class ResultCache:
             return
         self._remember(digest, row)
         self._append(digest, row)
+        telemetry.count("cache.store")
 
     # dict-protocol aliases so ResultCache drops in wherever a plain
     # memo dict was accepted.
@@ -287,7 +290,7 @@ class ResultCache:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self)}
+                "torn_lines": self.torn_lines, "entries": len(self)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (f"<ResultCache {self.path} entries={len(self._mem)} "

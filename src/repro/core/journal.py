@@ -30,6 +30,7 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.core.cache import config_digest
 from repro.core.experiment import ExperimentConfig
 
@@ -143,6 +144,7 @@ class SweepJournal:
             pid = getattr(exc, "_repro_pid", None)
             if pid is not None:
                 rec["pid"] = pid
+        telemetry.count("journal.done" if ok else "journal.failed")
         self._apply((sweep, digest), rec["status"], rec)
         self._append(rec)
 

@@ -38,6 +38,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.core.experiment import ExperimentConfig
 from repro.core.runner import Row, run_config
 
@@ -149,7 +150,11 @@ def _one_pool_pass(
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(configs)))
+    # Workers never open their own run directories: the parent records
+    # the sweep, so telemetry is suppressed at pool start (works for both
+    # fork and spawn start methods).
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(configs)),
+                               initializer=telemetry.suppress_in_worker)
     pending: dict[Any, ExperimentConfig] = {}
     try:
         pending = {pool.submit(_pool_run, c): c for c in configs}
@@ -204,17 +209,21 @@ def _run_unique(
             if not remaining:
                 return
             if attempt > 0 and delay > 0:
+                telemetry.count("pool.restarts")
+                telemetry.count("pool.retries", len(remaining))
                 time.sleep(delay)
                 delay *= 2
             try:
                 remaining = _one_pool_pass(remaining, workers, note, policy)
             except (ImportError, OSError, PermissionError):
                 usable = False   # no usable pool here — go serial
+                telemetry.count("pool.unavailable")
                 break
             if len(remaining) <= 1:
                 break            # a single survivor is cheaper serially
         if usable and not remaining:
             return
+        telemetry.count("pool.serial_fallback", len(remaining))
     for c in remaining:
         note(c, *_pool_run(c))
 
@@ -255,6 +264,8 @@ def run_configs(
 
     # 2. simulate the unique misses; checkpoint each as it completes
     def note(config: ExperimentConfig, ok: bool, value: Any) -> None:
+        telemetry.count("sweep.rows_completed" if ok
+                        else "sweep.rows_failed")
         if ok and cache is not None:
             cache[config] = value
         for i in pending[config]:

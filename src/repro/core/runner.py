@@ -13,9 +13,11 @@ restarts an interrupted sweep where it stopped (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import telemetry
 from repro.core.experiment import ExperimentConfig
 from repro.machine import catalog
 from repro.miniapps import by_name
@@ -131,7 +133,15 @@ def _preflight(config: ExperimentConfig, cache) -> None:
         from repro.analysis.cache import lint_cache_for
 
         lint_cache = lint_cache_for(directory)
-    analyzer.preflight(config, lint_cache)
+    t0 = time.perf_counter()
+    try:
+        with telemetry.span("gate.lint", config=config.label()):
+            analyzer.preflight(config, lint_cache)
+    except Exception:
+        telemetry.count("gate.lint.blocked")
+        raise
+    finally:
+        telemetry.observe("gate.lint.seconds", time.perf_counter() - t0)
 
 
 def _advise_preflight(config: ExperimentConfig, cache,
@@ -158,7 +168,16 @@ def _advise_preflight(config: ExperimentConfig, cache,
         from repro.analysis.cache import lint_cache_for
 
         lint_cache = lint_cache_for(directory)
-    advisor.advise_gate(config, lint_cache, mode=mode)
+    t0 = time.perf_counter()
+    try:
+        with telemetry.span("gate.advise", config=config.label(),
+                            mode=mode):
+            advisor.advise_gate(config, lint_cache, mode=mode)
+    except Exception:
+        telemetry.count("gate.advise.blocked")
+        raise
+    finally:
+        telemetry.observe("gate.advise.seconds", time.perf_counter() - t0)
 
 
 def cache_key(config: ExperimentConfig, engine: str):
@@ -203,10 +222,30 @@ def run_config(config: ExperimentConfig, cache=None, *,
     model has no fault dynamics — anything else would silently ignore
     the plan) and bypasses the cache in both directions: a degraded run
     must never poison, nor be served from, fault-free rows.
+
+    With telemetry on (the default — see :mod:`repro.telemetry`), a
+    top-level call records itself as ``results/runs/<run_id>/``; inside
+    an active run (a sweep's serial path) it contributes a ``config``
+    span instead.
     """
+    with telemetry.run_scope(kind="config", name=config.label(),
+                             configs=[config], engine=engine,
+                             cache=cache, advise=advise,
+                             fault_plan=fault_plan) as run:
+        row = _run_config_impl(config, cache, engine=engine,
+                               fault_plan=fault_plan, advise=advise)
+        if run is not None:
+            run.attach_rows(config.label(), [row])
+        return row
+
+
+def _run_config_impl(config: ExperimentConfig, cache=None, *,
+                     engine: str = "event", fault_plan=None,
+                     advise: str | None = None) -> Row:
     from repro.analytic import engine as analytic_engine
 
     analytic_engine.check_engine(engine)
+    telemetry.count(f"engine.pick.{engine}")
     _advise_preflight(config, cache, advise)
     faulty = fault_plan is not None and not getattr(fault_plan, "empty", False)
     if faulty and engine != "event":
@@ -222,7 +261,8 @@ def run_config(config: ExperimentConfig, cache=None, *,
         key = cache_key(config, "analytic")
         row = cache.get(key) if cache is not None else None
         if row is None:
-            row = analytic_engine.score_config(config)
+            with telemetry.span("score.analytic", config=config.label()):
+                row = analytic_engine.score_config(config)
             if cache is not None:
                 cache[key] = row
         if engine == "auto":
@@ -255,7 +295,13 @@ def run_config(config: ExperimentConfig, cache=None, *,
         import dataclasses
 
         job = dataclasses.replace(job, fault_plan=fault_plan)
-    result: RunResult = run_job(job)
+        telemetry.count("faults.runs")
+    with telemetry.span("score.event", config=config.label()):
+        result: RunResult = run_job(job)
+    if result.fault_stats is not None:
+        for stat, value in result.fault_stats.to_dict().items():
+            if value:
+                telemetry.count(f"faults.{stat}", value)
     row = Row(
         config=config,
         elapsed=result.elapsed,
@@ -329,14 +375,39 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
     When the cache is persistent, every fresh completion (success or
     failure) is also journaled next to the cache file — that journal is
     what ``resume`` consults.
+
+    With telemetry on (the default), the sweep records itself as a run
+    directory ``results/runs/<run_id>/`` — manifest, streamed metrics,
+    orchestration spans, and the rows as ``summary.json`` (see
+    :mod:`repro.telemetry`); a resumed sweep re-enters the original
+    run's directory and appends.  Nested sweeps (figure builders inside
+    ``repro report``) become spans of the enclosing run instead.
     """
     if errors not in ("raise", "capture"):
         raise ValueError(f"errors must be 'raise' or 'capture', not {errors!r}")
     from repro.analytic import engine as analytic_engine
-    from repro.core.journal import SweepJournal
-    from repro.core.parallel import SweepError, run_configs
 
     analytic_engine.check_engine(engine)
+    with telemetry.run_scope(kind="sweep", name=name, configs=configs,
+                             engine=engine, workers=workers,
+                             resume=resume, cache=cache,
+                             advise=advise) as run:
+        sweep = _run_sweep_impl(name, configs, cache, workers=workers,
+                                errors=errors, resume=resume, retry=retry,
+                                engine=engine, advise=advise)
+        if run is not None:
+            run.attach_sweep(sweep)
+        return sweep
+
+
+def _run_sweep_impl(name: str, configs: list[ExperimentConfig],
+                    cache=None, *, workers: int = 1,
+                    errors: str = "raise", resume: bool = False,
+                    retry=None, engine: str = "event",
+                    advise: str | None = None) -> SweepResult:
+    from repro.analytic import engine as analytic_engine
+    from repro.core.journal import SweepJournal
+    from repro.core.parallel import SweepError, run_configs
 
     journal = SweepJournal.for_cache(cache)
     if resume and journal is None:
@@ -380,12 +451,17 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
                 raise
             quarantine[config] = SweepError.from_exception(config, exc)
 
+    if quarantine:
+        telemetry.count("sweep.quarantined", len(quarantine))
     to_run = [c for c in configs if c not in quarantine]
-    if engine == "event":
-        outcome_list = run_configs(to_run, workers=workers, cache=cache,
-                                   on_result=note, retry=retry)
-    else:
-        outcome_list = _score_analytic(to_run, cache, note)
+    with telemetry.span("dispatch", engine=engine, configs=len(to_run),
+                        workers=workers):
+        if engine == "event":
+            outcome_list = run_configs(to_run, workers=workers,
+                                       cache=cache, on_result=note,
+                                       retry=retry)
+        else:
+            outcome_list = _score_analytic(to_run, cache, note)
     outcomes = iter(outcome_list)
     sweep = SweepResult(name)
     aligned: list = []
@@ -406,7 +482,8 @@ def run_sweep(name: str, configs: list[ExperimentConfig],
     if engine == "auto":
         # fail loudly on model-level disagreement, whatever the errors
         # mode — it taints every analytic row, not one config
-        analytic_engine.cross_validate(name, configs, aligned, cache)
+        with telemetry.span("cross-validate", configs=len(configs)):
+            analytic_engine.cross_validate(name, configs, aligned, cache)
     return sweep
 
 
@@ -430,6 +507,7 @@ def _score_analytic(configs: list[ExperimentConfig], cache,
         else:
             misses.append((i, config))
     if misses:
+        telemetry.count("engine.analytic.scored", len(misses))
         scored = analytic_engine.score_configs([c for _, c in misses])
         for (i, config), outcome in zip(misses, scored):
             outcomes[i] = outcome

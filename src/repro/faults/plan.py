@@ -26,6 +26,8 @@ campaign asserts invariants over.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field, fields
 from typing import Any
@@ -177,6 +179,53 @@ class FaultPlan:
                 for m in self.message_faults
             ],
         }
+
+    def digest(self) -> str:
+        """Stable content digest of the plan (hex, 16 chars).
+
+        Recorded in run manifests so two runs can be compared on *what*
+        chaos they were subjected to without diffing full plan dumps.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_dict` form.
+
+        Round-trips exactly (same specs, same seed, same digest), which
+        is what lets ``repro reproduce`` re-run a recorded chaos
+        campaign from the manifest alone.
+        """
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                crashes=tuple(
+                    CrashRank(rank=int(c["rank"]), at=float(c["at"]))
+                    for c in data.get("crashes", ())
+                ),
+                stragglers=tuple(
+                    Straggler(rank=int(s["rank"]),
+                              factor=float(s["factor"]),
+                              start=float(s.get("start", 0.0)))
+                    for s in data.get("stragglers", ())
+                ),
+                message_faults=tuple(
+                    MessageFault(
+                        kind=str(m["kind"]),
+                        src=m.get("src"),
+                        dst=m.get("dst"),
+                        probability=float(m.get("probability", 1.0)),
+                        delay_s=float(m.get("delay_s", 0.0)),
+                        max_events=m.get("max_events"),
+                    )
+                    for m in data.get("message_faults", ())
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed fault-plan record: {exc}") from exc
 
 
 class FaultState:

@@ -471,6 +471,14 @@ def run_job(job: Job) -> RunResult:
             d.finish_time = d.blocked_since if d.blocked_since is not None \
                 else ex.engine.now
 
+    # Lazy import: the runtime layer stays importable without the
+    # observability package at module-load time.
+    from repro import telemetry
+
+    telemetry.count("executor.jobs")
+    if failed or stalled:
+        telemetry.count("executor.degraded")
+
     finish = {d.rank: float(d.finish_time) for d in drivers}
     result = RunResult(
         job_name=job.name,

@@ -1,0 +1,197 @@
+"""Run manifests: the self-describing job spec of every recorded run.
+
+A manifest pins everything needed to re-execute a run and to audit the
+numbers it produced: the full config snapshots, the model fingerprint
+the result cache keys on, the engine and worker count, the fault-plan
+(verbatim plus digest), package/python/git versions, and the resume
+lineage.  ``repro reproduce`` consumes nothing but the manifest and the
+recorded ``summary.json`` — if the two plus the current model agree, the
+run is reproducible; if not, the drift is named.
+
+Manifests are rewritten atomically (temp sibling + ``os.replace``) on
+every status transition, so readers never observe a half-written file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.experiment import ExperimentConfig
+    from repro.faults.plan import FaultPlan
+
+#: On-disk manifest format version.
+MANIFEST_FORMAT = 1
+
+#: File names inside every run directory.
+MANIFEST_FILENAME = "manifest.json"
+METRICS_FILENAME = "metrics.jsonl"
+SPANS_FILENAME = "spans.jsonl"
+SUMMARY_FILENAME = "summary.json"
+
+_git_memo: dict[str, Any] | None = None
+_git_loaded = False
+
+
+def sweep_key(kind: str, name: str, configs: list["ExperimentConfig"],
+              engine: str) -> str:
+    """Content digest identifying "the same sweep, run again".
+
+    Resume uses it to find the run directory a restarted sweep should
+    re-enter: same kind, sweep name, ordered config digests, and engine.
+    """
+    from repro.core.cache import config_digest
+
+    blob = json.dumps(
+        {"kind": kind, "name": name, "engine": engine,
+         "configs": [config_digest(c) for c in configs]},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def git_info() -> dict[str, Any] | None:
+    """Best-effort git provenance (commit + dirty flag), memoized.
+
+    Returns ``None`` outside a repository or without a git binary — a
+    manifest is still valid, just less traceable.
+    """
+    global _git_memo, _git_loaded
+    if _git_loaded:
+        return _git_memo
+    _git_loaded = True
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip() != ""
+    except (OSError, subprocess.SubprocessError):
+        _git_memo = None
+        return None
+    _git_memo = {"commit": commit, "dirty": dirty}
+    return _git_memo
+
+
+def fault_plan_record(plan: "FaultPlan | None") -> dict[str, Any] | None:
+    """Manifest entry for a fault plan: the verbatim plan plus its
+    digest (``None`` for no plan / an empty plan)."""
+    if plan is None or plan.empty:
+        return None
+    return {"digest": plan.digest(), "plan": plan.to_dict(),
+            "seed": plan.seed}
+
+
+def build_manifest(*, run_id: str, kind: str, name: str,
+                   configs: list["ExperimentConfig"], engine: str,
+                   workers: int = 1, cache_dir: str | None = None,
+                   advise: str | None = None,
+                   fault_plan: "FaultPlan | None" = None,
+                   reproduces: str | None = None) -> dict[str, Any]:
+    """Assemble a fresh ``status="running"`` manifest dict."""
+    import repro
+    from repro.core.cache import model_fingerprint
+    from repro.core.persistence import config_to_dict
+
+    now = time.time()
+    return {
+        "format": MANIFEST_FORMAT,
+        "run_id": run_id,
+        "kind": kind,
+        "name": name,
+        "status": "running",
+        "error": None,
+        # microsecond resolution so same-second runs still order
+        # deterministically in `repro runs` / resume lookup
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(now))
+        + f".{int(now * 1e6) % 1_000_000:06d}",
+        "finished": None,
+        "wall_seconds": None,
+        "sweep_key": sweep_key(kind, name, configs, engine),
+        "engine": engine,
+        "workers": workers,
+        "resumed_from": None,
+        "reproduces": reproduces,
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "git": git_info(),
+        "model_fingerprint": model_fingerprint(),
+        "cache_dir": cache_dir,
+        "advise": advise,
+        "fault_plan": fault_plan_record(fault_plan),
+        "seeds": {"fault_plan": fault_plan.seed}
+        if fault_plan is not None and not fault_plan.empty else {},
+        "configs": [config_to_dict(c) for c in configs],
+        "n_rows": None,
+        "n_errors": None,
+        "errors": [],
+        "files": {"metrics": METRICS_FILENAME, "spans": SPANS_FILENAME,
+                  "summary": SUMMARY_FILENAME},
+    }
+
+
+def write_manifest(directory: str | Path, manifest: dict[str, Any]) -> Path:
+    """Atomically (re)write ``manifest.json`` in ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_FILENAME
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".manifest.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_manifest(directory: str | Path) -> dict[str, Any]:
+    """Load and sanity-check the manifest of one run directory."""
+    path = Path(directory) / MANIFEST_FILENAME
+    try:
+        manifest = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(
+            f"no run manifest at {path}: {exc}") from None
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"unreadable run manifest {path}: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise ConfigurationError(f"{path}: manifest is not a JSON object")
+    fmt = manifest.get("format")
+    if fmt != MANIFEST_FORMAT:
+        raise ConfigurationError(
+            f"{path}: manifest format {fmt!r} is not supported "
+            f"(this build reads format {MANIFEST_FORMAT})"
+        )
+    for field in ("run_id", "kind", "name", "configs", "engine"):
+        if field not in manifest:
+            raise ConfigurationError(f"{path}: manifest missing {field!r}")
+    return manifest
+
+
+def manifest_configs(manifest: dict[str, Any]) -> list["ExperimentConfig"]:
+    """Rebuild the config objects a manifest snapshot describes."""
+    from repro.core.persistence import config_from_dict
+
+    return [config_from_dict(d) for d in manifest["configs"]]

@@ -1,0 +1,202 @@
+"""Orchestration spans: parent-linked phase timings for one run.
+
+Where :mod:`repro.runtime.timeline` traces what the *simulated* ranks
+did, spans trace what the *orchestrator* did: sweep → pool pass →
+config → gate/score/cache phases, each with a wall-clock start and
+duration relative to the run's start.  Spans nest through an explicit
+stack in the recorder (the sweep pipeline is single-threaded on the
+parent side), and every record carries its parent's id, so the tree is
+reconstructible from the flat ``spans.jsonl``.
+
+:func:`spans_to_chrome_trace` exports the tree as a Chrome
+``chrome://tracing`` / Perfetto object — the orchestration complement
+to the per-rank traces ``repro profile --trace`` writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: On-disk span record format version.
+SPANS_FORMAT = 1
+
+
+@dataclass
+class Span:
+    """One open (or finished) orchestration phase."""
+
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    end_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span after it opened."""
+        self.attrs.update(attrs)
+
+
+class SpanRecorder:
+    """Span sink for one run; appends one JSONL record per closed span.
+
+    A resumed run reopens the same file in append mode; ``session``
+    (a per-recorder token baked into every span id) keeps ids from two
+    process lifetimes distinct without re-reading the file.
+    """
+
+    __slots__ = ("path", "session", "_origin", "_next", "_stack")
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.session = f"{os.getpid():x}-{time.time_ns() & 0xFFFFFF:06x}"
+        self._origin = time.perf_counter()
+        self._next = 0
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def open(self, name: str, **attrs: Any) -> Span:
+        """Open a span as the child of the innermost open span."""
+        self._next += 1
+        span = Span(
+            span_id=f"{self.session}:{self._next}",
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start_s=self._now(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        return span
+
+    def close(self, span: Span) -> None:
+        """Close ``span`` (and anything left open beneath it) and
+        persist the record."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        span.end_s = self._now()
+        self._write(span)
+
+    def _write(self, span: Span) -> None:
+        if self.path is None:
+            return
+        rec: dict[str, Any] = {
+            "format": SPANS_FORMAT,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start_s": span.start_s,
+            "dur_s": span.duration_s,
+        }
+        if span.attrs:
+            rec["attrs"] = _json_safe(span.attrs)
+        line = json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with recorder.span("gate.lint", config=...):`` — the usual
+        spelling; closes (and records) on exit, exception or not."""
+        sp = self.open(name, **attrs)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.set(error=type(exc).__name__)
+            raise
+        finally:
+            self.close(sp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<SpanRecorder {self.path} open={len(self._stack)}>"
+
+
+def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Coerce attribute values to JSON-safe primitives (repr fallback)."""
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def read_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Load span records from ``spans.jsonl`` (ordered as written).
+
+    Missing file → empty list; torn/corrupt lines are skipped.
+    """
+    spans: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return spans
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(rec, dict) or rec.get("format") != SPANS_FORMAT:
+            continue
+        if any(key not in rec for key in ("name", "start_s", "dur_s")):
+            continue
+        spans.append(rec)
+    return spans
+
+
+def spans_to_chrome_trace(spans: list[dict[str, Any]],
+                          run_id: str = "") -> dict[str, Any]:
+    """Export span records as a Chrome trace-event JSON object.
+
+    All spans share one pid/tid (the orchestrator); Chrome nests the
+    ``ph: "X"`` slices by time containment, which matches the recorder's
+    stack discipline exactly.
+    """
+    events: list[dict[str, Any]] = [{
+        "name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "orchestrator"},
+    }]
+    for rec in spans:
+        event: dict[str, Any] = {
+            "name": str(rec["name"]),
+            "cat": "orchestration",
+            "ph": "X",
+            "pid": 0,
+            "tid": 0,
+            "ts": float(rec["start_s"]) * 1e6,
+            "dur": float(rec["dur_s"]) * 1e6,
+        }
+        args = dict(rec.get("attrs") or {})
+        args["span"] = rec.get("id")
+        if rec.get("parent"):
+            args["parent"] = rec["parent"]
+        event["args"] = args
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run": run_id, "source": "repro.telemetry"},
+    }

@@ -1,0 +1,119 @@
+"""Telemetry enablement and the active-run registry.
+
+One process holds at most one **active** :class:`~repro.telemetry.run.
+RunContext` — the run every counter increment and span lands in.  The
+registry is deliberately tiny: the hot-path question ("is anything
+recording?") must cost one module-global read, because it is asked on
+every cache probe of an uninstrumented sweep too.
+
+Enablement mirrors the lint/advise gates: the ``REPRO_TELEMETRY``
+environment variable is the source of truth (so it travels into sweep
+worker processes), with :func:`set_telemetry` as the programmatic,
+env-propagating switch and ``--no-telemetry`` as the CLI spelling.
+Worker processes additionally call :func:`suppress_in_worker` (the
+process-pool initializer) so a forked child never appends to the
+parent's run files — orchestration telemetry is a parent-side story.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry.run import RunContext
+
+#: Environment variable switching telemetry off (``off``/``0``/``no``/
+#: ``false``, case-insensitive); anything else — including unset — is on.
+ENV_TELEMETRY = "REPRO_TELEMETRY"
+
+#: Environment variable overriding the results root (default ``results``
+#: under the current directory); run directories live in ``<root>/runs``.
+ENV_RESULTS_DIR = "REPRO_RESULTS_DIR"
+
+_OFF_VALUES = frozenset({"off", "0", "no", "false"})
+
+#: Suppression depth: > 0 silences telemetry regardless of the
+#: environment (worker processes, ``repro reproduce`` replays).
+_suppressed = 0
+
+_active: "RunContext | None" = None
+
+
+def enabled() -> bool:
+    """Is telemetry recording anything in this process right now?"""
+    if _suppressed:
+        return False
+    return os.environ.get(ENV_TELEMETRY, "").strip().lower() \
+        not in _OFF_VALUES
+
+
+def set_telemetry(on: bool) -> None:
+    """Switch telemetry globally, propagating to worker processes."""
+    if on:
+        os.environ.pop(ENV_TELEMETRY, None)
+    else:
+        os.environ[ENV_TELEMETRY] = "off"
+
+
+def results_root() -> Path:
+    """``$REPRO_RESULTS_DIR``, else ``./results``."""
+    env = os.environ.get(ENV_RESULTS_DIR)
+    return Path(env).expanduser() if env else Path("results")
+
+
+def set_results_dir(path: str | Path) -> None:
+    """Set the results root, propagating to worker processes."""
+    os.environ[ENV_RESULTS_DIR] = str(path)
+
+
+def runs_root(results_dir: str | Path | None = None) -> Path:
+    """The directory holding one subdirectory per recorded run."""
+    base = Path(results_dir) if results_dir is not None else results_root()
+    return base / "runs"
+
+
+def current_run() -> "RunContext | None":
+    """The active run, or ``None`` (disabled, suppressed, or no run)."""
+    if _suppressed:
+        return None
+    return _active
+
+
+def activate(ctx: "RunContext") -> None:
+    """Install ``ctx`` as the process's active run (must be free)."""
+    global _active
+    if _active is not None:
+        raise RuntimeError(
+            f"run {_active.run_id} is already active; nested runs must "
+            f"record spans into it instead"
+        )
+    _active = ctx
+
+
+def deactivate(ctx: "RunContext") -> None:
+    """Clear the active run (tolerates a stale/foreign ``ctx``)."""
+    global _active
+    if _active is ctx:
+        _active = None
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Silence telemetry for a block (used by ``repro reproduce`` so a
+    replay never records itself into the run it is checking)."""
+    global _suppressed
+    _suppressed += 1
+    try:
+        yield
+    finally:
+        _suppressed -= 1
+
+
+def suppress_in_worker() -> None:
+    """Process-pool initializer: permanently silence telemetry in a
+    sweep worker (the parent records the orchestration story)."""
+    global _suppressed
+    _suppressed += 1

@@ -1,0 +1,12 @@
+"""Suite-wide defaults.
+
+Telemetry is off for the test suite: hundreds of tests call
+``run_config``/``run_sweep`` and must not litter the working directory
+with ``results/runs/`` directories.  Telemetry tests opt back in with
+``monkeypatch.delenv``/``setenv`` on ``REPRO_TELEMETRY`` (plus a tmp
+``REPRO_RESULTS_DIR``) — see ``tests/telemetry/``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_TELEMETRY", "off")

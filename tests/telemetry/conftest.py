@@ -1,0 +1,17 @@
+"""Fixtures for telemetry tests: opt back into recording.
+
+The suite-wide conftest forces ``REPRO_TELEMETRY=off``; these tests
+re-enable it against a per-test results root so nothing leaks into the
+working directory (or between tests).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def results_dir(monkeypatch, tmp_path):
+    """Telemetry on, recording under a throwaway results root."""
+    root = tmp_path / "results"
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(root))
+    return root

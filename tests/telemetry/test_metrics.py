@@ -1,0 +1,81 @@
+"""Tests for the metrics registry and its JSONL stream."""
+
+import json
+
+from repro.telemetry.metrics import MetricsRegistry, read_metrics
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("cache.hit")
+        reg.count("cache.hit", 3)
+        agg = reg.aggregates()["cache.hit"]
+        assert agg.kind == "counter"
+        assert agg.total == 4
+        assert agg.count == 2
+        assert reg.value("cache.hit") == 4
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.gauge("sweep.rows", 3)
+        reg.gauge("sweep.rows", 9)
+        agg = reg.aggregates()["sweep.rows"]
+        assert agg.kind == "gauge"
+        assert agg.last == 9
+        assert reg.value("sweep.rows") == 9
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("gate.lint.seconds", float(v))
+        agg = reg.aggregates()["gate.lint.seconds"]
+        assert agg.kind == "histogram"
+        assert agg.min == 1 and agg.max == 100
+        assert agg.percentile(50) == 50
+        assert agg.percentile(95) == 95
+        d = agg.to_dict()
+        assert d["p50"] == 50 and d["p95"] == 95
+
+    def test_unknown_name_default(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") == 0.0
+
+
+class TestStream:
+    def test_lines_are_json_records(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reg = MetricsRegistry(path)
+        reg.count("cache.hit")
+        reg.observe("gate.lint.seconds", 0.25, config="x")
+        recs = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert [r["name"] for r in recs] == ["cache.hit",
+                                             "gate.lint.seconds"]
+        assert recs[1]["labels"] == {"config": "x"}
+        assert all(r["format"] == 1 for r in recs)
+
+    def test_read_metrics_rebuilds_aggregates(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reg = MetricsRegistry(path)
+        reg.count("cache.hit", 2)
+        reg.count("cache.hit")
+        reg.gauge("run.wall_seconds", 1.5)
+        aggs = read_metrics(path)
+        assert aggs["cache.hit"].total == 3
+        assert aggs["run.wall_seconds"].last == 1.5
+
+    def test_read_metrics_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reg = MetricsRegistry(path)
+        reg.count("cache.hit")
+        reg.count("cache.miss")
+        with open(path, "a") as fh:
+            fh.write('{"format": 1, "name": "tr')  # torn, no newline
+        aggs = read_metrics(path)
+        assert aggs["cache.hit"].total == 1
+        assert aggs["cache.miss"].total == 1
+        assert "tr" not in aggs
+
+    def test_read_metrics_missing_file(self, tmp_path):
+        assert read_metrics(tmp_path / "absent.jsonl") == {}
