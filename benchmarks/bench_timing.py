@@ -23,7 +23,14 @@ recording off (``REPRO_TELEMETRY=off``) and on (the default, writing a
 run directory into a scratch results root), asserting the manifest /
 metrics / span machinery stays under 3% of sweep wall time
 (``telemetry_overhead_pct``).  All other legs run with telemetry off so
-their figures stay comparable with pre-telemetry datapoints.
+their figures stay comparable with pre-telemetry datapoints,
+
+plus a service-dedup leg: the same sweep submitted by N concurrent
+clients to one in-thread :class:`repro.service.SweepService` (shared
+cold cache, fleet-wide dedup) against the fleet-without-a-service
+baseline of N serial ``run_sweep`` calls each with its own cold cache.
+The server simulates each unique config once and fans the rows out, so
+the ratio is recorded as ``service_dedup_speedup_x``.
 
 Writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as an
 artifact, so every PR leaves a comparable perf datapoint.
@@ -57,11 +64,56 @@ _PROFILE_REPS = 3
 #: the per-mode minimum filters scheduler noise out of a <3% signal.
 _TELEMETRY_REPS = 2
 
+#: Concurrent clients in the service-dedup leg — the "fleet" whose
+#: duplicate submissions the server coalesces into one simulation each.
+_SERVICE_CLIENTS = 3
+
 
 def _timed(fn) -> tuple[float, object]:
     t0 = time.perf_counter()
     out = fn()
     return time.perf_counter() - t0, out
+
+
+def _service_leg(configs, tmp: Path) -> tuple[float, float, dict]:
+    """(N serial cold sweeps s, N concurrent clients via service s,
+    server stats) for the fleet-dedup comparison."""
+    import threading
+
+    from repro.core.cache import ResultCache
+    from repro.core.runner import run_sweep
+    from repro.service import ServiceClient, SweepService, serve_in_thread
+
+    def serial():
+        for i in range(_SERVICE_CLIENTS):
+            run_sweep("f1-service", configs,
+                      ResultCache(tmp / f"svc-serial-{i}"))
+
+    t_serial, _ = _timed(serial)
+
+    socket_path = tmp / "bench.sock"
+    svc = SweepService(socket_path,
+                       cache=ResultCache(tmp / "svc-shared"),
+                       workers=2, max_jobs=_SERVICE_CLIENTS)
+    thread = serve_in_thread(svc)
+    try:
+        def one_client():
+            with ServiceClient(socket_path, timeout_s=600) as c:
+                c.run_sweep("f1-service", configs, engine="event")
+
+        def fleet():
+            clients = [threading.Thread(target=one_client)
+                       for _ in range(_SERVICE_CLIENTS)]
+            for t in clients:
+                t.start()
+            for t in clients:
+                t.join()
+
+        t_fleet, _ = _timed(fleet)
+        stats = svc.stats()
+    finally:
+        thread.stop()
+    return t_serial, t_fleet, stats
 
 
 def _profiling_overhead(app_name: str) -> tuple[float, float]:
@@ -149,6 +201,9 @@ def main(argv=None) -> int:
             os.environ["REPRO_TELEMETRY"] = "off"
             os.environ.pop("REPRO_RESULTS_DIR", None)
         t_tel_off, t_tel_on = min(tel["off"]), min(tel["on"])
+        # service: N clients, one shared server, fleet-wide dedup
+        t_svc_serial, t_svc_fleet, svc_stats = _service_leg(
+            configs, Path(tmp))
 
     rows = [(r.config.label(), r.elapsed) for r in sweep_cold.rows]
     assert rows == [(r.config.label(), r.elapsed) for r in sweep_warm.rows]
@@ -185,6 +240,14 @@ def main(argv=None) -> int:
         "telemetry_on_s": round(t_tel_on, 4),
         "telemetry_overhead_pct": round(
             100.0 * (t_tel_on - t_tel_off) / max(t_tel_off, 1e-9), 2),
+        "service_clients": _SERVICE_CLIENTS,
+        "service_serial_s": round(t_svc_serial, 4),
+        "service_concurrent_s": round(t_svc_fleet, 4),
+        "service_dedup_speedup_x": round(
+            t_svc_serial / max(t_svc_fleet, 1e-9), 2),
+        "service_executed": svc_stats["executed"],
+        "service_dedup_hits": svc_stats["dedup_hits"]
+        + svc_stats["cache_hits"],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -201,6 +264,14 @@ def main(argv=None) -> int:
         status = 1
     if payload["telemetry_overhead_pct"] >= 3:
         print("WARNING: run-telemetry overhead at or above the 3% budget",
+              file=sys.stderr)
+        status = 1
+    if payload["service_executed"] != len(configs):
+        print("WARNING: service leg simulated a config more than once "
+              "(fleet-wide dedup broke)", file=sys.stderr)
+        status = 1
+    if payload["service_dedup_speedup_x"] < 1.5:
+        print("WARNING: service dedup speedup below the 1.5x target",
               file=sys.stderr)
         status = 1
     return status

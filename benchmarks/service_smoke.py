@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI smoke test for the sweep service.
+
+Starts a :class:`repro.service.SweepService` on a scratch unix socket,
+submits the same F1 sweep from two concurrent clients, and asserts the
+acceptance bar for the job-server subsystem:
+
+* every client's rows are bit-identical to a direct ``run_sweep`` of
+  the same configs (same floats, not approximately equal),
+* the server simulated each unique config digest at most once — the
+  second client's rows all came from fleet-wide dedup or the shared
+  cache, so the dedup metric is strictly positive,
+* a graceful drain leaves every job completed and the rows durable in
+  the shared cache.
+
+Exits non-zero (with a diagnostic on stderr) on any violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--app ffvc]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+N_CLIENTS = 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="ffvc")
+    args = parser.parse_args(argv)
+
+    os.environ.setdefault("REPRO_TELEMETRY", "off")
+
+    from repro.core.cache import ResultCache
+    from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
+    from repro.core.runner import run_sweep
+    from repro.service import ServiceClient, SweepService, serve_in_thread
+
+    configs = [
+        ExperimentConfig(app=args.app, n_ranks=nr, n_threads=nt)
+        for nr, nt in MPI_OMP_CONFIGS
+    ]
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        direct = run_sweep("f1-smoke", configs,
+                           ResultCache(Path(tmp) / "direct"))
+        if direct.errors:
+            failures.append(f"direct run_sweep failed: {direct.errors}")
+
+        shared = ResultCache(Path(tmp) / "shared")
+        socket_path = Path(tmp) / "smoke.sock"
+        svc = SweepService(socket_path, cache=shared, workers=2,
+                           max_jobs=N_CLIENTS)
+        thread = serve_in_thread(svc)
+        results: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def one_client(tag: int) -> None:
+            try:
+                with ServiceClient(socket_path, timeout_s=600) as c:
+                    results[tag] = c.run_sweep("f1-smoke", configs,
+                                               engine="event")
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        try:
+            clients = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(N_CLIENTS)]
+            for t in clients:
+                t.start()
+            for t in clients:
+                t.join(600)
+            stats = svc.stats()
+        finally:
+            thread.stop()
+
+        for exc in errors:
+            failures.append(f"client raised: {exc!r}")
+        if len(results) != N_CLIENTS:
+            failures.append(
+                f"expected {N_CLIENTS} client results, got {len(results)}")
+        for tag, result in sorted(results.items()):
+            if result.rows != direct.rows:
+                failures.append(
+                    f"client {tag}: rows differ from direct run_sweep")
+            elif [r.elapsed for r in result.rows] \
+                    != [r.elapsed for r in direct.rows]:
+                failures.append(
+                    f"client {tag}: row floats are not bit-identical")
+
+        dedup = stats["dedup_hits"] + stats["cache_hits"]
+        if stats["executed"] > len(configs):
+            failures.append(
+                f"{stats['executed']} simulations for {len(configs)} "
+                "unique configs: fleet-wide dedup broke")
+        if dedup <= 0:
+            failures.append(
+                "dedup metric is zero: the second client re-simulated")
+        if stats["jobs_by_state"].get("completed") != N_CLIENTS:
+            failures.append(
+                f"jobs_by_state after drain: {stats['jobs_by_state']}")
+        durable = ResultCache(shared.directory)
+        missing = [c.label() for c in configs if durable.get(c) is None]
+        if missing:
+            failures.append(f"rows missing from shared cache: {missing}")
+
+        print(json.dumps({
+            "benchmark": "service-smoke",
+            "app": args.app,
+            "configs": len(configs),
+            "clients": N_CLIENTS,
+            "executed": stats["executed"],
+            "dedup_hits": dedup,
+            "jobs_by_state": stats["jobs_by_state"],
+            "ok": not failures,
+        }, indent=2))
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -629,6 +629,188 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _f1_configs(args) -> list:
+    """The F1 MPI x OpenMP grid for the app flags — the same config
+    list ``repro sweep`` runs, so service jobs dedup against sweeps."""
+    from repro.core.experiment import MPI_OMP_CONFIGS, ExperimentConfig
+
+    return [
+        ExperimentConfig(app=args.app, dataset=args.dataset,
+                         processor=args.processor,
+                         n_ranks=n_ranks, n_threads=n_threads)
+        for n_ranks, n_threads in MPI_OMP_CONFIGS
+    ]
+
+
+def _print_stream(frames, *, quiet: bool = False) -> int:
+    """Render a submit/watch event stream; exit 0 only on a clean
+    completed job."""
+    final = None
+    for frame in frames:
+        kind = frame.get("type")
+        if kind == "job" and not quiet:
+            job = frame.get("job") or {}
+            print(f"job {job.get('job_id')} {job.get('state')} "
+                  f"({job.get('n_configs')} configs, "
+                  f"engine {job.get('engine')})")
+        elif kind == "row" and not quiet:
+            from repro.service.protocol import parse_row
+
+            _index, row, source = parse_row(frame)
+            print(f"  [{source:>8}] {row.config.label():<42} "
+                  f"{row.gflops:9.2f} GF/s  {fmt_time(row.elapsed):>10}")
+        elif kind == "row-error":
+            mark = " (quarantined)" if frame.get("quarantined") else ""
+            print(f"  [  failed] config {frame.get('index')}: "
+                  f"{frame.get('error')}: {frame.get('message')}{mark}",
+                  file=sys.stderr)
+        elif kind == "done":
+            final = frame.get("job") or {}
+    if final is None:
+        print("stream ended without a done frame", file=sys.stderr)
+        return 1
+    print(f"job {final.get('job_id')} {final.get('state')}: "
+          f"{final.get('n_done')} row(s), {final.get('n_failed')} failed "
+          f"({final.get('n_executed')} executed, "
+          f"{final.get('n_dedup_hits')} dedup, "
+          f"{final.get('n_cache_hits')} cache)")
+    if final.get("error"):
+        print(f"  {final.get('error')}", file=sys.stderr)
+    return 0 if (final.get("state") == "completed"
+                 and not final.get("n_failed")) else 1
+
+
+def _service_error(exc: Exception) -> int:
+    print(f"error: {exc}", file=sys.stderr)
+    from repro.errors import ServiceUnavailable
+
+    if isinstance(exc, ServiceUnavailable):
+        print("is a server running?  start one with: repro serve",
+              file=sys.stderr)
+    return 1
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.socket, timeout_s=args.timeout)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import SweepService
+
+    service = SweepService(
+        args.socket, cache=_cache_from_args(args), workers=args.jobs,
+        max_jobs=args.max_jobs, results_dir=args.results_dir,
+        drain_timeout_s=args.drain_timeout)
+    resumable = len(service.ledger.incomplete())
+    print(f"repro service listening on {service.socket_path} "
+          f"(workers={args.jobs}, max-jobs={args.max_jobs}"
+          + (f", resuming {resumable} job(s)" if resumable else "")
+          + "); SIGTERM/Ctrl-C drains")
+    return service.run()
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServiceError
+
+    configs = _f1_configs(args)
+    name = f"f1-{args.app}"
+    try:
+        with _service_client(args) as client:
+            if args.detach:
+                job = client.submit(name, configs, engine=args.engine)
+                print(job.get("job_id", ""))
+                return 0
+            return _print_stream(
+                client.stream(name, configs, engine=args.engine))
+    except ServiceError as exc:
+        return _service_error(exc)
+
+
+def _cmd_jobs(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            jobs = client.jobs()
+            stats = client.status() if args.stats else None
+    except ServiceError as exc:
+        return _service_error(exc)
+    if args.json:
+        import json
+
+        print(json.dumps({"jobs": jobs, "stats": stats}
+                         if stats is not None else {"jobs": jobs},
+                         indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+    for job in jobs:
+        done = f"{job.get('n_done')}/{job.get('n_configs')}"
+        line = (f"{job.get('job_id'):<34} {job.get('state'):<10} "
+                f"{done:>7}  {job.get('engine'):<8} {job.get('name')}")
+        if job.get("error"):
+            line += f"  [{job['error']}]"
+        print(line)
+    if stats is not None:
+        print(f"server: {stats.get('jobs_total')} job(s), "
+              f"{stats.get('executed')} executed, "
+              f"{stats.get('dedup_hits')} dedup hit(s), "
+              f"{stats.get('cache_hits')} cache hit(s), "
+              f"uptime {stats.get('uptime_s')}s")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            return _print_stream(client.watch(args.job_id))
+    except ServiceError as exc:
+        return _service_error(exc)
+
+
+def _cmd_cancel(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            job = client.cancel(args.job_id)
+    except ServiceError as exc:
+        return _service_error(exc)
+    print(f"job {job.get('job_id')} {job.get('state')}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_cmd == "compact":
+        stats = cache.compact(keep_stale=not args.drop_stale)
+        print(f"compacted {cache.path}: kept {stats['kept']} record(s), "
+              f"dropped {stats['dropped_torn']} torn, "
+              f"{stats['dropped_duplicates']} duplicate(s), "
+              f"{stats['dropped_stale']} stale "
+              f"({stats['bytes_before']} -> {stats['bytes_after']} bytes)")
+        return 0
+    print(f"{cache.path}: {len(cache)} usable record(s), "
+          f"{cache.torn_lines} torn line(s)")
+    return 0
+
+
+def _add_service_client_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="service socket (default: $REPRO_SERVICE_SOCKET or "
+             "service.sock beside the default cache directory)")
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up if the service stays silent this long")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -823,16 +1005,103 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(report)
     report.set_defaults(func=_cmd_report)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep job service: a long-lived server accepting "
+             "sweep submissions from many concurrent clients over a "
+             "unix socket, with fleet-wide dedup against the shared "
+             "result cache")
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket to listen on (default: $REPRO_SERVICE_SOCKET "
+             "or service.sock beside the default cache directory)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="event-engine worker processes")
+    serve.add_argument("--max-jobs", type=int, default=4, metavar="N",
+                       help="jobs executing concurrently; the rest queue")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="on shutdown, wait at most this long for "
+                            "running jobs (default: wait indefinitely)")
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory; also hosts the job ledger, so "
+             "jobs survive a server restart (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve from memory only (jobs do not "
+                            "survive the process)")
+    serve.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="telemetry root for per-job run directories")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one app's MPI x OpenMP sweep to the running "
+             "service and stream its rows")
+    _add_app_flags(submit)
+    _add_service_client_flags(submit)
+    submit.add_argument("--engine", default="event",
+                        choices=["event", "analytic", "auto"])
+    submit.add_argument("--detach", action="store_true",
+                        help="print the job id and return immediately "
+                             "(reattach with `repro watch <id>`)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list the service's jobs (oldest first)")
+    _add_service_client_flags(jobs_cmd)
+    jobs_cmd.add_argument("--stats", action="store_true",
+                          help="also print server/scheduler statistics")
+    jobs_cmd.add_argument("--json", action="store_true",
+                          help="emit as JSON")
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    watch = sub.add_parser(
+        "watch",
+        help="attach to a service job and stream its rows (replays "
+             "from the start, then follows live)")
+    watch.add_argument("job_id", help="job id (or unique prefix)")
+    _add_service_client_flags(watch)
+    watch.set_defaults(func=_cmd_watch)
+
+    cancel = sub.add_parser("cancel", help="cancel a service job")
+    cancel.add_argument("job_id", help="job id (or unique prefix)")
+    _add_service_client_flags(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result cache")
+    cache_sub = cache.add_subparsers(dest="cache_cmd")
+    compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite the cache JSONL without torn or duplicate lines "
+             "(atomic replace; safe beside a running service)")
+    compact.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    compact.add_argument(
+        "--drop-stale", action="store_true",
+        help="also drop records from other model fingerprints "
+             "(older package versions / changed hardware catalogs)")
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    cache.set_defaults(func=_cmd_cache)
+
     runs = sub.add_parser(
         "runs", help="list recorded runs (see `repro report <run_id>`)")
     runs.add_argument("--results-dir", default=None, metavar="DIR",
                       help="results root (default: $REPRO_RESULTS_DIR "
                            "or ./results)")
     runs.add_argument("--kind", default=None,
-                      choices=["sweep", "config"],
+                      choices=["sweep", "config", "service-job"],
                       help="only runs of this kind")
     runs.add_argument("--status", default=None,
-                      choices=["running", "completed", "failed"],
+                      choices=["running", "completed", "failed",
+                               "cancelled"],
                       help="only runs with this final status")
     runs.add_argument("--name", default=None, metavar="SUBSTR",
                       help="only runs whose name contains SUBSTR")

@@ -279,6 +279,72 @@ class ResultCache:
             self._load()
         return len(self._mem)
 
+    def compact(self, *, keep_stale: bool = True) -> dict[str, int]:
+        """Rewrite the JSONL file without torn or duplicate lines.
+
+        The append-only write path never rewrites history, so a
+        long-lived cache accumulates garbage: truncated lines from
+        killed processes, and superseded records when a key was stored
+        more than once (every ``put`` appends).  ``compact`` rewrites
+        the file keeping only the **last** record per (fingerprint, key)
+        pair, dropping everything unparseable; with
+        ``keep_stale=False`` records from other model fingerprints are
+        dropped too (they can never be served by this build).
+
+        The rewrite is atomic — records stream to a temporary file in
+        the same directory, then ``os.replace`` swaps it in — so a
+        reader or concurrent appender sees either the old file or the
+        new one, never a half-written hybrid.  Returns counters:
+        ``kept``, ``dropped_torn``, ``dropped_duplicates``,
+        ``dropped_stale``, ``bytes_before``, ``bytes_after``.
+        """
+        stats = {"kept": 0, "dropped_torn": 0, "dropped_duplicates": 0,
+                 "dropped_stale": 0, "bytes_before": 0, "bytes_after": 0}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return stats  # nothing on disk: already as compact as it gets
+        stats["bytes_before"] = len(text.encode())
+        fp = self.fingerprint
+        #: (fp, key) -> last good line for it, in first-seen order.
+        latest: "OrderedDict[tuple[str, str], str]" = OrderedDict()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                record_fp = str(rec["fp"])
+                key = str(rec["key"])
+                ok = rec.get("format") == CACHE_FORMAT and "row" in rec
+            except (ValueError, KeyError, TypeError):
+                ok = False
+            if not ok:
+                stats["dropped_torn"] += 1
+                continue
+            if not keep_stale and record_fp != fp:
+                stats["dropped_stale"] += 1
+                continue
+            if (record_fp, key) in latest:
+                stats["dropped_duplicates"] += 1
+            latest[(record_fp, key)] = line
+        stats["kept"] = len(latest)
+        body = "".join(line + "\n" for line in latest.values())
+        stats["bytes_after"] = len(body.encode())
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, body.encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        # Reload so the memory layer reflects exactly what survived.
+        self._mem.clear()
+        self._loaded = False
+        telemetry.count("cache.compacted")
+        return stats
+
     def clear(self) -> None:
         """Drop the in-memory layer and delete the on-disk file."""
         self._mem.clear()

@@ -126,6 +126,17 @@ class SweepJournal:
         entry = self.status(sweep, config)
         return 0 if entry is None else int(entry["fails"])
 
+    def quarantined(self, sweep: str, config: ExperimentConfig,
+                    threshold: int) -> dict | None:
+        """The journal entry if ``config`` has failed ``threshold``+
+        consecutive times for ``sweep`` (the quarantine predicate shared
+        by ``run_sweep(..., resume=True)`` and the sweep service), else
+        ``None``."""
+        entry = self.status(sweep, config)
+        if entry is not None and int(entry["fails"]) >= threshold:
+            return entry
+        return None
+
     def record(self, sweep: str, config: ExperimentConfig, ok: bool,
                exc: BaseException | None = None) -> None:
         """Journal one fresh completion (called as each config finishes)."""

@@ -115,12 +115,15 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _pool_run(config: ExperimentConfig) -> tuple[bool, Any]:
+def simulate_config(config: ExperimentConfig) -> tuple[bool, Any]:
     """Top-level (picklable) worker: simulate one config.
 
     Returns ``(True, Row)`` or ``(False, exception)`` — exceptions travel
     back as values (annotated with the traceback and worker pid) so the
-    parent controls error policy.
+    parent controls error policy.  This is the one sweep-point
+    entrypoint every pool shares: the sweep fan-out here and the
+    service's :mod:`repro.service.scheduler` dispatch the same function,
+    so a row is bit-identical whichever path produced it.
     """
     try:
         return True, run_config(config)
@@ -128,6 +131,10 @@ def _pool_run(config: ExperimentConfig) -> tuple[bool, Any]:
         setattr(exc, _TB_ATTR, traceback.format_exc())
         setattr(exc, _PID_ATTR, os.getpid())
         return False, exc
+
+
+#: Backward-compatible alias (pre-service name).
+_pool_run = simulate_config
 
 
 #: Completion callback: (config, ok, Row-or-exception) -> None.
@@ -157,7 +164,7 @@ def _one_pool_pass(
                                initializer=telemetry.suppress_in_worker)
     pending: dict[Any, ExperimentConfig] = {}
     try:
-        pending = {pool.submit(_pool_run, c): c for c in configs}
+        pending = {pool.submit(simulate_config, c): c for c in configs}
         while pending:
             done, _ = wait(pending, timeout=policy.timeout_s,
                            return_when=FIRST_COMPLETED)
@@ -225,7 +232,7 @@ def _run_unique(
             return
         telemetry.count("pool.serial_fallback", len(remaining))
     for c in remaining:
-        note(c, *_pool_run(c))
+        note(c, *simulate_config(c))
 
 
 def run_configs(

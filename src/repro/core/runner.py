@@ -423,8 +423,8 @@ def _run_sweep_impl(name: str, configs: list[ExperimentConfig],
         for config in configs:
             if config in quarantine:
                 continue
-            entry = journal.status(name, config)
-            if entry is not None and entry["fails"] >= QUARANTINE_AFTER:
+            entry = journal.quarantined(name, config, QUARANTINE_AFTER)
+            if entry is not None:
                 quarantine[config] = SweepError(
                     config=config,
                     error=entry["error"] or "Quarantined",

@@ -81,3 +81,37 @@ class AdviseError(ReproError):
     def __init__(self, message: str, diagnostics: tuple = ()) -> None:
         super().__init__(message)
         self.diagnostics = tuple(diagnostics)
+
+
+class ServiceError(ReproError):
+    """Base class for sweep-service (``repro serve``) failures."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The sweep service cannot be reached (not running, draining for
+    shutdown, or it died mid-conversation).
+
+    Raised by the client SDK after its connect retries are exhausted —
+    callers get a typed error with ``retryable`` set instead of a hung
+    socket, so they can back off and resubmit.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class ProtocolError(ServiceError):
+    """A malformed or protocol-version-incompatible service frame."""
+
+
+class JobError(ServiceError):
+    """A submitted job reached a terminal state other than completed.
+
+    ``job`` carries the final job record dict (state, counts, error)
+    the server reported.
+    """
+
+    def __init__(self, message: str, job: dict | None = None) -> None:
+        super().__init__(message)
+        self.job = dict(job) if job else {}

@@ -1,0 +1,44 @@
+"""repro.service — the sweep service: a multi-client async job server.
+
+``repro serve`` promotes :func:`repro.core.runner.run_sweep` from a
+library call into a long-running daemon.  Many concurrent clients submit
+sweep jobs over a local unix socket; the server
+
+* **dedups fleet-wide** — one in-flight simulation per config digest
+  (engine-tagged, under the current model fingerprint); every subscriber
+  — in the same job or another client's — shares the result, and the
+  content-addressed :class:`~repro.core.cache.ResultCache` serves warm
+  rows without any dispatch at all;
+* **batches and shards** — analytic-engine rows are micro-batched
+  through the vectorized closed-form scorer, event-engine rows fan out
+  over a process pool;
+* **streams** — each client receives per-row results the moment they
+  complete, tagged with the submission index so the final
+  :class:`~repro.core.runner.SweepResult` is bit-identical to a direct
+  ``run_sweep``;
+* **survives** — jobs are journaled in a ledger next to the cache;
+  SIGTERM drains in-flight jobs and a restarted server resumes the
+  queued ones, while repeat-failing configs are quarantined per job via
+  the sweep journal.
+
+Layers: :mod:`.protocol` (wire frames), :mod:`.jobs` (specs, state
+machine, ledger), :mod:`.scheduler` (dedup/batch/shard execution),
+:mod:`.server` (the asyncio daemon), :mod:`.client` (blocking SDK).
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, default_socket_path
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import SweepService, serve_in_thread
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "SweepService",
+    "default_socket_path",
+    "serve_in_thread",
+]

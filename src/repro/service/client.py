@@ -1,0 +1,320 @@
+"""Blocking client SDK for the sweep service.
+
+:class:`ServiceClient` speaks :mod:`repro.service.protocol` over one
+unix-socket connection.  Connection failures, timeouts, and mid-stream
+disconnects (a server draining for shutdown closes its socket) all
+surface as the typed, retryable
+:class:`~repro.errors.ServiceUnavailable` — callers decide whether to
+back off and reconnect (a restarted server resumes journaled jobs, so
+retrying a ``watch`` against the new server replays the full stream).
+
+The highest-level call, :meth:`ServiceClient.run_sweep`, submits a
+sweep, consumes the row stream, and reassembles a
+:class:`~repro.core.runner.SweepResult` that is **row-for-row,
+bit-for-bit identical** to calling :func:`repro.core.runner.run_sweep`
+directly — rows ride the wire through the persistence schema, whose
+float round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.cache import default_cache_dir
+from repro.core.experiment import ExperimentConfig
+from repro.core.parallel import SweepError
+from repro.core.runner import Row, SweepResult
+from repro.errors import JobError, ProtocolError, ServiceUnavailable
+from repro.service import protocol
+
+#: Environment override for the service socket location.
+ENV_SERVICE_SOCKET = "REPRO_SERVICE_SOCKET"
+
+
+def default_socket_path() -> Path:
+    """``$REPRO_SERVICE_SOCKET``, else ``service.sock`` beside the
+    default result cache (server and clients agree by default)."""
+    env = os.environ.get(ENV_SERVICE_SOCKET)
+    if env:
+        return Path(env).expanduser()
+    return default_cache_dir() / "service.sock"
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.service.server.SweepService`.
+
+    Parameters
+    ----------
+    socket_path:
+        Where the server listens (default:
+        :func:`default_socket_path`).
+    connect_retries:
+        Extra connection attempts before giving up with
+        :class:`~repro.errors.ServiceUnavailable` — each waits
+        ``backoff_s`` doubled per attempt, so a client started moments
+        before its server still connects.
+    timeout_s:
+        Socket timeout for reads/writes; a stream that stays silent this
+        long raises :class:`~repro.errors.ServiceUnavailable` rather
+        than hanging forever.  ``None`` blocks indefinitely.
+
+    Usable as a context manager; the connection opens lazily on first
+    use.
+    """
+
+    def __init__(self, socket_path: str | Path | None = None, *,
+                 connect_retries: int = 5, backoff_s: float = 0.05,
+                 timeout_s: float | None = 600.0) -> None:
+        self.socket_path = Path(socket_path) if socket_path is not None \
+            else default_socket_path()
+        self.connect_retries = max(0, connect_retries)
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.server_info: dict[str, Any] = {}
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        """Connect (with retry/backoff) and consume the hello frame."""
+        if self._sock is not None:
+            return self
+        delay = self.backoff_s
+        last: OSError | None = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt > 0 and delay > 0:
+                time.sleep(delay)
+                delay *= 2
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            try:
+                sock.connect(str(self.socket_path))
+            except OSError as exc:
+                last = exc
+                sock.close()
+                continue
+            self._sock = sock
+            self._reader = sock.makefile("rb")
+            break
+        else:
+            raise ServiceUnavailable(
+                f"cannot reach the sweep service at {self.socket_path} "
+                f"after {self.connect_retries + 1} attempt(s): {last}")
+        hello = self._read_frame()
+        if hello.get("type") != "hello":
+            self.close()
+            raise ProtocolError(
+                f"expected a hello frame, got {hello.get('type')!r}")
+        if hello.get("v") != protocol.PROTOCOL_VERSION:
+            self.close()
+            raise ProtocolError(
+                f"server speaks protocol v{hello.get('v')!r}, this "
+                f"client speaks v{protocol.PROTOCOL_VERSION}")
+        self.server_info = hello
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _write_frame(self, frame: dict[str, Any]) -> None:
+        self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(protocol.encode_frame(frame))
+        except socket.timeout as exc:
+            self.close()
+            raise ServiceUnavailable(
+                f"sweep service write timed out: {exc}") from None
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailable(
+                f"lost the sweep service connection: {exc}") from None
+
+    def _read_frame(self) -> dict[str, Any]:
+        assert self._reader is not None
+        try:
+            line = self._reader.readline()
+        except socket.timeout:
+            self.close()
+            raise ServiceUnavailable(
+                f"sweep service went silent for {self.timeout_s}s"
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailable(
+                f"lost the sweep service connection: {exc}") from None
+        if not line:
+            self.close()
+            raise ServiceUnavailable(
+                "the sweep service closed the connection (draining for "
+                "shutdown, or crashed); its journaled jobs resume on "
+                "the next server")
+        return protocol.decode_frame(line)
+
+    def _raise_error(self, frame: dict[str, Any]) -> None:
+        code = str(frame.get("code", ""))
+        message = str(frame.get("message", "request failed"))
+        if code == "unavailable":
+            raise ServiceUnavailable(message)
+        raise ProtocolError(f"{code}: {message}" if code else message)
+
+    def _roundtrip(self, frame: dict[str, Any],
+                   expect: str) -> dict[str, Any]:
+        self._write_frame(frame)
+        reply = self._read_frame()
+        if reply.get("type") == "error":
+            self._raise_error(reply)
+        if reply.get("type") != expect:
+            raise ProtocolError(
+                f"expected a {expect!r} frame, got {reply.get('type')!r}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # the service API
+    # ------------------------------------------------------------------
+    def ping(self) -> float:
+        """Round-trip latency to the server, in seconds."""
+        t0 = time.perf_counter()
+        self._roundtrip({"v": protocol.PROTOCOL_VERSION, "op": "ping"},
+                        "pong")
+        return time.perf_counter() - t0
+
+    def status(self) -> dict[str, Any]:
+        """Server + scheduler statistics (the ``status`` op)."""
+        reply = self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "status"}, "status")
+        stats = reply.get("stats")
+        return dict(stats) if isinstance(stats, dict) else {}
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every job the server knows, oldest first."""
+        reply = self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "jobs"}, "jobs")
+        raw = reply.get("jobs")
+        return [dict(j) for j in raw] if isinstance(raw, list) else []
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job (idempotent on terminal jobs); returns its
+        record."""
+        reply = self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "cancel",
+             "job_id": job_id}, "job")
+        return dict(reply.get("job") or {})
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (the ``shutdown`` op)."""
+        self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "shutdown"}, "ack")
+        self.close()
+
+    def submit(self, name: str, configs: list[ExperimentConfig], *,
+               engine: str = "event") -> dict[str, Any]:
+        """Fire-and-forget submit; returns the queued job record."""
+        reply = self._roundtrip(
+            protocol.submit_frame(name, configs, engine, watch=False),
+            "job")
+        return dict(reply.get("job") or {})
+
+    def watch(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream a job's events (replayed from the start, then live)
+        through its ``done`` frame.  Yields the initial job snapshot
+        first."""
+        reply = self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "watch",
+             "job_id": job_id}, "job")
+        yield reply
+        yield from self._stream()
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Block until a job finishes; returns its final record."""
+        final: dict[str, Any] = {}
+        for frame in self.watch(job_id):
+            if frame.get("type") == "done":
+                final = dict(frame.get("job") or {})
+        return final
+
+    def stream(self, name: str, configs: list[ExperimentConfig], *,
+               engine: str = "event") -> Iterator[dict[str, Any]]:
+        """Submit and stream: yields the job snapshot, then every
+        ``row`` / ``row-error`` event as it completes, then ``done``."""
+        reply = self._roundtrip(
+            protocol.submit_frame(name, configs, engine, watch=True),
+            "job")
+        yield reply
+        yield from self._stream()
+
+    def _stream(self) -> Iterator[dict[str, Any]]:
+        while True:
+            frame = self._read_frame()
+            if frame.get("type") == "error":
+                self._raise_error(frame)
+            yield frame
+            if frame.get("type") == "done":
+                return
+
+    # ------------------------------------------------------------------
+    def run_sweep(self, name: str, configs: list[ExperimentConfig], *,
+                  engine: str = "event") -> SweepResult:
+        """Run a sweep through the service; returns a
+        :class:`~repro.core.runner.SweepResult` bit-identical to the
+        direct :func:`~repro.core.runner.run_sweep` path.
+
+        Per-config failures are captured into ``result.errors`` (the
+        ``errors="capture"`` contract); a job-level failure — ``auto``
+        cross-validation disagreement, cancellation from another client
+        — raises :class:`~repro.errors.JobError` carrying the final job
+        record.
+        """
+        rows_by_index: dict[int, Row] = {}
+        errors_by_index: dict[int, SweepError] = {}
+        final: dict[str, Any] = {}
+        for frame in self.stream(name, configs, engine=engine):
+            kind = frame.get("type")
+            if kind == "row":
+                index, row, _source = protocol.parse_row(frame)
+                rows_by_index[index] = row
+            elif kind == "row-error":
+                index = int(frame.get("index", -1))
+                if 0 <= index < len(configs):
+                    errors_by_index[index] = SweepError(
+                        config=configs[index],
+                        error=str(frame.get("error", "Error")),
+                        message=str(frame.get("message", "")))
+            elif kind == "done":
+                final = dict(frame.get("job") or {})
+        state = str(final.get("state", ""))
+        if state != "completed":
+            raise JobError(
+                f"service job {final.get('job_id', '?')} ended "
+                f"{state or 'unknown'}: "
+                f"{final.get('error') or 'no detail'}", job=final)
+        result = SweepResult(name)
+        for index in sorted(rows_by_index):
+            result.add(rows_by_index[index])
+        result.errors = [errors_by_index[i]
+                         for i in sorted(errors_by_index)]
+        return result

@@ -1,0 +1,282 @@
+"""Job specs, the job state machine, and the crash-durable job ledger.
+
+A **job** is one client-submitted sweep: an ordered config list plus an
+engine, executed once and streamed back per-row.  Its lifecycle is a
+small explicit state machine::
+
+    queued ──> running ──> completed
+       │          ├──────> failed        (engine-level, e.g. auto
+       │          │                       cross-validation disagreement)
+       │          └──────> cancelled
+       └────────────────-> cancelled     (cancelled before it started)
+
+Terminal states never transition again; illegal transitions raise
+:class:`~repro.errors.ServiceError` rather than silently corrupting the
+record.
+
+The **ledger** (``service-jobs.jsonl`` beside the persistent result
+cache) makes jobs survive the server process: every submit appends the
+full spec, every state change appends a transition, both with the same
+single-``O_APPEND``-write, torn-line-tolerant idiom as the cache and
+journal.  A restarted server replays the ledger and re-enqueues every
+job whose last recorded state is non-terminal — completed rows then come
+straight from the content-addressed cache, so a resume costs only the
+configs that never finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.persistence import config_from_dict, config_to_dict
+from repro.errors import ConfigurationError, ServiceError
+
+#: On-disk ledger record format version.
+LEDGER_FORMAT = 1
+
+#: Job states (the ``state`` field of every record).
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+#: Legal state transitions.
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({COMPLETED, FAILED, CANCELLED}),
+    COMPLETED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+_job_counter = itertools.count(1)
+
+
+def new_job_id() -> str:
+    """Sortable, collision-resistant job id (time + counter + random)."""
+    return (time.strftime("%Y%m%d-%H%M%S")
+            + f"-{next(_job_counter):04d}-{uuid.uuid4().hex[:6]}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a client asked for: the immutable half of a job."""
+
+    job_id: str
+    name: str
+    engine: str
+    configs: tuple[ExperimentConfig, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "engine": self.engine,
+            "configs": [config_to_dict(c) for c in self.configs],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "JobSpec":
+        try:
+            configs = tuple(config_from_dict(c) for c in record["configs"])
+            return cls(job_id=str(record["job_id"]),
+                       name=str(record["name"]),
+                       engine=str(record["engine"]),
+                       configs=configs)
+        except (KeyError, TypeError, ConfigurationError) as exc:
+            raise ServiceError(f"malformed job spec: {exc}") from None
+
+
+@dataclass
+class JobRecord:
+    """The live (server-side) half of a job: state, counts, events.
+
+    ``events`` is the replayable stream a watcher consumes: ``row`` /
+    ``row-error`` frames in completion order, closed by one ``done``
+    frame.  Watchers that attach late replay from the start, so a
+    reconnected client never misses rows.
+    """
+
+    spec: JobSpec
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str = ""
+    n_done: int = 0
+    n_failed: int = 0
+    n_quarantined: int = 0
+    n_cache_hits: int = 0
+    n_dedup_hits: int = 0
+    n_executed: int = 0
+    #: Replayable event frames (``row`` / ``row-error`` / ``done``).
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.spec.configs)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str, error: str = "") -> None:
+        """Move to ``state``, enforcing the machine's legal edges."""
+        if state not in STATES:
+            raise ServiceError(f"unknown job state {state!r}")
+        if state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} -> {state}"
+            )
+        self.state = state
+        if state == RUNNING:
+            self.started_at = time.time()
+        elif state in TERMINAL_STATES:
+            self.finished_at = time.time()
+        if error:
+            self.error = error
+
+    def note_row(self, source: str) -> None:
+        """Account one completed row by provenance."""
+        self.n_done += 1
+        if source == "cache":
+            self.n_cache_hits += 1
+        elif source == "dedup":
+            self.n_dedup_hits += 1
+        else:
+            self.n_executed += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire/ledger snapshot (spec + mutable state, no events)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "engine": self.spec.engine,
+            "state": self.state,
+            "n_configs": self.n_configs,
+            "n_done": self.n_done,
+            "n_failed": self.n_failed,
+            "n_quarantined": self.n_quarantined,
+            "n_cache_hits": self.n_cache_hits,
+            "n_dedup_hits": self.n_dedup_hits,
+            "n_executed": self.n_executed,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobLedger:
+    """Append-only JSONL record of job specs and state transitions.
+
+    ``path=None`` (no persistent cache directory to live in) disables
+    persistence: the ledger still answers queries from memory, jobs just
+    do not survive the process.
+    """
+
+    __slots__ = ("path",)
+
+    FILENAME = "service-jobs.jsonl"
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def for_cache(cls, cache: Any) -> "JobLedger":
+        """The ledger living beside a persistent cache's JSONL file
+        (memory-only for plain-dict caches)."""
+        directory = getattr(cache, "directory", None)
+        if directory is None:
+            return cls(None)
+        return cls(Path(directory) / cls.FILENAME)
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        record = {"format": LEDGER_FORMAT, **record}
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def record_submit(self, job: JobRecord) -> None:
+        self._append({"event": "submitted", "job": job.spec.to_dict(),
+                      "t": time.time()})
+
+    def record_state(self, job: JobRecord) -> None:
+        self._append({"event": "state", "job_id": job.job_id,
+                      "state": job.state, "error": job.error,
+                      "t": time.time()})
+
+    # ------------------------------------------------------------------
+    def replay(self) -> dict[str, tuple[JobSpec, str]]:
+        """Rebuild ``job_id -> (spec, last recorded state)`` from disk.
+
+        Torn or foreign lines are skipped; a transition for an unknown
+        job id (its submit line was lost) is ignored rather than fatal.
+        """
+        state: dict[str, tuple[JobSpec, str]] = {}
+        if self.path is None:
+            return state
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return state
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict) \
+                    or record.get("format") != LEDGER_FORMAT:
+                continue
+            event = record.get("event")
+            if event == "submitted":
+                try:
+                    spec = JobSpec.from_dict(record["job"])
+                except (ServiceError, KeyError, TypeError):
+                    continue
+                state[spec.job_id] = (spec, QUEUED)
+            elif event == "state":
+                job_id = record.get("job_id")
+                new = record.get("state")
+                known = state.get(str(job_id))
+                if known is not None and new in STATES:
+                    state[str(job_id)] = (known[0], str(new))
+        return state
+
+    def incomplete(self) -> list[JobSpec]:
+        """Specs whose last recorded state is non-terminal, in ledger
+        order — the restart queue."""
+        return [spec for spec, last in self.replay().values()
+                if last not in TERMINAL_STATES]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<JobLedger {self.path}>"

@@ -1,0 +1,249 @@
+"""Fleet-wide dedup, batching, and sharding for service jobs.
+
+The scheduler answers one question — *give me the row for this config
+under this engine* — while guaranteeing that across every connected
+client there is **at most one in-flight simulation per engine-tagged
+config digest**:
+
+* a **cache hit** (the content-addressed
+  :class:`~repro.core.cache.ResultCache`, keyed digest × model
+  fingerprint) returns immediately;
+* a digest already **in flight** subscribes to the existing execution's
+  future — the second, tenth, and hundredth client asking for the same
+  config all await the same simulation;
+* a genuine miss starts one execution: **event**-engine configs are
+  sharded over a process pool (the PR-1 worker entrypoint,
+  :func:`repro.core.parallel.simulate_config`), **analytic**-engine
+  configs are micro-batched — every request that arrives while the
+  scorer is busy is swept into the next vectorized
+  :func:`repro.analytic.engine.score_configs` call;
+* fresh completions are stored to the cache and journaled under the
+  initiating job's sweep name, exactly like ``run_sweep`` would, so the
+  PR-4 resume/quarantine machinery sees service jobs too.
+
+Executions are owned by the scheduler, not by the requesting job: a
+cancelled subscriber stops waiting, the simulation still completes and
+lands in the cache (that is what makes a cancelled job resumable for
+free).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro import telemetry
+from repro.core.cache import config_digest
+from repro.core.experiment import ExperimentConfig
+from repro.core.journal import SweepJournal
+from repro.core.parallel import simulate_config
+from repro.core.runner import QUARANTINE_AFTER, cache_key
+
+#: One scheduling outcome: (source, ok, Row-or-exception) where source
+#: is "cache" | "dedup" | "executed".
+Outcome = tuple[str, bool, Any]
+
+
+def _engine_tag(engine: str) -> str:
+    """The cache-key tag for an engine (auto rows are analytic rows)."""
+    return "analytic" if engine in ("analytic", "auto") else "event"
+
+
+def _simulate_suppressed(config: ExperimentConfig) -> tuple[bool, Any]:
+    """Thread-fallback worker: simulate with telemetry silenced (the
+    server records orchestration into per-job contexts instead)."""
+    with telemetry.suppressed():
+        return simulate_config(config)
+
+
+def _score_batch(configs: list[ExperimentConfig]) -> list[Any]:
+    """Thread worker: one vectorized analytic pass over a micro-batch."""
+    from repro.analytic.engine import score_configs
+
+    with telemetry.suppressed():
+        return score_configs(configs)
+
+
+class Scheduler:
+    """Dedup + dispatch engine shared by every job on one server."""
+
+    def __init__(self, cache: Any = None, *,
+                 workers: int | None = None) -> None:
+        self.cache = cache
+        self.workers = max(1, workers if workers is not None else 1)
+        self.journal: SweepJournal | None = SweepJournal.for_cache(cache)
+        #: engine-tagged config digest -> the owning execution task.
+        self._inflight: dict[str, asyncio.Task[tuple[bool, Any]]] = {}
+        self._pool: Any = None
+        self._pool_broken = False
+        self._analytic_pending: list[
+            tuple[ExperimentConfig, asyncio.Future[tuple[bool, Any]]]] = []
+        self._analytic_drainer: asyncio.Task[None] | None = None
+        self.stats: dict[str, int] = {
+            "cache_hits": 0, "dedup_hits": 0, "executed": 0,
+            "failed": 0, "analytic_batches": 0, "analytic_batched_rows": 0,
+            "pool_fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def quarantined(self, sweep: str,
+                    config: ExperimentConfig) -> dict[str, Any] | None:
+        """The journal entry if ``config`` is quarantined for ``sweep``
+        (failed :data:`~repro.core.runner.QUARANTINE_AFTER`+ times),
+        else ``None``."""
+        if self.journal is None:
+            return None
+        return self.journal.quarantined(sweep, config, QUARANTINE_AFTER)
+
+    # ------------------------------------------------------------------
+    async def obtain(self, sweep: str, config: ExperimentConfig,
+                     engine: str) -> Outcome:
+        """Resolve one config to its row (or captured exception).
+
+        Exactly one execution per digest exists at any moment; every
+        concurrent caller for the same digest shares it.
+        """
+        key = cache_key(config, _engine_tag(engine))
+        if self.cache is not None:
+            row = self.cache.get(key)
+            if row is not None:
+                self.stats["cache_hits"] += 1
+                return "cache", True, row
+        digest = config_digest(key)
+        task = self._inflight.get(digest)
+        if task is not None:
+            self.stats["dedup_hits"] += 1
+            ok, value = await asyncio.shield(task)
+            return "dedup", ok, value
+        task = asyncio.ensure_future(self._execute(sweep, config, engine))
+        self._inflight[digest] = task
+        task.add_done_callback(
+            lambda _t, d=digest: self._inflight.pop(d, None))
+        ok, value = await asyncio.shield(task)
+        return "executed", ok, value
+
+    # ------------------------------------------------------------------
+    async def _execute(self, sweep: str, config: ExperimentConfig,
+                       engine: str) -> tuple[bool, Any]:
+        """One fresh execution: dispatch, then cache + journal the
+        completion from the server side (workers never touch either)."""
+        if _engine_tag(engine) == "analytic":
+            ok, value = await self._execute_analytic(config)
+        else:
+            ok, value = await self._execute_event(config)
+        self.stats["executed"] += 1
+        if not ok:
+            self.stats["failed"] += 1
+        if ok and self.cache is not None:
+            self.cache[cache_key(config, _engine_tag(engine))] = value
+        if self.journal is not None:
+            self.journal.record(sweep, config, ok,
+                                exc=None if ok else value)
+        return ok, value
+
+    # -- event engine: shard over the process pool ---------------------
+    def _get_pool(self) -> Any:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=telemetry.suppress_in_worker)
+            except (ImportError, OSError, PermissionError):
+                self._mark_pool_broken()
+        return self._pool
+
+    def _mark_pool_broken(self) -> None:
+        self._pool_broken = True
+        self.stats["pool_fallbacks"] += 1
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def _execute_event(self,
+                             config: ExperimentConfig) -> tuple[bool, Any]:
+        from concurrent.futures.process import BrokenProcessPool
+
+        loop = asyncio.get_running_loop()
+        pool = self._get_pool()
+        if pool is not None:
+            try:
+                return await loop.run_in_executor(
+                    pool, simulate_config, config)
+            except (BrokenProcessPool, OSError, PermissionError,
+                    RuntimeError):
+                # crashed/unusable pool: lose the pool, not the config —
+                # re-run it (and everything after it) on threads
+                self._mark_pool_broken()
+        return await loop.run_in_executor(None, _simulate_suppressed, config)
+
+    # -- analytic engine: micro-batch through the vectorized scorer ----
+    async def _execute_analytic(self,
+                                config: ExperimentConfig
+                                ) -> tuple[bool, Any]:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future[tuple[bool, Any]] = loop.create_future()
+        self._analytic_pending.append((config, fut))
+        if self._analytic_drainer is None or self._analytic_drainer.done():
+            self._analytic_drainer = asyncio.ensure_future(
+                self._drain_analytic())
+        return await fut
+
+    async def _drain_analytic(self) -> None:
+        """Score pending analytic requests until none are left.
+
+        Each pass takes *everything* queued at that moment as one batch,
+        so requests arriving while the scorer is busy coalesce into the
+        next vectorized call instead of going one-by-one.
+        """
+        loop = asyncio.get_running_loop()
+        while self._analytic_pending:
+            batch = self._analytic_pending
+            self._analytic_pending = []
+            self.stats["analytic_batches"] += 1
+            self.stats["analytic_batched_rows"] += len(batch)
+            configs = [config for config, _ in batch]
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, _score_batch, configs)
+            except Exception as exc:  # noqa: BLE001 - per-batch capture
+                outcomes = [exc] * len(batch)
+            for (_, fut), outcome in zip(batch, outcomes):
+                if not fut.done():
+                    fut.set_result(
+                        (not isinstance(outcome, Exception), outcome))
+
+    # ------------------------------------------------------------------
+    async def wait_idle(self, timeout: float | None = None) -> bool:
+        """Wait for every in-flight execution to finish (drain helper).
+
+        Returns ``True`` when idle, ``False`` on timeout.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while self._inflight or self._analytic_pending:
+            pending: list[asyncio.Task[Any]] = list(self._inflight.values())
+            if self._analytic_drainer is not None \
+                    and not self._analytic_drainer.done():
+                pending.append(self._analytic_drainer)
+            if not pending:
+                await asyncio.sleep(0.01)
+                continue
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            done, _ = await asyncio.wait(pending, timeout=remaining)
+            if deadline is not None and time.monotonic() >= deadline \
+                    and not done:
+                return False
+        return True
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (drained servers pass
+        ``wait=True``; aborts pass ``False``)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            self._pool = None

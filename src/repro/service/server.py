@@ -1,0 +1,642 @@
+"""The sweep service daemon: asyncio unix-socket server for sweep jobs.
+
+One :class:`SweepService` owns one socket, one
+:class:`~repro.service.scheduler.Scheduler` (dedup + worker pool), one
+:class:`~repro.service.jobs.JobLedger`, and a registry of jobs.  Each
+client connection is a coroutine speaking :mod:`repro.service.protocol`
+frames; each job is a coroutine streaming per-row events to any number
+of watchers through a replayable event list, so a late (or reconnected)
+watcher sees the full stream.
+
+Lifecycle:
+
+* ``start()`` binds the socket and **resumes** every non-terminal job
+  found in the ledger — completed rows of a half-finished job come
+  straight from the content-addressed cache, so a resume re-executes
+  only what never finished;
+* SIGTERM/SIGINT (or the ``shutdown`` op) begin a **drain**: new
+  submissions are refused with an ``unavailable`` error (clients raise
+  a typed, retryable :class:`~repro.errors.ServiceUnavailable`),
+  running jobs finish and are journaled, queued jobs are left in the
+  ledger for the next server;
+* with telemetry on, every job records itself as a
+  ``results/runs/<run_id>/`` directory of kind ``service-job`` —
+  manifest, ``queue-wait``/``execute`` spans with per-config
+  ``execute``/``dedup-hit``/``cache-hit`` children, ``service.*``
+  metrics, and the rows as ``summary.json`` (so ``repro report`` and
+  ``repro reproduce`` work on service jobs unchanged).
+
+:func:`serve_in_thread` hosts a service on a background thread of the
+current process — the harness tests, benchmarks, and notebook users
+share it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro import telemetry
+from repro.core.experiment import ExperimentConfig
+from repro.core.parallel import SweepError
+from repro.core.runner import Row
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+from repro.service.client import default_socket_path
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobLedger,
+    JobRecord,
+    JobSpec,
+    new_job_id,
+)
+from repro.service.scheduler import Scheduler
+from repro.telemetry.run import RunContext
+
+
+class SweepService:
+    """A long-running, multi-client sweep job server.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket to listen on (default:
+        :func:`~repro.service.client.default_socket_path`).
+    cache:
+        Shared result cache (a
+        :class:`~repro.core.cache.ResultCache` makes jobs durable:
+        rows, journal, and ledger all live in its directory).  ``None``
+        serves from memory only.
+    workers:
+        Process-pool width for event-engine rows.
+    max_jobs:
+        Jobs allowed to execute concurrently; the rest queue (that wait
+        is the ``queue-wait`` span).
+    results_dir:
+        Telemetry results root for per-job run directories (default:
+        the usual ``$REPRO_RESULTS_DIR`` / ``./results`` resolution).
+    drain_timeout_s:
+        How long a drain waits for running jobs before giving up and
+        leaving them to the ledger (``None`` = wait indefinitely).
+    """
+
+    def __init__(self, socket_path: str | Path | None = None, *,
+                 cache: Any = None, workers: int | None = None,
+                 max_jobs: int = 4, results_dir: str | Path | None = None,
+                 drain_timeout_s: float | None = None) -> None:
+        if max_jobs < 1:
+            raise ServiceError("max_jobs must be positive")
+        self.socket_path = Path(socket_path) if socket_path is not None \
+            else default_socket_path()
+        self.cache = cache
+        self.results_dir = Path(results_dir) if results_dir is not None \
+            else None
+        self.drain_timeout_s = drain_timeout_s
+        self.scheduler = Scheduler(cache, workers=workers)
+        self.ledger = JobLedger.for_cache(cache)
+        self.jobs: dict[str, JobRecord] = {}
+        self.draining = False
+        self.max_jobs = max_jobs
+        self._job_tasks: dict[str, asyncio.Task[None]] = {}
+        self._job_conds: dict[str, asyncio.Condition] = {}
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._sem: asyncio.Semaphore | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started_at = time.time()
+        self._n_resumed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and resume ledgered jobs."""
+        self._sem = asyncio.Semaphore(self.max_jobs)
+        self._stop_event = asyncio.Event()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self.socket_path.unlink()  # stale socket from a dead server
+        except OSError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._on_connection, path=str(self.socket_path),
+            limit=protocol.MAX_FRAME_BYTES)
+        self._started_at = time.time()
+        for spec in self.ledger.incomplete():
+            if spec.job_id in self.jobs:
+                continue
+            self._n_resumed += 1
+            self._register(JobRecord(spec))
+
+    def request_stop(self) -> None:
+        """Begin the drain (signal handlers and the ``shutdown`` op)."""
+        self.draining = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a stop is requested, then drain and shut down
+        (call after :meth:`start`)."""
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Drain: refuse new work, finish running jobs, journal the
+        rest, release the socket and the pool."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = [t for t in self._job_tasks.values() if not t.done()]
+        if tasks:
+            gathered = asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                if self.drain_timeout_s is None:
+                    await gathered
+                else:
+                    await asyncio.wait_for(gathered, self.drain_timeout_s)
+            except asyncio.TimeoutError:
+                for task in tasks:
+                    task.cancel()
+        conns = [t for t in self._conn_tasks if not t.done()]
+        for conn in conns:
+            conn.cancel()
+        if conns:
+            await asyncio.gather(*conns, return_exceptions=True)
+        self.scheduler.close(wait=True)
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    def run(self) -> int:
+        """Synchronous entrypoint (``repro serve``): serve until
+        SIGTERM/SIGINT, drain, exit 0."""
+        async def main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            if threading.current_thread() is threading.main_thread():
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(sig, self.request_stop)
+                    except (NotImplementedError, RuntimeError):
+                        pass
+            await self.serve_until_stopped()
+
+        asyncio.run(main())
+        return 0
+
+    # ------------------------------------------------------------------
+    # job registry
+    # ------------------------------------------------------------------
+    def _register(self, job: JobRecord) -> JobRecord:
+        self.jobs[job.job_id] = job
+        self._job_conds[job.job_id] = asyncio.Condition()
+        task = asyncio.ensure_future(self._run_job(job))
+        self._job_tasks[job.job_id] = task
+        task.add_done_callback(
+            lambda _t, j=job.job_id: self._job_tasks.pop(j, None))
+        return job
+
+    def find_job(self, job_id: str) -> JobRecord | None:
+        """Exact job-id match, else a unique-prefix match."""
+        job = self.jobs.get(job_id)
+        if job is not None:
+            return job
+        matches = [j for key, j in self.jobs.items()
+                   if key.startswith(job_id)]
+        return matches[0] if len(matches) == 1 else None
+
+    def stats(self) -> dict[str, Any]:
+        """The ``status`` op payload: scheduler + job-state counters."""
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "draining": self.draining,
+            "workers": self.scheduler.workers,
+            "max_jobs": self.max_jobs,
+            "jobs_total": len(self.jobs),
+            "jobs_resumed": self._n_resumed,
+            "jobs_by_state": by_state,
+            **self.scheduler.stats,
+        }
+
+    # ------------------------------------------------------------------
+    # event streams
+    # ------------------------------------------------------------------
+    async def _publish(self, job: JobRecord, event: dict[str, Any]) -> None:
+        cond = self._job_conds[job.job_id]
+        async with cond:
+            job.events.append(event)
+            cond.notify_all()
+
+    async def _next_event(self, job: JobRecord,
+                          index: int) -> dict[str, Any]:
+        cond = self._job_conds[job.job_id]
+        async with cond:
+            while len(job.events) <= index:
+                await cond.wait()
+            return job.events[index]
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    async def _run_job(self, job: JobRecord) -> None:
+        assert self._sem is not None
+        async with self._sem:
+            if job.state != QUEUED:
+                return  # cancelled while waiting its turn
+            if self.draining:
+                return  # stays queued in the ledger for the next server
+            job.transition(RUNNING)
+            self.ledger.record_state(job)
+            run_ctx = self._open_run(job)
+            queue_wait = time.time() - job.submitted_at
+            if run_ctx is not None:
+                run_ctx.metrics.observe("service.queue_wait_seconds",
+                                        queue_wait)
+                now = run_ctx.spans.now()
+                run_ctx.spans.emit("queue-wait",
+                                   max(0.0, now - queue_wait), now,
+                                   job=job.job_id)
+            status, error = COMPLETED, ""
+            try:
+                status, error = await self._execute_job(job, run_ctx)
+            except Exception as exc:  # noqa: BLE001 - job must terminate
+                status, error = FAILED, f"{type(exc).__name__}: {exc}"
+            transitioned = False
+            if job.state == RUNNING:
+                job.transition(status, error=error)
+                transitioned = True
+            if transitioned or job.state in (COMPLETED, FAILED):
+                self.ledger.record_state(job)
+            await self._publish(job, {"type": "done",
+                                      "job": job.to_dict()})
+            self._finalize_run(run_ctx, job)
+
+    async def _execute_job(self, job: JobRecord,
+                           run_ctx: RunContext | None
+                           ) -> tuple[str, str]:
+        """Dispatch every config of one job; returns (status, error)."""
+        spec = job.spec
+        configs = spec.configs
+        outcomes: list[Row | None] = [None] * len(configs)
+        errors: list[SweepError] = []
+        runnable: list[tuple[int, ExperimentConfig]] = []
+        for i, config in enumerate(configs):
+            entry = self.scheduler.quarantined(spec.name, config)
+            if entry is not None:
+                job.n_failed += 1
+                job.n_quarantined += 1
+                message = ((entry["message"] or "repeated failure")
+                           + f" (quarantined after {entry['fails']} "
+                             f"attempts)")
+                errors.append(SweepError(
+                    config=config,
+                    error=entry["error"] or "Quarantined",
+                    message=message, worker_pid=entry["pid"],
+                    attempts=int(entry["fails"])))
+                if run_ctx is not None:
+                    run_ctx.metrics.count("service.quarantined")
+                await self._publish(job, protocol.row_error_frame(
+                    i, entry["error"] or "Quarantined", message,
+                    quarantined=True))
+            else:
+                runnable.append((i, config))
+
+        exec_span = None
+        if run_ctx is not None:
+            exec_span = run_ctx.spans.open(
+                "execute", job=job.job_id, engine=spec.engine,
+                configs=len(runnable))
+
+        async def one(i: int, config: ExperimentConfig
+                      ) -> tuple[int, float, str, bool, Any]:
+            t0 = time.perf_counter()
+            source, ok, value = await self.scheduler.obtain(
+                spec.name, config, spec.engine)
+            return i, time.perf_counter() - t0, source, ok, value
+
+        tasks = [asyncio.ensure_future(one(i, c)) for i, c in runnable]
+        try:
+            for fut in asyncio.as_completed(tasks):
+                i, dt, source, ok, value = await fut
+                if job.state != RUNNING:
+                    break  # cancelled mid-stream
+                if run_ctx is not None:
+                    end = run_ctx.spans.now()
+                    name = {"executed": "execute", "dedup": "dedup-hit",
+                            "cache": "cache-hit"}[source]
+                    run_ctx.spans.emit(name, max(0.0, end - dt), end,
+                                       parent=exec_span,
+                                       config=configs[i].label())
+                    run_ctx.metrics.count(f"service.rows.{source}")
+                    run_ctx.metrics.observe("service.config_seconds", dt)
+                if ok:
+                    job.note_row(source)
+                    outcomes[i] = value
+                    await self._publish(
+                        job, protocol.row_frame(i, value, source))
+                else:
+                    job.n_failed += 1
+                    err = SweepError.from_exception(configs[i], value)
+                    errors.append(err)
+                    if run_ctx is not None:
+                        run_ctx.metrics.count("service.rows.failed")
+                    await self._publish(job, protocol.row_error_frame(
+                        i, err.error, err.message))
+        finally:
+            for task in tasks:
+                task.cancel()
+            if run_ctx is not None and exec_span is not None:
+                run_ctx.spans.close(exec_span)
+
+        if job.state != RUNNING:
+            self._attach_summary(run_ctx, job, outcomes, errors)
+            return job.state, job.error
+        if spec.engine == "auto":
+            try:
+                with telemetry.span("cross-validate",
+                                    configs=len(configs)):
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, partial(self._cross_validate, spec,
+                                      list(outcomes)))
+            except Exception as exc:  # noqa: BLE001 - job-level failure
+                self._attach_summary(run_ctx, job, outcomes, errors)
+                return FAILED, f"{type(exc).__name__}: {exc}"
+        self._attach_summary(run_ctx, job, outcomes, errors)
+        return (COMPLETED, "") if not errors else (
+            COMPLETED, f"{len(errors)} config(s) failed")
+
+    def _cross_validate(self, spec: JobSpec,
+                        outcomes: list[Row | None]) -> None:
+        """The ``auto`` engine's seeded event cross-check (thread-side,
+        telemetry-suppressed; raises ``EngineDisagreement``)."""
+        from repro.analytic.engine import cross_validate
+
+        with telemetry.suppressed():
+            cross_validate(spec.name, list(spec.configs), list(outcomes))
+
+    # ------------------------------------------------------------------
+    # per-job telemetry
+    # ------------------------------------------------------------------
+    def _open_run(self, job: JobRecord) -> RunContext | None:
+        """A detached (never globally-activated) run directory for one
+        job — many jobs record concurrently, one directory each."""
+        if not telemetry.enabled():
+            return None
+        try:
+            ctx = RunContext.open(
+                kind="service-job", name=job.spec.name,
+                configs=list(job.spec.configs), engine=job.spec.engine,
+                workers=self.scheduler.workers,
+                cache_dir=str(getattr(self.cache, "directory", ""))
+                or None,
+                results_dir=self.results_dir)
+        except Exception:  # noqa: BLE001 - telemetry must never kill a job
+            return None
+        ctx.manifest["job_id"] = job.job_id
+        ctx.metrics.count("service.jobs")
+        return ctx
+
+    @staticmethod
+    def _attach_summary(run_ctx: RunContext | None, job: JobRecord,
+                        outcomes: list[Row | None],
+                        errors: list[SweepError]) -> None:
+        if run_ctx is None:
+            return
+        rows = [row for row in outcomes if row is not None]
+        run_ctx.attach_rows(job.spec.name, rows, errors)
+
+    @staticmethod
+    def _finalize_run(run_ctx: RunContext | None, job: JobRecord) -> None:
+        if run_ctx is None:
+            return
+        try:
+            run_ctx.finalize(status=job.state)
+        except Exception:  # noqa: BLE001 - telemetry must never kill a job
+            pass
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter,
+                    frame: dict[str, Any]) -> bool:
+        try:
+            writer.write(protocol.encode_frame(frame))
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return False
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server teardown: drop the connection quietly
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        await self._send(writer, protocol.hello_frame(
+            repro.__version__, os.getpid()))
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                await self._send(writer, protocol.error_frame(
+                    "protocol", "frame exceeds the size limit"))
+                return
+            except (ConnectionResetError, OSError):
+                return
+            if not line:
+                return
+            try:
+                frame = protocol.decode_frame(line)
+                op = protocol.check_request(frame)
+            except ProtocolError as exc:
+                await self._send(writer, protocol.error_frame(
+                    "protocol", str(exc)))
+                continue
+            if not await self._dispatch(op, frame, writer):
+                return
+
+    async def _dispatch(self, op: str, frame: dict[str, Any],
+                        writer: asyncio.StreamWriter) -> bool:
+        """Handle one request; returns False to end the connection."""
+        if op == "ping":
+            return await self._send(writer, {"type": "pong",
+                                             "t": time.time()})
+        if op == "status":
+            return await self._send(writer, {"type": "status",
+                                             "stats": self.stats()})
+        if op == "jobs":
+            ordered = sorted(self.jobs.values(),
+                             key=lambda j: j.submitted_at)
+            return await self._send(writer, {
+                "type": "jobs",
+                "jobs": [j.to_dict() for j in ordered]})
+        if op == "submit":
+            return await self._op_submit(frame, writer)
+        if op == "watch":
+            return await self._op_watch(frame, writer)
+        if op == "cancel":
+            return await self._op_cancel(frame, writer)
+        if op == "shutdown":
+            await self._send(writer, {"type": "ack", "op": "shutdown"})
+            self.request_stop()
+            return False
+        return await self._send(writer, protocol.error_frame(
+            "protocol", f"unhandled op {op!r}"))  # pragma: no cover
+
+    async def _op_submit(self, frame: dict[str, Any],
+                         writer: asyncio.StreamWriter) -> bool:
+        try:
+            name, configs, engine, watch = protocol.parse_submit(frame)
+        except ProtocolError as exc:
+            return await self._send(writer, protocol.error_frame(
+                "bad-request", str(exc)))
+        if self.draining:
+            return await self._send(writer, protocol.error_frame(
+                "unavailable",
+                "service is draining for shutdown; retry against the "
+                "next server"))
+        job = self._register(JobRecord(JobSpec(
+            job_id=new_job_id(), name=name, engine=engine,
+            configs=tuple(configs))))
+        self.ledger.record_submit(job)
+        if not await self._send(writer, {"type": "job",
+                                         "job": job.to_dict()}):
+            return False
+        if watch:
+            return await self._stream_job(job, writer)
+        return True
+
+    async def _op_watch(self, frame: dict[str, Any],
+                        writer: asyncio.StreamWriter) -> bool:
+        job = self.find_job(str(frame.get("job_id", "")))
+        if job is None:
+            return await self._send(writer, protocol.error_frame(
+                "unknown-job", f"no job matches {frame.get('job_id')!r}"))
+        if not await self._send(writer, {"type": "job",
+                                         "job": job.to_dict()}):
+            return False
+        return await self._stream_job(job, writer)
+
+    async def _op_cancel(self, frame: dict[str, Any],
+                         writer: asyncio.StreamWriter) -> bool:
+        job = self.find_job(str(frame.get("job_id", "")))
+        if job is None:
+            return await self._send(writer, protocol.error_frame(
+                "unknown-job", f"no job matches {frame.get('job_id')!r}"))
+        if not job.terminal:
+            was_queued = job.state == QUEUED
+            job.transition(CANCELLED, error="cancelled by client")
+            self.ledger.record_state(job)
+            if was_queued:
+                # the job task will exit without publishing; close the
+                # stream for any watcher
+                await self._publish(job, {"type": "done",
+                                          "job": job.to_dict()})
+        return await self._send(writer, {"type": "job",
+                                         "job": job.to_dict()})
+
+    async def _stream_job(self, job: JobRecord,
+                          writer: asyncio.StreamWriter) -> bool:
+        index = 0
+        while True:
+            event = await self._next_event(job, index)
+            if not await self._send(writer, event):
+                return False  # watcher went away; the job carries on
+            if event.get("type") == "done":
+                return True
+            index += 1
+
+
+class ServiceThread:
+    """A :class:`SweepService` hosted on a daemon thread.
+
+    The thread runs its own event loop; :meth:`stop` requests a drain
+    and joins.  Tests, benchmarks, and interactive sessions use this to
+    get a real server without a second process.
+    """
+
+    def __init__(self, service: SweepService) -> None:
+        self.service = service
+        self.error: BaseException | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.service.start()
+        self._ready.set()
+        await self.service.serve_until_stopped()
+
+    def start(self, timeout_s: float = 30.0) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise ServiceError("service thread did not come up in time")
+        if self.error is not None:
+            raise ServiceError(
+                f"service thread failed to start: {self.error}")
+        return self
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        """Drain and join (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(timeout_s)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(service: SweepService, *,
+                    timeout_s: float = 30.0) -> ServiceThread:
+    """Start ``service`` on a background thread and wait until its
+    socket is accepting connections."""
+    return ServiceThread(service).start(timeout_s)

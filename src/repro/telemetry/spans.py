@@ -113,6 +113,34 @@ class SpanRecorder:
         finally:
             os.close(fd)
 
+    def emit(self, name: str, start_s: float, end_s: float,
+             parent: Span | None = None, **attrs: Any) -> Span:
+        """Record an already-timed span without stack participation.
+
+        Concurrent orchestrators (the sweep service runs many jobs on
+        one event loop) cannot use the ``with``-stack discipline — their
+        phases interleave.  ``emit`` lets them report a completed phase
+        with explicit wall-clock bounds (seconds on this recorder's
+        clock, i.e. :func:`time.perf_counter` minus the recorder origin)
+        and an explicit parent.
+        """
+        self._next += 1
+        span = Span(
+            span_id=f"{self.session}:{self._next}",
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_s=start_s,
+            attrs=dict(attrs),
+            end_s=end_s,
+        )
+        self._write(span)
+        return span
+
+    def now(self) -> float:
+        """The current time on this recorder's span clock (for
+        :meth:`emit` bounds)."""
+        return self._now()
+
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
         """``with recorder.span("gate.lint", config=...):`` — the usual

@@ -218,3 +218,77 @@ class TestFingerprint:
         rec = json.loads(cache.path.read_text().splitlines()[0])
         assert rec["fp"] == cache.fingerprint
         assert rec["key"] == config_digest(CFG)
+
+
+class TestCompact:
+    def _rows(self, cache, n=3):
+        configs = [ExperimentConfig(app="ffvc", n_ranks=r, n_threads=2)
+                   for r in (1, 2, 4)[:n]]
+        return {c: run_config(c, cache) for c in configs}
+
+    def test_compact_empty_cache_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = cache.compact()
+        assert stats["kept"] == 0 and stats["bytes_before"] == 0
+        assert not cache.path.exists()
+
+    def test_compact_drops_torn_lines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = self._rows(cache)
+        with open(cache.path, "a") as fh:
+            fh.write('{"format": 1, "fp": "x", "key": "y", "row"\n')
+            fh.write("utter garbage\n")
+        stats = ResultCache(tmp_path).compact()
+        assert stats["dropped_torn"] == 2
+        assert stats["kept"] == len(rows)
+        fresh = ResultCache(tmp_path)
+        for config, row in rows.items():
+            assert fresh.get(config) == row
+        assert fresh.torn_lines == 0
+
+    def test_compact_keeps_the_last_duplicate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = self._rows(cache, n=2)
+        config = next(iter(rows))
+        # re-append the same key twice more (the append-only path never
+        # rewrites): three records, one key
+        cache._append(config_digest(config), rows[config])
+        cache._append(config_digest(config), rows[config])
+        stats = ResultCache(tmp_path).compact()
+        assert stats["dropped_duplicates"] == 2
+        assert stats["kept"] == len(rows)
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert ResultCache(tmp_path).get(config) == rows[config]
+
+    def test_compact_replace_is_atomic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._rows(cache)
+        cache.compact()
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != cache.path.name]
+        assert leftovers == []  # no temp files left behind
+
+    def test_compact_stale_fingerprints(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = self._rows(cache, n=2)
+        config = next(iter(rows))
+        stale = {"format": cache_mod.CACHE_FORMAT, "fp": "0" * 16,
+                 "key": config_digest(config),
+                 "row": json.loads(cache.path.read_text()
+                                   .splitlines()[0])["row"]}
+        with open(cache.path, "a") as fh:
+            fh.write(json.dumps(stale) + "\n")
+        # default: stale rows survive (another build may still use them)
+        stats = ResultCache(tmp_path).compact()
+        assert stats["dropped_stale"] == 0 and stats["kept"] == 3
+        # opt-in: drop them
+        stats = ResultCache(tmp_path).compact(keep_stale=False)
+        assert stats["dropped_stale"] == 1 and stats["kept"] == 2
+        assert ResultCache(tmp_path).get(config) == rows[config]
+
+    def test_compact_reloads_memory_layer(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = self._rows(cache, n=2)
+        cache.compact()
+        for config, row in rows.items():
+            assert cache.get(config) == row

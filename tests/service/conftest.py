@@ -1,0 +1,56 @@
+"""Fixtures for the sweep-service tests: a real in-thread server.
+
+Every test that needs a server gets a fresh :class:`SweepService` on
+its own unix socket (under ``tmp_path``, so paths stay short and
+per-test) backed by a fresh persistent cache directory.  The server
+runs on a daemon thread via :func:`serve_in_thread`; teardown drains
+it, so a hanging job fails the test rather than leaking a thread.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.experiment import ExperimentConfig
+from repro.service.client import ServiceClient
+from repro.service.server import SweepService, serve_in_thread
+
+
+@pytest.fixture
+def cache_dir(tmp_path) -> Path:
+    return tmp_path / "cache"
+
+
+@pytest.fixture
+def cache(cache_dir) -> ResultCache:
+    return ResultCache(cache_dir)
+
+
+@pytest.fixture
+def socket_path(tmp_path) -> Path:
+    return tmp_path / "svc.sock"
+
+
+@pytest.fixture
+def service(cache, socket_path):
+    """A running server on a background thread; drained at teardown."""
+    svc = SweepService(socket_path, cache=cache, workers=2, max_jobs=4)
+    thread = serve_in_thread(svc)
+    yield svc
+    thread.stop()
+
+
+@pytest.fixture
+def client(service, socket_path):
+    with ServiceClient(socket_path, timeout_s=120.0) as c:
+        yield c
+
+
+def tiny_configs(app: str = "ffvc", n: int = 3) -> list[ExperimentConfig]:
+    """A few fast event-engine configs (distinct rank counts)."""
+    pairs = [(1, 2), (2, 2), (4, 2), (2, 4), (4, 4)]
+    return [ExperimentConfig(app=app, n_ranks=r, n_threads=t)
+            for r, t in pairs[:n]]

@@ -1,0 +1,115 @@
+"""Job state machine and crash-durable ledger tests."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.errors import ServiceError
+from repro.service import jobs as jobs_mod
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobLedger,
+    JobRecord,
+    JobSpec,
+    new_job_id,
+)
+
+
+def spec(name="f1", engine="event", n=2) -> JobSpec:
+    configs = tuple(ExperimentConfig(app="ffvc", n_ranks=r, n_threads=2)
+                    for r in range(1, n + 1))
+    return JobSpec(job_id=new_job_id(), name=name, engine=engine,
+                   configs=configs)
+
+
+def test_job_ids_are_unique_and_sortable():
+    ids = [new_job_id() for _ in range(100)]
+    assert len(set(ids)) == 100
+
+
+def test_spec_round_trip():
+    original = spec(n=3)
+    clone = JobSpec.from_dict(json.loads(json.dumps(original.to_dict())))
+    assert clone == original
+
+
+def test_legal_lifecycle():
+    job = JobRecord(spec())
+    assert job.state == QUEUED and not job.terminal
+    job.transition(RUNNING)
+    assert job.started_at is not None
+    job.transition(COMPLETED)
+    assert job.terminal and job.finished_at is not None
+
+
+@pytest.mark.parametrize("path", [
+    (RUNNING, QUEUED),             # no going back
+    (COMPLETED, RUNNING),          # terminal states are final
+    (CANCELLED, RUNNING),
+    (FAILED, COMPLETED),
+])
+def test_illegal_transitions_raise(path):
+    job = JobRecord(spec())
+    job.state = path[0]
+    with pytest.raises(ServiceError, match="illegal transition"):
+        job.transition(path[1])
+
+
+def test_queued_to_completed_is_illegal():
+    job = JobRecord(spec())
+    with pytest.raises(ServiceError):
+        job.transition(COMPLETED)
+
+
+def test_note_row_attribution():
+    job = JobRecord(spec())
+    for source in ("cache", "dedup", "executed", "executed"):
+        job.note_row(source)
+    assert (job.n_done, job.n_cache_hits, job.n_dedup_hits,
+            job.n_executed) == (4, 1, 1, 2)
+
+
+def test_ledger_replay_round_trip(tmp_path):
+    ledger = JobLedger(tmp_path / "ledger.jsonl")
+    a, b, c = spec("a"), spec("b"), spec("c")
+    for s in (a, b, c):
+        ledger.record_submit(JobRecord(s))
+    done = JobRecord(b)
+    done.transition(RUNNING)
+    done.transition(COMPLETED)
+    ledger.record_state(done)
+    running = JobRecord(c)
+    running.transition(RUNNING)
+    ledger.record_state(running)
+
+    fresh = JobLedger(tmp_path / "ledger.jsonl")
+    incomplete = {s.job_id for s in fresh.incomplete()}
+    assert incomplete == {a.job_id, c.job_id}  # completed b is gone
+    assert fresh.replay()[b.job_id][1] == COMPLETED
+
+
+def test_ledger_tolerates_torn_lines(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = JobLedger(path)
+    keeper = spec("keeper")
+    ledger.record_submit(JobRecord(keeper))
+    with open(path, "a") as fh:
+        fh.write('{"format": 1, "event": "submitted", "job": {tru\n')
+        fh.write("garbage\n")
+        fh.write(json.dumps({"format": jobs_mod.LEDGER_FORMAT,
+                             "event": "state", "job_id": "never-seen",
+                             "state": "running"}) + "\n")
+    survivors = JobLedger(path).incomplete()
+    assert [s.job_id for s in survivors] == [keeper.job_id]
+
+
+def test_memory_only_ledger_is_silent(tmp_path):
+    ledger = JobLedger.for_cache({})  # plain dict: no directory
+    ledger.record_submit(JobRecord(spec()))
+    assert ledger.replay() == {}
+    assert ledger.incomplete() == []

@@ -1,0 +1,82 @@
+"""Wire-protocol unit tests: framing, validation, round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.runner import run_config
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+def test_frame_round_trip():
+    frame = {"v": 1, "op": "ping", "extra": [1, 2.5, "x"]}
+    assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+
+
+def test_encode_is_one_line():
+    data = protocol.encode_frame({"op": "ping", "v": 1})
+    assert data.endswith(b"\n")
+    assert data.count(b"\n") == 1
+
+
+@pytest.mark.parametrize("line", [b"", b"   \n", b"not json\n",
+                                  b"[1,2,3]\n", b'"str"\n'])
+def test_decode_rejects_garbage(line):
+    with pytest.raises(ProtocolError):
+        protocol.decode_frame(line)
+
+
+def test_decode_rejects_oversized():
+    blob = b"x" * (protocol.MAX_FRAME_BYTES + 1)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        protocol.decode_frame(blob)
+
+
+def test_check_request_validates_version_and_op():
+    assert protocol.check_request({"v": 1, "op": "submit"}) == "submit"
+    with pytest.raises(ProtocolError, match="version"):
+        protocol.check_request({"v": 99, "op": "submit"})
+    with pytest.raises(ProtocolError, match="unknown op"):
+        protocol.check_request({"v": 1, "op": "explode"})
+
+
+def test_submit_frame_round_trip():
+    configs = [ExperimentConfig(app="ffvc", n_ranks=2, n_threads=2),
+               ExperimentConfig(app="ccs-qcd", n_ranks=4, n_threads=2)]
+    frame = protocol.submit_frame("f1", configs, "event", watch=False)
+    # survives the actual wire encoding
+    frame = protocol.decode_frame(protocol.encode_frame(frame))
+    name, parsed, engine, watch = protocol.parse_submit(frame)
+    assert (name, engine, watch) == ("f1", "event", False)
+    assert parsed == configs
+
+
+def test_parse_submit_rejects_bad_specs():
+    good = protocol.submit_frame(
+        "f1", [ExperimentConfig(app="ffvc")], "event")
+    for breakage in (
+            {"name": ""}, {"engine": "warp"}, {"configs": []},
+            {"configs": "nope"}, {"configs": [{"app": "no-such-app"}]}):
+        frame = {**good, **breakage}
+        with pytest.raises(ProtocolError):
+            protocol.parse_submit(frame)
+
+
+def test_row_frame_is_bit_exact():
+    config = ExperimentConfig(app="ffvc", n_ranks=2, n_threads=2)
+    row = run_config(config)
+    frame = protocol.row_frame(3, row, "executed")
+    # through real JSON bytes, as on the socket
+    frame = json.loads(json.dumps(frame))
+    index, decoded, source = protocol.parse_row(frame)
+    assert index == 3 and source == "executed"
+    assert decoded == row
+    assert decoded.elapsed == row.elapsed  # float identity, not approx
+    assert decoded.gflops == row.gflops
+
+
+def test_parse_row_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        protocol.parse_row({"type": "row", "index": 0, "row": {"bad": 1}})

@@ -1,0 +1,145 @@
+"""Server basics: ops, streaming parity with run_sweep, quarantine."""
+
+import socket as socket_mod
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.journal import SweepJournal
+from repro.core.runner import QUARANTINE_AFTER, run_sweep
+from repro.errors import ProtocolError
+from repro.service import protocol
+from repro.service.client import ServiceClient
+
+from .conftest import tiny_configs
+
+
+def test_hello_then_ping(client):
+    assert client.server_info["type"] == "hello"
+    assert client.server_info["v"] == protocol.PROTOCOL_VERSION
+    assert client.ping() < 60.0
+
+
+def test_status_reports_scheduler_stats(client):
+    stats = client.status()
+    for key in ("executed", "dedup_hits", "cache_hits", "jobs_total",
+                "draining", "uptime_s"):
+        assert key in stats
+    assert stats["draining"] is False
+
+
+def test_jobs_empty_initially(client):
+    assert client.jobs() == []
+
+
+def test_run_sweep_matches_direct_bit_for_bit(client, tmp_path):
+    configs = tiny_configs(n=3)
+    direct = run_sweep("parity", configs,
+                       ResultCache(tmp_path / "direct"), engine="event")
+    via_service = client.run_sweep("parity", configs, engine="event")
+    assert via_service.rows == direct.rows
+    assert [r.elapsed for r in via_service.rows] \
+        == [r.elapsed for r in direct.rows]
+    assert via_service.errors == []
+
+
+def test_rows_cached_for_the_next_job(client):
+    configs = tiny_configs(n=2)
+    first = client.run_sweep("warm", configs, engine="event")
+    again = client.run_sweep("warm", configs, engine="event")
+    assert again.rows == first.rows
+    stats = client.status()
+    assert stats["executed"] == 2       # the second job hit the cache
+    assert stats["cache_hits"] >= 2
+
+
+def test_duplicate_configs_within_a_job_simulate_once(client):
+    config = tiny_configs(n=1)[0]
+    result = client.run_sweep("dup", [config, config, config],
+                              engine="event")
+    assert len(result.rows) == 3
+    assert len(set(map(id, result.rows))) >= 1
+    assert client.status()["executed"] == 1
+
+
+def test_analytic_jobs_batch_through_the_scorer(client):
+    configs = tiny_configs(n=4)
+    result = client.run_sweep("analytic", configs, engine="analytic")
+    assert len(result.rows) == 4
+    assert all(row.engine == "analytic" for row in result.rows)
+    stats = client.status()
+    assert stats["analytic_batched_rows"] == 4
+    # coalescing means strictly fewer scorer calls than rows
+    assert stats["analytic_batches"] < 4
+
+
+def test_quarantined_configs_reported_per_job(service, client, cache_dir):
+    configs = tiny_configs(n=3)
+    poisoned = configs[1]
+    journal = SweepJournal(cache_dir / SweepJournal.FILENAME)
+    for _ in range(QUARANTINE_AFTER):
+        journal.record("quar", poisoned, ok=False,
+                       exc=RuntimeError("synthetic crash"))
+
+    frames = list(client.stream("quar", configs, engine="event"))
+    row_errors = [f for f in frames if f["type"] == "row-error"]
+    assert len(row_errors) == 1
+    assert row_errors[0]["index"] == 1
+    assert row_errors[0]["quarantined"] is True
+    assert "synthetic crash" in row_errors[0]["message"]
+    done = [f for f in frames if f["type"] == "done"][0]["job"]
+    assert done["n_quarantined"] == 1
+    assert done["n_done"] == 2
+    # quarantine is per sweep name: a different sweep still runs it
+    clean = client.run_sweep("other-sweep", [poisoned], engine="event")
+    assert len(clean.rows) == 1
+
+
+def test_protocol_error_keeps_connection_usable(service, socket_path):
+    with socket_mod.socket(socket_mod.AF_UNIX) as raw:
+        raw.settimeout(30)
+        raw.connect(str(socket_path))
+        reader = raw.makefile("rb")
+        assert protocol.decode_frame(reader.readline())["type"] == "hello"
+        raw.sendall(b"this is not json\n")
+        reply = protocol.decode_frame(reader.readline())
+        assert reply["type"] == "error" and reply["code"] == "protocol"
+        raw.sendall(protocol.encode_frame(
+            {"v": protocol.PROTOCOL_VERSION, "op": "ping"}))
+        assert protocol.decode_frame(reader.readline())["type"] == "pong"
+
+
+def test_submit_rejects_malformed_specs(client):
+    client._write_frame({"v": protocol.PROTOCOL_VERSION, "op": "submit",
+                         "name": "bad", "engine": "event",
+                         "configs": [{"app": "no-such-app"}]})
+    with pytest.raises(ProtocolError, match="bad-request: configs"):
+        reply = client._read_frame()
+        client._raise_error(reply)
+
+
+def test_watch_unknown_job_errors(client):
+    with pytest.raises(ProtocolError, match="no job matches"):
+        list(client.watch("nope-never-existed"))
+
+
+def test_watch_replays_finished_job(service, socket_path, client):
+    configs = tiny_configs(n=2)
+    job = None
+    for frame in client.stream("replay", configs, engine="event"):
+        if frame["type"] == "job":
+            job = frame["job"]
+    assert job is not None
+    # a second client attaching after completion sees the whole stream
+    with ServiceClient(socket_path, timeout_s=60) as late:
+        frames = list(late.watch(job["job_id"]))
+    kinds = [f["type"] for f in frames]
+    assert kinds[0] == "job" and kinds[-1] == "done"
+    assert kinds.count("row") == 2
+
+
+def test_job_id_prefix_lookup(client):
+    configs = tiny_configs(n=1)
+    job = client.submit("prefix", configs, engine="event")
+    final = client.wait(job["job_id"][:18])
+    assert final["state"] == "completed"
