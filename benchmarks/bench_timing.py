@@ -30,7 +30,13 @@ clients to one in-thread :class:`repro.service.SweepService` (shared
 cold cache, fleet-wide dedup) against the fleet-without-a-service
 baseline of N serial ``run_sweep`` calls each with its own cold cache.
 The server simulates each unique config once and fans the rows out, so
-the ratio is recorded as ``service_dedup_speedup_x``.
+the ratio is recorded as ``service_dedup_speedup_x``,
+
+plus a service-overload leg: a server capped at ``--max-queued``
+admissions takes twice that many concurrent submissions, recording the
+typed-rejection rate (``service_reject_rate``) and the p95 queue wait
+of the jobs that were admitted (``service_overload_p95_wait_s``) —
+the two numbers an operator tunes ``--max-queued`` against.
 
 Writes ``BENCH_sweep.json`` at the repo root.  CI uploads the file as an
 artifact, so every PR leaves a comparable perf datapoint.
@@ -67,6 +73,10 @@ _TELEMETRY_REPS = 2
 #: Concurrent clients in the service-dedup leg — the "fleet" whose
 #: duplicate submissions the server coalesces into one simulation each.
 _SERVICE_CLIENTS = 3
+
+#: Admission cap for the overload leg; the leg applies 2x this much
+#: concurrent submission pressure to exercise backpressure.
+_OVERLOAD_QUEUE = 4
 
 
 def _timed(fn) -> tuple[float, object]:
@@ -114,6 +124,63 @@ def _service_leg(configs, tmp: Path) -> tuple[float, float, dict]:
     finally:
         thread.stop()
     return t_serial, t_fleet, stats
+
+
+def _overload_leg(configs, tmp: Path) -> tuple[float, float, int]:
+    """(p95 queue wait s of admitted jobs, reject rate, rejections)
+    with 2x ``--max-queued`` concurrent submission pressure.
+
+    The server caps admission at ``_OVERLOAD_QUEUE``; twice that many
+    clients submit at once, so the tail submissions meet a full queue
+    and take the typed ``overloaded`` rejection.  The p95 wait of the
+    jobs that *were* admitted is the latency cost of riding out
+    saturation instead of being rejected.
+    """
+    import threading
+
+    from repro.core.cache import ResultCache
+    from repro.errors import ServiceOverloaded
+    from repro.service import ServiceClient, SweepService, serve_in_thread
+
+    socket_path = tmp / "overload.sock"
+    svc = SweepService(socket_path,
+                       cache=ResultCache(tmp / "overload-cache"),
+                       workers=2, max_jobs=2, max_queued=_OVERLOAD_QUEUE)
+    thread = serve_in_thread(svc)
+    accepted: list[str] = []
+    rejected = 0
+    lock = threading.Lock()
+    try:
+        def one_submitter(i: int) -> None:
+            nonlocal rejected
+            with ServiceClient(socket_path, timeout_s=600,
+                               client_name=f"bench-{i}") as c:
+                try:
+                    job = c.submit(f"overload-{i}", configs)
+                except ServiceOverloaded:
+                    with lock:
+                        rejected += 1
+                else:
+                    with lock:
+                        accepted.append(job["job_id"])
+
+        pressure = [threading.Thread(target=one_submitter, args=(i,))
+                    for i in range(2 * _OVERLOAD_QUEUE)]
+        for t in pressure:
+            t.start()
+        for t in pressure:
+            t.join()
+        with ServiceClient(socket_path, timeout_s=600) as c:
+            waits = sorted(
+                (final["started_at"] or final["submitted_at"])
+                - final["submitted_at"]
+                for job_id in accepted
+                for final in [c.wait(job_id)])
+    finally:
+        thread.stop()
+    p95 = waits[min(len(waits) - 1, int(0.95 * len(waits)))] \
+        if waits else 0.0
+    return p95, rejected / (2 * _OVERLOAD_QUEUE), rejected
 
 
 def _profiling_overhead(app_name: str) -> tuple[float, float]:
@@ -204,6 +271,9 @@ def main(argv=None) -> int:
         # service: N clients, one shared server, fleet-wide dedup
         t_svc_serial, t_svc_fleet, svc_stats = _service_leg(
             configs, Path(tmp))
+        # service under 2x --max-queued pressure: admission control
+        p95_wait, reject_rate, n_rejected = _overload_leg(
+            configs, Path(tmp))
 
     rows = [(r.config.label(), r.elapsed) for r in sweep_cold.rows]
     assert rows == [(r.config.label(), r.elapsed) for r in sweep_warm.rows]
@@ -248,6 +318,11 @@ def main(argv=None) -> int:
         "service_executed": svc_stats["executed"],
         "service_dedup_hits": svc_stats["dedup_hits"]
         + svc_stats["cache_hits"],
+        "service_overload_queue": _OVERLOAD_QUEUE,
+        "service_overload_clients": 2 * _OVERLOAD_QUEUE,
+        "service_overload_p95_wait_s": round(p95_wait, 4),
+        "service_overload_rejected": n_rejected,
+        "service_reject_rate": round(reject_rate, 4),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -273,6 +348,10 @@ def main(argv=None) -> int:
     if payload["service_dedup_speedup_x"] < 1.5:
         print("WARNING: service dedup speedup below the 1.5x target",
               file=sys.stderr)
+        status = 1
+    if payload["service_reject_rate"] <= 0:
+        print("WARNING: overload leg never engaged backpressure "
+              "(no submission met a full queue)", file=sys.stderr)
         status = 1
     return status
 

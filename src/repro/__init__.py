@@ -14,6 +14,6 @@ Public entry points::
     from repro.core import figures           # regenerate paper artifacts
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["__version__"]

@@ -298,6 +298,19 @@ def _cmd_chaos(args) -> int:
     from repro.errors import ConfigurationError
     from repro.faults import run_campaign
 
+    if args.service:
+        from repro.faults.service import run_service_campaign
+
+        report = run_service_campaign(seed=args.seed)
+        print(report.render())
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if report.ok else 1
+
     apps = tuple(_app_name(a) for a in args.apps.split(",")) \
         if args.apps else None
     try:
@@ -699,16 +712,57 @@ def _service_client(args):
 def _cmd_serve(args) -> int:
     from repro.service.server import SweepService
 
+    heartbeat = args.heartbeat if args.heartbeat > 0 else None
     service = SweepService(
         args.socket, cache=_cache_from_args(args), workers=args.jobs,
-        max_jobs=args.max_jobs, results_dir=args.results_dir,
+        max_jobs=args.max_jobs, max_queued=args.max_queued,
+        heartbeat_s=heartbeat, exec_timeout_s=args.exec_timeout,
+        results_dir=args.results_dir,
         drain_timeout_s=args.drain_timeout)
     resumable = len(service.ledger.incomplete())
+    cap = f", max-queued={service.max_queued}" \
+        if service.max_queued is not None else ""
     print(f"repro service listening on {service.socket_path} "
-          f"(workers={args.jobs}, max-jobs={args.max_jobs}"
+          f"(workers={args.jobs}, max-jobs={args.max_jobs}{cap}"
           + (f", resuming {resumable} job(s)" if resumable else "")
           + "); SIGTERM/Ctrl-C drains")
     return service.run()
+
+
+def _cmd_health(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            health = client.health()
+    except ServiceError as exc:
+        return _service_error(exc)
+    if args.json:
+        import json
+
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0 if health.get("status") == "ok" else 1
+    by_state = health.get("jobs_by_state") or {}
+    states = ", ".join(f"{k}={v}" for k, v in sorted(by_state.items())) \
+        or "none"
+    lag = health.get("ledger_lag_s")
+    print(f"status:    {health.get('status')}  "
+          f"(pid {health.get('pid')}, v{health.get('version')}, "
+          f"up {health.get('uptime_s')}s)")
+    print(f"queue:     depth={health.get('queue_depth')} "
+          f"running={health.get('running')} "
+          f"pending={health.get('pending')} "
+          f"max-jobs={health.get('max_jobs')} "
+          f"max-queued={health.get('max_queued')}")
+    print(f"pool:      {health.get('pool_state')} "
+          f"({health.get('inflight_executions')} in-flight execution(s), "
+          f"{health.get('watchdog_kills')} watchdog kill(s))")
+    print(f"ledger:    lag="
+          + ("never appended" if lag is None else f"{lag}s"))
+    print(f"jobs:      {states}  "
+          f"(rejected={health.get('rejected')}, "
+          f"expired={health.get('expired')})")
+    return 0 if health.get("status") == "ok" else 1
 
 
 def _cmd_submit(args) -> int:
@@ -719,11 +773,15 @@ def _cmd_submit(args) -> int:
     try:
         with _service_client(args) as client:
             if args.detach:
-                job = client.submit(name, configs, engine=args.engine)
+                job = client.submit(name, configs, engine=args.engine,
+                                    priority=args.priority,
+                                    deadline_s=args.deadline)
                 print(job.get("job_id", ""))
                 return 0
             return _print_stream(
-                client.stream(name, configs, engine=args.engine))
+                client.stream(name, configs, engine=args.engine,
+                              priority=args.priority,
+                              deadline_s=args.deadline))
     except ServiceError as exc:
         return _service_error(exc)
 
@@ -871,6 +929,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--processor", default="A64FX",
                        type=_processor_name,
                        choices=sorted(catalog.PROCESSORS))
+    chaos.add_argument(
+        "--service", action="store_true",
+        help="run the sweep-service crash-consistency campaign instead "
+             "(torn ledger writes, kills at journaled transitions, torn "
+             "frames, hung workers, lapsed deadlines): no accepted job "
+             "may be lost or duplicated across crash/restart")
     chaos.add_argument("--json", default=None, metavar="FILE",
                        help="write the campaign report as JSON")
     chaos.add_argument(
@@ -1018,7 +1082,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="event-engine worker processes")
     serve.add_argument("--max-jobs", type=int, default=4, metavar="N",
-                       help="jobs executing concurrently; the rest queue")
+                       help="jobs executing concurrently; the rest queue "
+                            "under the weighted fair-share policy")
+    serve.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="admission cap: reject submissions (typed, "
+                            "retryable 'overloaded' error) while N jobs "
+                            "are already pending (default: "
+                            "$REPRO_SERVICE_MAX_QUEUED, else unbounded)")
+    serve.add_argument("--heartbeat", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="emit a heartbeat frame on a silent watch "
+                            "stream after this long (0 disables)")
+    serve.add_argument("--exec-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-execution progress watchdog: kill and "
+                            "retry a config attempt exceeding this "
+                            "(default: no watchdog)")
     serve.add_argument("--drain-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="on shutdown, wait at most this long for "
@@ -1046,7 +1125,24 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--detach", action="store_true",
                         help="print the job id and return immediately "
                              "(reattach with `repro watch <id>`)")
+    submit.add_argument("--priority", default="normal",
+                        choices=["low", "normal", "high"],
+                        help="fair-share weight class (high is picked "
+                             "earlier but never starves others)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget from submission; the "
+                             "job expires instead of running past it")
     submit.set_defaults(func=_cmd_submit)
+
+    health = sub.add_parser(
+        "health",
+        help="probe the running service: queue depth, pool state, "
+             "ledger lag, uptime (exit 0 only on status ok)")
+    _add_service_client_flags(health)
+    health.add_argument("--json", action="store_true",
+                        help="emit the raw health payload as JSON")
+    health.set_defaults(func=_cmd_health)
 
     jobs_cmd = sub.add_parser(
         "jobs", help="list the service's jobs (oldest first)")
@@ -1101,7 +1197,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="only runs of this kind")
     runs.add_argument("--status", default=None,
                       choices=["running", "completed", "failed",
-                               "cancelled"],
+                               "cancelled", "expired"],
                       help="only runs with this final status")
     runs.add_argument("--name", default=None, metavar="SUBSTR",
                       help="only runs whose name contains SUBSTR")

@@ -72,20 +72,22 @@ class SweepJournal:
     def _load(self) -> None:
         self._loaded = True
         try:
-            text = self.path.read_text()
+            raw = self.path.read_bytes()
         except OSError:
             return
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+        # Bytes, not text: a line torn mid-multibyte UTF-8 sequence must
+        # cost only that line, not fail the whole load.
+        for raw_line in raw.splitlines():
+            raw_line = raw_line.strip()
+            if not raw_line:
                 continue
             try:
-                rec = json.loads(line)
+                rec = json.loads(raw_line.decode())
                 if rec.get("format") != JOURNAL_FORMAT:
                     continue
                 key = (rec["sweep"], rec["key"])
                 status = rec["status"]
-            except (ValueError, KeyError, TypeError):
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
                 continue  # torn write or foreign line: replay what's intact
             self._apply(key, status, rec)
 

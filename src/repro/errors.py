@@ -101,6 +101,29 @@ class ServiceUnavailable(ServiceError):
         self.retryable = retryable
 
 
+class ServiceOverloaded(ServiceUnavailable):
+    """The sweep service refused a submission: its admission queue is
+    full (``repro serve --max-queued``).
+
+    The wire form is an ``error`` frame with the stable code
+    ``"overloaded"``; the client SDK raises this type and, by default,
+    retries with seeded-jitter exponential backoff
+    (:meth:`~repro.service.client.ServiceClient.run_sweep`).  Always
+    retryable: the queue drains as jobs finish.
+
+    ``queue_depth``/``max_queued`` snapshot the server's admission
+    state at rejection time; ``retry_after_s`` is the server's backoff
+    hint (both best-effort — ``0`` when the server predates them).
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 max_queued: int = 0, retry_after_s: float = 0.0) -> None:
+        super().__init__(message, retryable=True)
+        self.queue_depth = queue_depth
+        self.max_queued = max_queued
+        self.retry_after_s = retry_after_s
+
+
 class ProtocolError(ServiceError):
     """A malformed or protocol-version-incompatible service frame."""
 

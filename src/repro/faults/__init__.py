@@ -9,7 +9,12 @@ Two halves:
 * :mod:`~repro.faults.chaos` — the ``repro chaos`` campaign runner that
   sweeps fault scenarios across the miniapp catalog and asserts
   resilience invariants (replay determinism, counter conservation,
-  monotone degradation, analyzer agreement) into a JSON artifact.
+  monotone degradation, analyzer agreement) into a JSON artifact;
+* :mod:`~repro.faults.service` — the ``repro chaos --service``
+  crash-consistency campaign for the sweep service (torn ledger
+  writes, kills at journaled transitions, torn frames, hung workers,
+  lapsed deadlines), asserting that no accepted job is ever lost or
+  duplicated across crash and restart.
 
 Injection is off by default (``Job.fault_plan is None``) and each
 runtime hook point costs a single ``is not None`` predicate when off —
@@ -26,6 +31,11 @@ from repro.faults.plan import (
     MessageFault,
     Straggler,
 )
+from repro.faults.service import (
+    ServiceChaosReport,
+    SimulatedKill,
+    run_service_campaign,
+)
 
 __all__ = [
     "MESSAGE_FAULT_KINDS",
@@ -36,6 +46,9 @@ __all__ = [
     "FaultStats",
     "Invariant",
     "MessageFault",
+    "ServiceChaosReport",
+    "SimulatedKill",
     "Straggler",
     "run_campaign",
+    "run_service_campaign",
 ]

@@ -22,22 +22,27 @@ sweep jobs over a local unix socket; the server
   the sweep journal.
 
 Layers: :mod:`.protocol` (wire frames), :mod:`.jobs` (specs, state
-machine, ledger), :mod:`.scheduler` (dedup/batch/shard execution),
+machine, ledger), :mod:`.fairshare` (weighted fair-share run-slot
+queue), :mod:`.scheduler` (dedup/batch/shard execution),
 :mod:`.server` (the asyncio daemon), :mod:`.client` (blocking SDK).
 """
 
 from __future__ import annotations
 
 from repro.service.client import ServiceClient, default_socket_path
-from repro.service.jobs import JobRecord, JobSpec
+from repro.service.fairshare import FairShareQueue
+from repro.service.jobs import JobLedger, JobRecord, JobSpec
 from repro.service.protocol import PROTOCOL_VERSION
-from repro.service.server import SweepService, serve_in_thread
+from repro.service.server import ServiceThread, SweepService, serve_in_thread
 
 __all__ = [
+    "FairShareQueue",
+    "JobLedger",
     "JobRecord",
     "JobSpec",
     "PROTOCOL_VERSION",
     "ServiceClient",
+    "ServiceThread",
     "SweepService",
     "default_socket_path",
     "serve_in_thread",

@@ -19,6 +19,7 @@ float round-trip is exact.
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
 from pathlib import Path
@@ -28,11 +29,19 @@ from repro.core.cache import default_cache_dir
 from repro.core.experiment import ExperimentConfig
 from repro.core.parallel import SweepError
 from repro.core.runner import Row, SweepResult
-from repro.errors import JobError, ProtocolError, ServiceUnavailable
+from repro.errors import (
+    JobError,
+    ProtocolError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
 from repro.service import protocol
 
 #: Environment override for the service socket location.
 ENV_SERVICE_SOCKET = "REPRO_SERVICE_SOCKET"
+
+#: Environment override for the client identity fair-share bills to.
+ENV_SERVICE_CLIENT = "REPRO_SERVICE_CLIENT"
 
 
 def default_socket_path() -> Path:
@@ -42,6 +51,12 @@ def default_socket_path() -> Path:
     if env:
         return Path(env).expanduser()
     return default_cache_dir() / "service.sock"
+
+
+def default_client_name() -> str:
+    """``$REPRO_SERVICE_CLIENT``, else a per-process identity."""
+    env = os.environ.get(ENV_SERVICE_CLIENT, "").strip()
+    return env if env else f"pid-{os.getpid()}"
 
 
 class ServiceClient:
@@ -60,7 +75,21 @@ class ServiceClient:
     timeout_s:
         Socket timeout for reads/writes; a stream that stays silent this
         long raises :class:`~repro.errors.ServiceUnavailable` rather
-        than hanging forever.  ``None`` blocks indefinitely.
+        than hanging forever (server heartbeats on live-but-slow jobs
+        reset it).  ``None`` blocks indefinitely.
+    client_name:
+        Identity the server's fair-share scheduler bills this client's
+        jobs to (default: ``$REPRO_SERVICE_CLIENT``, else
+        ``pid-<pid>``).
+    jitter_seed:
+        Seeds the deterministic backoff jitter.  Defaults to a
+        per-process value so N clients restarted together spread their
+        retries instead of thundering in lockstep; fix it for
+        reproducible tests.
+    overload_retries:
+        How many ``overloaded`` rejections :meth:`run_sweep` absorbs
+        with exponential backoff before giving up (raising, or falling
+        back locally when ``fallback="local"``).
 
     Usable as a context manager; the connection opens lazily on first
     use.
@@ -68,15 +97,31 @@ class ServiceClient:
 
     def __init__(self, socket_path: str | Path | None = None, *,
                  connect_retries: int = 5, backoff_s: float = 0.05,
-                 timeout_s: float | None = 600.0) -> None:
+                 timeout_s: float | None = 600.0,
+                 client_name: str | None = None,
+                 jitter_seed: int | None = None,
+                 overload_retries: int = 6) -> None:
         self.socket_path = Path(socket_path) if socket_path is not None \
             else default_socket_path()
         self.connect_retries = max(0, connect_retries)
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
+        self.client_name = client_name if client_name is not None \
+            else default_client_name()
+        self.overload_retries = max(0, overload_retries)
+        self._rng = random.Random(
+            jitter_seed if jitter_seed is not None else os.getpid())
         self.server_info: dict[str, Any] = {}
         self._sock: socket.socket | None = None
         self._reader: Any = None
+
+    def _backoff_delay(self, attempt: int, floor_s: float = 0.0) -> float:
+        """Seeded-jitter exponential backoff: ``backoff_s * 2^attempt``
+        scaled by a deterministic factor in [0.5, 1.0), floored at the
+        server's ``retry_after_s`` hint."""
+        delay = self.backoff_s * (2 ** attempt)
+        delay *= 0.5 + 0.5 * self._rng.random()
+        return max(delay, floor_s)
 
     # ------------------------------------------------------------------
     # connection plumbing
@@ -85,12 +130,12 @@ class ServiceClient:
         """Connect (with retry/backoff) and consume the hello frame."""
         if self._sock is not None:
             return self
-        delay = self.backoff_s
         last: OSError | None = None
         for attempt in range(self.connect_retries + 1):
-            if attempt > 0 and delay > 0:
-                time.sleep(delay)
-                delay *= 2
+            if attempt > 0 and self.backoff_s > 0:
+                # Jittered, not lockstep: N clients reconnecting to a
+                # restarted server spread over the backoff window.
+                time.sleep(self._backoff_delay(attempt - 1))
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.timeout_s)
             try:
@@ -178,6 +223,16 @@ class ServiceClient:
     def _raise_error(self, frame: dict[str, Any]) -> None:
         code = str(frame.get("code", ""))
         message = str(frame.get("message", "request failed"))
+        if code == "overloaded":
+            def _num(key: str) -> float:
+                try:
+                    return float(frame.get(key, 0) or 0)
+                except (TypeError, ValueError):
+                    return 0.0
+            raise ServiceOverloaded(
+                message, queue_depth=int(_num("queue_depth")),
+                max_queued=int(_num("max_queued")),
+                retry_after_s=_num("retry_after_s"))
         if code == "unavailable":
             raise ServiceUnavailable(message)
         raise ProtocolError(f"{code}: {message}" if code else message)
@@ -210,6 +265,14 @@ class ServiceClient:
         stats = reply.get("stats")
         return dict(stats) if isinstance(stats, dict) else {}
 
+    def health(self) -> dict[str, Any]:
+        """Operational health snapshot (the ``health`` op): queue
+        depth, in-flight executions, pool state, ledger lag, uptime."""
+        reply = self._roundtrip(
+            {"v": protocol.PROTOCOL_VERSION, "op": "health"}, "health")
+        payload = reply.get("health")
+        return dict(payload) if isinstance(payload, dict) else {}
+
     def jobs(self) -> list[dict[str, Any]]:
         """Every job the server knows, oldest first."""
         reply = self._roundtrip(
@@ -232,10 +295,14 @@ class ServiceClient:
         self.close()
 
     def submit(self, name: str, configs: list[ExperimentConfig], *,
-               engine: str = "event") -> dict[str, Any]:
+               engine: str = "event", priority: str = "normal",
+               deadline_s: float | None = None) -> dict[str, Any]:
         """Fire-and-forget submit; returns the queued job record."""
         reply = self._roundtrip(
-            protocol.submit_frame(name, configs, engine, watch=False),
+            protocol.submit_frame(name, configs, engine, watch=False,
+                                  priority=priority,
+                                  deadline_s=deadline_s,
+                                  client=self.client_name),
             "job")
         return dict(reply.get("job") or {})
 
@@ -258,11 +325,16 @@ class ServiceClient:
         return final
 
     def stream(self, name: str, configs: list[ExperimentConfig], *,
-               engine: str = "event") -> Iterator[dict[str, Any]]:
+               engine: str = "event", priority: str = "normal",
+               deadline_s: float | None = None
+               ) -> Iterator[dict[str, Any]]:
         """Submit and stream: yields the job snapshot, then every
         ``row`` / ``row-error`` event as it completes, then ``done``."""
         reply = self._roundtrip(
-            protocol.submit_frame(name, configs, engine, watch=True),
+            protocol.submit_frame(name, configs, engine, watch=True,
+                                  priority=priority,
+                                  deadline_s=deadline_s,
+                                  client=self.client_name),
             "job")
         yield reply
         yield from self._stream()
@@ -270,6 +342,10 @@ class ServiceClient:
     def _stream(self) -> Iterator[dict[str, Any]]:
         while True:
             frame = self._read_frame()
+            if frame.get("type") == "heartbeat":
+                # Liveness proof on a slow stream: the read itself
+                # reset the socket timeout; nothing to surface.
+                continue
             if frame.get("type") == "error":
                 self._raise_error(frame)
             yield frame
@@ -278,7 +354,9 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def run_sweep(self, name: str, configs: list[ExperimentConfig], *,
-                  engine: str = "event") -> SweepResult:
+                  engine: str = "event", priority: str = "normal",
+                  deadline_s: float | None = None,
+                  fallback: str | None = None) -> SweepResult:
         """Run a sweep through the service; returns a
         :class:`~repro.core.runner.SweepResult` bit-identical to the
         direct :func:`~repro.core.runner.run_sweep` path.
@@ -288,11 +366,60 @@ class ServiceClient:
         cross-validation disagreement, cancellation from another client
         — raises :class:`~repro.errors.JobError` carrying the final job
         record.
+
+        An ``overloaded`` rejection is absorbed with seeded-jitter
+        exponential backoff up to ``overload_retries`` times.
+        ``fallback="local"`` degrades gracefully instead of raising:
+        when the server stays saturated (retries exhausted) or is
+        unreachable, the sweep runs in-process — same engine, same
+        capture semantics, bit-identical rows.
         """
+        if fallback not in (None, "local"):
+            raise ValueError(
+                f"fallback must be None or 'local', got {fallback!r}")
+        attempt = 0
+        while True:
+            try:
+                return self._run_sweep_remote(
+                    name, configs, engine=engine, priority=priority,
+                    deadline_s=deadline_s)
+            except ServiceOverloaded as exc:
+                if attempt >= self.overload_retries:
+                    if fallback == "local":
+                        return self._run_sweep_local(
+                            name, configs, engine=engine)
+                    raise
+                time.sleep(self._backoff_delay(
+                    attempt, floor_s=exc.retry_after_s))
+                attempt += 1
+            except ServiceUnavailable:
+                if fallback == "local":
+                    return self._run_sweep_local(
+                        name, configs, engine=engine)
+                raise
+
+    @staticmethod
+    def _run_sweep_local(name: str, configs: list[ExperimentConfig], *,
+                         engine: str) -> SweepResult:
+        """The degraded path: in-process
+        :func:`~repro.core.runner.run_sweep` with the service's capture
+        semantics (deterministic simulation makes the rows
+        bit-identical to the served ones)."""
+        from repro.core.runner import run_sweep as local_run_sweep
+
+        return local_run_sweep(name, configs, engine=engine,
+                               errors="capture")
+
+    def _run_sweep_remote(self, name: str,
+                          configs: list[ExperimentConfig], *,
+                          engine: str, priority: str,
+                          deadline_s: float | None) -> SweepResult:
         rows_by_index: dict[int, Row] = {}
         errors_by_index: dict[int, SweepError] = {}
         final: dict[str, Any] = {}
-        for frame in self.stream(name, configs, engine=engine):
+        for frame in self.stream(name, configs, engine=engine,
+                                 priority=priority,
+                                 deadline_s=deadline_s):
             kind = frame.get("type")
             if kind == "row":
                 index, row, _source = protocol.parse_row(frame)

@@ -33,7 +33,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.persistence import config_from_dict, config_to_dict
@@ -48,18 +48,31 @@ RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
 CANCELLED = "cancelled"
+EXPIRED = "expired"
 
-STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
-TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED, EXPIRED)
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED, EXPIRED})
 
 #: Legal state transitions.
 _TRANSITIONS: dict[str, frozenset[str]] = {
-    QUEUED: frozenset({RUNNING, CANCELLED}),
-    RUNNING: frozenset({COMPLETED, FAILED, CANCELLED}),
+    QUEUED: frozenset({RUNNING, CANCELLED, EXPIRED}),
+    RUNNING: frozenset({COMPLETED, FAILED, CANCELLED, EXPIRED}),
     COMPLETED: frozenset(),
     FAILED: frozenset(),
     CANCELLED: frozenset(),
+    EXPIRED: frozenset(),
 }
+
+#: Job priorities, in ascending weight order.  Priorities *weight* the
+#: fair-share scheduler (see :mod:`repro.service.fairshare`) but never
+#: starve lower ones.
+PRIORITIES = ("low", "normal", "high")
+
+#: Fair-share weight per priority (a ``high`` job accrues virtual time
+#: 4x slower than a ``low`` one, so it is picked earlier — but every
+#: queued client's virtual time eventually becomes minimal, so nothing
+#: starves).
+PRIORITY_WEIGHTS = {"low": 1.0, "normal": 2.0, "high": 4.0}
 
 _job_counter = itertools.count(1)
 
@@ -72,30 +85,62 @@ def new_job_id() -> str:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """What a client asked for: the immutable half of a job."""
+    """What a client asked for: the immutable half of a job.
+
+    ``priority``/``deadline_s``/``client`` are the fleet-scheduling
+    knobs added for fair-share: ``client`` is the submitter's identity
+    (fair-share is computed across identities), ``deadline_s`` is a
+    wall-clock budget measured from ``submitted_at`` after which the
+    job expires instead of running.  All default to the pre-deadline
+    wire/ledger format, so old ledgers replay unchanged.
+    """
 
     job_id: str
     name: str
     engine: str
     configs: tuple[ExperimentConfig, ...]
+    priority: str = "normal"
+    deadline_s: float | None = None
+    client: str = ""
+    submitted_at: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        record: dict[str, Any] = {
             "job_id": self.job_id,
             "name": self.name,
             "engine": self.engine,
             "configs": [config_to_dict(c) for c in self.configs],
         }
+        if self.priority != "normal":
+            record["priority"] = self.priority
+        if self.deadline_s is not None:
+            record["deadline_s"] = self.deadline_s
+        if self.client:
+            record["client"] = self.client
+        if self.submitted_at:
+            record["submitted_at"] = self.submitted_at
+        return record
 
     @classmethod
     def from_dict(cls, record: dict[str, Any]) -> "JobSpec":
         try:
             configs = tuple(config_from_dict(c) for c in record["configs"])
+            priority = str(record.get("priority", "normal"))
+            if priority not in PRIORITIES:
+                priority = "normal"
+            raw_deadline = record.get("deadline_s")
+            deadline_s = (float(raw_deadline)
+                          if raw_deadline is not None else None)
             return cls(job_id=str(record["job_id"]),
                        name=str(record["name"]),
                        engine=str(record["engine"]),
-                       configs=configs)
-        except (KeyError, TypeError, ConfigurationError) as exc:
+                       configs=configs,
+                       priority=priority,
+                       deadline_s=deadline_s,
+                       client=str(record.get("client", "")),
+                       submitted_at=float(record.get("submitted_at", 0.0)))
+        except (KeyError, TypeError, ValueError,
+                ConfigurationError) as exc:
             raise ServiceError(f"malformed job spec: {exc}") from None
 
 
@@ -124,6 +169,12 @@ class JobRecord:
     #: Replayable event frames (``row`` / ``row-error`` / ``done``).
     events: list[dict[str, Any]] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # A replayed spec carries its original submission time; adopt it
+        # so deadlines survive a server restart.
+        if self.spec.submitted_at:
+            self.submitted_at = self.spec.submitted_at
+
     @property
     def job_id(self) -> str:
         return self.spec.job_id
@@ -135,6 +186,24 @@ class JobRecord:
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def priority(self) -> str:
+        return self.spec.priority
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Absolute expiry time, or ``None`` for no deadline."""
+        if self.spec.deadline_s is None:
+            return None
+        return self.submitted_at + self.spec.deadline_s
+
+    def expired(self, now: float | None = None) -> bool:
+        """True when a deadline exists and has passed (state unchanged)."""
+        deadline = self.deadline_at
+        if deadline is None:
+            return False
+        return (time.time() if now is None else now) >= deadline
 
     def transition(self, state: str, error: str = "") -> None:
         """Move to ``state``, enforcing the machine's legal edges."""
@@ -178,6 +247,9 @@ class JobRecord:
             "n_dedup_hits": self.n_dedup_hits,
             "n_executed": self.n_executed,
             "error": self.error,
+            "priority": self.priority,
+            "deadline_s": self.spec.deadline_s,
+            "client": self.spec.client,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -190,14 +262,39 @@ class JobLedger:
     ``path=None`` (no persistent cache directory to live in) disables
     persistence: the ledger still answers queries from memory, jobs just
     do not survive the process.
+
+    ``fault_hook`` is the chaos-harness seam: when set, every encoded
+    record line passes through it before hitting the file.  The hook may
+    return a mutated (e.g. torn) line, or raise
+    :class:`~repro.faults.service.SimulatedKill` to emulate the process
+    dying mid-append.  ``None`` return means "write the line unchanged".
+
+    ``replay()`` additionally exposes two tolerance counters —
+    ``torn_lines`` (lines that failed UTF-8 decode or JSON parse, e.g.
+    a crash mid-``write``) and ``duplicate_transitions`` (a terminal
+    transition recorded twice across a crash/restart boundary) — so
+    operators can observe corruption that the replay survived.
     """
 
-    __slots__ = ("path",)
+    __slots__ = ("path", "fault_hook", "last_append_at",
+                 "torn_lines", "duplicate_transitions")
 
     FILENAME = "service-jobs.jsonl"
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(self, path: str | Path | None = None, *,
+                 fault_hook: Callable[[bytes], bytes | None] | None = None,
+                 ) -> None:
         self.path = Path(path) if path is not None else None
+        self.fault_hook = fault_hook
+        #: ``time.time()`` of the last successful append (0.0 = never);
+        #: the health probe reports ``now - last_append_at`` as ledger
+        #: lag.
+        self.last_append_at = 0.0
+        #: Corrupt lines tolerated by the last :meth:`replay`.
+        self.torn_lines = 0
+        #: Duplicate terminal transitions tolerated by the last
+        #: :meth:`replay`.
+        self.duplicate_transitions = 0
 
     @classmethod
     def for_cache(cls, cache: Any) -> "JobLedger":
@@ -215,13 +312,19 @@ class JobLedger:
         record = {"format": LEDGER_FORMAT, **record}
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
+        data = line.encode()
+        if self.fault_hook is not None:
+            mutated = self.fault_hook(data)
+            if mutated is not None:
+                data = mutated
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
                      0o644)
         try:
-            os.write(fd, line.encode())
+            os.write(fd, data)
         finally:
             os.close(fd)
+        self.last_append_at = time.time()
 
     def record_submit(self, job: JobRecord) -> None:
         self._append({"event": "submitted", "job": job.spec.to_dict(),
@@ -236,23 +339,32 @@ class JobLedger:
     def replay(self) -> dict[str, tuple[JobSpec, str]]:
         """Rebuild ``job_id -> (spec, last recorded state)`` from disk.
 
-        Torn or foreign lines are skipped; a transition for an unknown
-        job id (its submit line was lost) is ignored rather than fatal.
+        Torn or foreign lines are skipped (and counted in
+        ``torn_lines`` when they fail to decode or parse — a line
+        truncated mid-multibyte UTF-8 sequence is a decode error, not a
+        crash); a transition for an unknown job id (its submit line was
+        lost) is ignored rather than fatal.  A terminal transition for
+        an already-terminal job — the signature of a crash between the
+        append and the ack, replayed on restart — keeps the *first*
+        terminal state and bumps ``duplicate_transitions``.
         """
         state: dict[str, tuple[JobSpec, str]] = {}
+        self.torn_lines = 0
+        self.duplicate_transitions = 0
         if self.path is None:
             return state
         try:
-            text = self.path.read_text()
+            raw = self.path.read_bytes()
         except OSError:
             return state
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+        for raw_line in raw.splitlines():
+            raw_line = raw_line.strip()
+            if not raw_line:
                 continue
             try:
-                record = json.loads(line)
-            except ValueError:
+                record = json.loads(raw_line.decode())
+            except (UnicodeDecodeError, ValueError):
+                self.torn_lines += 1
                 continue
             if not isinstance(record, dict) \
                     or record.get("format") != LEDGER_FORMAT:
@@ -268,8 +380,13 @@ class JobLedger:
                 job_id = record.get("job_id")
                 new = record.get("state")
                 known = state.get(str(job_id))
-                if known is not None and new in STATES:
-                    state[str(job_id)] = (known[0], str(new))
+                if known is None or new not in STATES:
+                    continue
+                if known[1] in TERMINAL_STATES \
+                        and str(new) in TERMINAL_STATES:
+                    self.duplicate_transitions += 1
+                    continue
+                state[str(job_id)] = (known[0], str(new))
         return state
 
     def incomplete(self) -> list[JobSpec]:

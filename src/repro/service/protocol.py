@@ -15,7 +15,13 @@ naming what was wrong, never a hang.
     {"v": 1, "op": "status"}
     {"v": 1, "op": "cancel", "job_id": "..."}
     {"v": 1, "op": "ping"}
+    {"v": 1, "op": "health"}
     {"v": 1, "op": "shutdown"}
+
+A ``submit`` may additionally carry the fleet-scheduling fields
+``priority`` (``low`` | ``normal`` | ``high``), ``deadline_s`` (float
+seconds of wall-clock budget), and ``client`` (the submitter identity
+fair-share is computed across); all optional and backward compatible.
 
 **Responses** (server → client) carry ``type``:
 
@@ -27,9 +33,15 @@ naming what was wrong, never a hang.
 * ``row-error`` — one failed config: ``index``, error class, message,
   and whether it was ``quarantined`` without an attempt;
 * ``done`` — terminal frame of a stream, with the final job record;
-* ``jobs`` / ``status`` / ``pong`` / ``ack`` — query answers;
-* ``error`` — a request-level failure (``code`` + ``message``); the
-  connection stays usable unless the transport itself broke.
+* ``heartbeat`` — a keep-alive on an otherwise-silent stream (no rows
+  completed for a while); clients swallow it and reset their read
+  timeout, so "slow job" and "dead server" are distinguishable;
+* ``jobs`` / ``status`` / ``health`` / ``pong`` / ``ack`` — query
+  answers;
+* ``error`` — a request-level failure (``code`` + ``message``, plus
+  typed extras such as ``queue_depth`` on an ``overloaded``
+  rejection); the connection stays usable unless the transport itself
+  broke.
 
 Config and row payloads reuse the persistence schema
 (:func:`repro.core.persistence.config_to_dict` /
@@ -41,6 +53,7 @@ bit-for-bit.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.experiment import ExperimentConfig
@@ -61,10 +74,14 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Request operations the server understands.
-OPS = ("submit", "watch", "jobs", "status", "cancel", "ping", "shutdown")
+OPS = ("submit", "watch", "jobs", "status", "cancel", "ping", "health",
+       "shutdown")
 
 #: Engines a job may request (mirrors ``run_sweep``).
 ENGINES = ("event", "analytic", "auto")
+
+#: Priorities a submit may request (mirrors the job ledger).
+PRIORITIES = ("low", "normal", "high")
 
 
 def encode_frame(frame: dict[str, Any]) -> bytes:
@@ -137,19 +154,52 @@ def hello_frame(server_version: str, pid: int) -> dict[str, Any]:
             "pid": pid}
 
 
-def error_frame(code: str, message: str) -> dict[str, Any]:
-    """A request-level failure (the connection stays open)."""
-    return {"type": "error", "code": code, "message": message}
+def error_frame(code: str, message: str,
+                **extra: Any) -> dict[str, Any]:
+    """A request-level failure (the connection stays open).
+
+    ``extra`` keys ride along verbatim — e.g. an ``overloaded``
+    rejection carries ``queue_depth``/``max_queued``/``retry_after_s``
+    so the client's backoff can honor the server's hint.
+    """
+    frame = {"type": "error", "code": code, "message": message}
+    frame.update(extra)
+    return frame
+
+
+def heartbeat_frame() -> dict[str, Any]:
+    """A keep-alive on a silent stream (no payload beyond the type)."""
+    return {"type": "heartbeat"}
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A decoded ``submit`` request (see :func:`parse_submit`)."""
+
+    name: str
+    configs: list[ExperimentConfig] = field(default_factory=list)
+    engine: str = "event"
+    watch: bool = True
+    priority: str = "normal"
+    deadline_s: float | None = None
+    client: str = ""
 
 
 def submit_frame(name: str, configs: list[ExperimentConfig], engine: str,
-                 watch: bool = True) -> dict[str, Any]:
+                 watch: bool = True, *, priority: str = "normal",
+                 deadline_s: float | None = None,
+                 client: str = "") -> dict[str, Any]:
     """Build a ``submit`` request from live config objects."""
     if engine not in ENGINES:
         raise ProtocolError(
             f"unknown engine {engine!r} (expected one of {ENGINES})"
         )
-    return {
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"unknown priority {priority!r} "
+            f"(expected one of {PRIORITIES})"
+        )
+    frame: dict[str, Any] = {
         "v": PROTOCOL_VERSION,
         "op": "submit",
         "name": name,
@@ -157,11 +207,17 @@ def submit_frame(name: str, configs: list[ExperimentConfig], engine: str,
         "watch": bool(watch),
         "configs": [config_to_dict(c) for c in configs],
     }
+    if priority != "normal":
+        frame["priority"] = priority
+    if deadline_s is not None:
+        frame["deadline_s"] = float(deadline_s)
+    if client:
+        frame["client"] = client
+    return frame
 
 
-def parse_submit(frame: dict[str, Any]) -> tuple[str, list[ExperimentConfig],
-                                                 str, bool]:
-    """Decode a ``submit`` request into ``(name, configs, engine, watch)``.
+def parse_submit(frame: dict[str, Any]) -> SubmitRequest:
+    """Decode a ``submit`` request into a :class:`SubmitRequest`.
 
     Every config is revalidated through the persistence loader, so a
     malformed spec is rejected at the door rather than poisoning the
@@ -175,6 +231,24 @@ def parse_submit(frame: dict[str, Any]) -> tuple[str, list[ExperimentConfig],
         raise ProtocolError(
             f"unknown engine {engine!r} (expected one of {ENGINES})"
         )
+    priority = frame.get("priority", "normal")
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"unknown priority {priority!r} "
+            f"(expected one of {PRIORITIES})"
+        )
+    raw_deadline = frame.get("deadline_s")
+    if raw_deadline is not None:
+        try:
+            deadline_s: float | None = float(raw_deadline)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"deadline_s must be a number, got {raw_deadline!r}"
+            ) from None
+        if deadline_s is not None and deadline_s <= 0:
+            raise ProtocolError("deadline_s must be positive")
+    else:
+        deadline_s = None
     raw = frame.get("configs")
     if not isinstance(raw, list) or not raw:
         raise ProtocolError("submit needs a non-empty 'configs' list")
@@ -186,7 +260,11 @@ def parse_submit(frame: dict[str, Any]) -> tuple[str, list[ExperimentConfig],
             configs.append(config_from_dict(record))
         except ConfigurationError as exc:
             raise ProtocolError(f"configs[{i}]: {exc}") from None
-    return str(name), configs, str(engine), bool(frame.get("watch", True))
+    return SubmitRequest(name=str(name), configs=configs,
+                         engine=str(engine),
+                         watch=bool(frame.get("watch", True)),
+                         priority=str(priority), deadline_s=deadline_s,
+                         client=str(frame.get("client", "")))
 
 
 def row_frame(index: int, row: Row, source: str) -> dict[str, Any]:

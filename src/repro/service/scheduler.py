@@ -22,22 +22,34 @@ config digest**:
   PR-4 resume/quarantine machinery sees service jobs too.
 
 Executions are owned by the scheduler, not by the requesting job: a
-cancelled subscriber stops waiting, the simulation still completes and
-lands in the cache (that is what makes a cancelled job resumable for
-free).
+*cancelled* subscriber stops waiting, the simulation still completes
+and lands in the cache (that is what makes a cancelled job resumable
+for free).  An *abandoned* execution — every subscriber gone because
+their jobs expired — is different: nobody will ever read the row, so
+the scheduler reference-counts subscribers and cancels the execution
+only when the last one leaves (:meth:`Scheduler.obtain`).
+
+A per-execution **watchdog** (``exec_timeout_s``) bounds how long one
+config may run: an execution that exceeds the progress timeout is
+killed and retried under the PR-4 :class:`~repro.core.parallel
+.RetryPolicy` semantics (bounded attempts, then the failure is
+journaled so the quarantine threshold accrues).  A process-pool worker
+cannot be killed individually, so a watchdog firing marks the pool
+broken and re-runs on threads — the same recovery path as a crashed
+pool.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any
+from typing import Any, Callable
 
 from repro import telemetry
 from repro.core.cache import config_digest
 from repro.core.experiment import ExperimentConfig
 from repro.core.journal import SweepJournal
-from repro.core.parallel import simulate_config
+from repro.core.parallel import RetryPolicy, simulate_config
 from repro.core.runner import QUARANTINE_AFTER, cache_key
 
 #: One scheduling outcome: (source, ok, Row-or-exception) where source
@@ -69,12 +81,29 @@ class Scheduler:
     """Dedup + dispatch engine shared by every job on one server."""
 
     def __init__(self, cache: Any = None, *,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 exec_timeout_s: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 simulate_fn: Callable[[ExperimentConfig],
+                                       tuple[bool, Any]] | None = None,
+                 ) -> None:
         self.cache = cache
         self.workers = max(1, workers if workers is not None else 1)
+        #: Watchdog progress timeout per execution attempt (``None`` =
+        #: no watchdog, the pre-hardening behavior).
+        self.exec_timeout_s = exec_timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Test/chaos seam: replaces the event-engine worker function.
+        #: A custom fn runs on threads (closures don't pickle), which
+        #: is exactly what the hung-worker chaos scenario needs.
+        self._simulate_fn = simulate_fn
         self.journal: SweepJournal | None = SweepJournal.for_cache(cache)
         #: engine-tagged config digest -> the owning execution task.
         self._inflight: dict[str, asyncio.Task[tuple[bool, Any]]] = {}
+        #: engine-tagged config digest -> live subscriber count; an
+        #: execution whose count drops to zero is truly abandoned
+        #: (every awaiting job expired) and gets cancelled.
+        self._refs: dict[str, int] = {}
         self._pool: Any = None
         self._pool_broken = False
         self._analytic_pending: list[
@@ -83,7 +112,8 @@ class Scheduler:
         self.stats: dict[str, int] = {
             "cache_hits": 0, "dedup_hits": 0, "executed": 0,
             "failed": 0, "analytic_batches": 0, "analytic_batched_rows": 0,
-            "pool_fallbacks": 0,
+            "pool_fallbacks": 0, "watchdog_kills": 0,
+            "abandoned_executions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -114,14 +144,37 @@ class Scheduler:
         task = self._inflight.get(digest)
         if task is not None:
             self.stats["dedup_hits"] += 1
+            source = "dedup"
+        else:
+            task = asyncio.ensure_future(
+                self._execute(sweep, config, engine))
+            self._inflight[digest] = task
+            task.add_done_callback(
+                lambda _t, d=digest: self._inflight.pop(d, None))
+            source = "executed"
+        self._refs[digest] = self._refs.get(digest, 0) + 1
+        try:
             ok, value = await asyncio.shield(task)
-            return "dedup", ok, value
-        task = asyncio.ensure_future(self._execute(sweep, config, engine))
-        self._inflight[digest] = task
-        task.add_done_callback(
-            lambda _t, d=digest: self._inflight.pop(d, None))
-        ok, value = await asyncio.shield(task)
-        return "executed", ok, value
+        except asyncio.CancelledError:
+            # This subscriber is gone (job expired / task cancelled).
+            # A *shared* execution keeps running for the others — but
+            # when the last subscriber leaves, nobody will ever read
+            # the row, so stop burning a worker on it.
+            remaining = self._refs.get(digest, 1) - 1
+            self._refs[digest] = remaining
+            if remaining <= 0:
+                self._refs.pop(digest, None)
+                if not task.done():
+                    task.cancel()
+                    self.stats["abandoned_executions"] += 1
+            raise
+        else:
+            remaining = self._refs.get(digest, 1) - 1
+            if remaining <= 0:
+                self._refs.pop(digest, None)
+            else:
+                self._refs[digest] = remaining
+        return source, ok, value
 
     # ------------------------------------------------------------------
     async def _execute(self, sweep: str, config: ExperimentConfig,
@@ -148,10 +201,19 @@ class Scheduler:
             return None
         if self._pool is None:
             try:
+                import multiprocessing
                 from concurrent.futures import ProcessPoolExecutor
 
+                # Spawn, not fork: a forked worker inherits every open
+                # fd — including the listening socket and accepted
+                # connections — so a dead server's socket would stay
+                # connectable (and half-closed connections never see
+                # EOF) as long as one worker lives.  Spawned workers
+                # hold no server fds; fork is also unsafe under the
+                # threads this server always runs with.
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
                     initializer=telemetry.suppress_in_worker)
             except (ImportError, OSError, PermissionError):
                 self._mark_pool_broken()
@@ -164,22 +226,80 @@ class Scheduler:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _recycle_pool(self) -> None:
+        """Throw away the pool but allow a fresh one (watchdog path).
+
+        A process pool cannot kill one running worker; abandoning the
+        pool and letting ``_get_pool`` build a new one is the closest
+        legal move.  Unlike :meth:`_mark_pool_broken` this does not
+        demote future executions to threads.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def _watched(self, future: "asyncio.Future[tuple[bool, Any]]"
+                       ) -> tuple[bool, Any]:
+        """Await one execution attempt under the progress watchdog.
+
+        Not ``asyncio.wait_for``: that waits for the cancellation to
+        land, and a *running* executor future never honors a cancel —
+        the watchdog would hang exactly when it is needed.  Instead the
+        attempt is abandoned on timeout (its eventual result discarded,
+        its eventual exception retrieved so it never logs as lost).
+        """
+        if self.exec_timeout_s is None:
+            return await future
+        done, _pending = await asyncio.wait(
+            {future}, timeout=self.exec_timeout_s)
+        if done:
+            return future.result()
+        future.add_done_callback(
+            lambda f: f.cancelled() or f.exception())
+        future.cancel()  # no-op if already running; pending is freed
+        raise asyncio.TimeoutError
+
     async def _execute_event(self,
                              config: ExperimentConfig) -> tuple[bool, Any]:
         from concurrent.futures.process import BrokenProcessPool
 
         loop = asyncio.get_running_loop()
-        pool = self._get_pool()
-        if pool is not None:
+        attempts = max(1, self.retry.max_attempts) \
+            if self.exec_timeout_s is not None else 1
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(
+                    self.retry.backoff_s * (2 ** (attempt - 1)))
             try:
-                return await loop.run_in_executor(
-                    pool, simulate_config, config)
-            except (BrokenProcessPool, OSError, PermissionError,
-                    RuntimeError):
-                # crashed/unusable pool: lose the pool, not the config —
-                # re-run it (and everything after it) on threads
-                self._mark_pool_broken()
-        return await loop.run_in_executor(None, _simulate_suppressed, config)
+                pool = None if self._simulate_fn is not None \
+                    else self._get_pool()
+                if pool is not None:
+                    try:
+                        return await self._watched(loop.run_in_executor(
+                            pool, simulate_config, config))
+                    except (BrokenProcessPool, OSError, PermissionError,
+                            RuntimeError):
+                        # crashed/unusable pool: lose the pool, not the
+                        # config — re-run it (and everything after it)
+                        # on threads
+                        self._mark_pool_broken()
+                fn = self._simulate_fn if self._simulate_fn is not None \
+                    else _simulate_suppressed
+                return await self._watched(
+                    loop.run_in_executor(None, fn, config))
+            except asyncio.TimeoutError:
+                # Watchdog fired: this attempt made no progress within
+                # the budget.  Recycle the pool (a stuck pool worker is
+                # unkillable individually) and retry under the PR-4
+                # policy; threads simply get abandoned — the leaked
+                # thread dies when its work function returns.
+                self.stats["watchdog_kills"] += 1
+                telemetry.count("service.watchdog_kill")
+                self._recycle_pool()
+        timeout_exc = TimeoutError(
+            f"no progress within {self.exec_timeout_s}s "
+            f"(watchdog, {attempts} attempt(s))")
+        return False, timeout_exc
 
     # -- analytic engine: micro-batch through the vectorized scorer ----
     async def _execute_analytic(self,
@@ -216,6 +336,21 @@ class Scheduler:
                 if not fut.done():
                     fut.set_result(
                         (not isinstance(outcome, Exception), outcome))
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_state(self) -> str:
+        """Health-probe view of the worker pool: ``live`` (warm process
+        pool), ``cold`` (no pool built yet), or ``threads`` (pool
+        broke; running on the thread fallback)."""
+        if self._pool_broken:
+            return "threads"
+        return "live" if self._pool is not None else "cold"
+
+    @property
+    def inflight(self) -> int:
+        """Executions currently owned by the scheduler."""
+        return len(self._inflight)
 
     # ------------------------------------------------------------------
     async def wait_idle(self, timeout: float | None = None) -> bool:

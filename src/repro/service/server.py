@@ -45,14 +45,16 @@ from typing import Any
 import repro
 from repro import telemetry
 from repro.core.experiment import ExperimentConfig
-from repro.core.parallel import SweepError
+from repro.core.parallel import RetryPolicy, SweepError
 from repro.core.runner import Row
 from repro.errors import ProtocolError, ServiceError
 from repro.service import protocol
 from repro.service.client import default_socket_path
+from repro.service.fairshare import FairShareQueue
 from repro.service.jobs import (
     CANCELLED,
     COMPLETED,
+    EXPIRED,
     FAILED,
     QUEUED,
     RUNNING,
@@ -63,6 +65,21 @@ from repro.service.jobs import (
 )
 from repro.service.scheduler import Scheduler
 from repro.telemetry.run import RunContext
+
+#: Environment override for the admission cap (``repro serve`` flag
+#: wins; ``0``/unset means unbounded).
+ENV_MAX_QUEUED = "REPRO_SERVICE_MAX_QUEUED"
+
+
+def _env_max_queued() -> int | None:
+    raw = os.environ.get(ENV_MAX_QUEUED, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class SweepService:
@@ -81,8 +98,27 @@ class SweepService:
     workers:
         Process-pool width for event-engine rows.
     max_jobs:
-        Jobs allowed to execute concurrently; the rest queue (that wait
-        is the ``queue-wait`` span).
+        Jobs allowed to execute concurrently; the rest queue under the
+        weighted fair-share policy (that wait is the ``queue-wait``
+        span).
+    max_queued:
+        Admission cap: submissions while this many jobs are already
+        pending (queued or running) are rejected with a typed,
+        retryable ``overloaded`` error frame.  ``None`` falls back to
+        ``$REPRO_SERVICE_MAX_QUEUED``; unset/0 means unbounded (the
+        pre-hardening behavior).
+    heartbeat_s:
+        Emit a ``heartbeat`` frame on a watch stream after this many
+        seconds of silence, so clients can tell "slow job" from "dead
+        server".  ``None`` disables heartbeats.
+    exec_timeout_s:
+        Per-execution progress watchdog: one config attempt exceeding
+        this is killed and retried (``retry`` bounds attempts), then
+        failed + journaled so quarantine accrues.  ``None`` disables
+        the watchdog.
+    retry:
+        :class:`~repro.core.parallel.RetryPolicy` for watchdog
+        retries (default: the PR-4 policy defaults).
     results_dir:
         Telemetry results root for per-job run directories (default:
         the usual ``$REPRO_RESULTS_DIR`` / ``./results`` resolution).
@@ -93,47 +129,102 @@ class SweepService:
 
     def __init__(self, socket_path: str | Path | None = None, *,
                  cache: Any = None, workers: int | None = None,
-                 max_jobs: int = 4, results_dir: str | Path | None = None,
-                 drain_timeout_s: float | None = None) -> None:
+                 max_jobs: int = 4, max_queued: int | None = None,
+                 heartbeat_s: float | None = 10.0,
+                 exec_timeout_s: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 results_dir: str | Path | None = None,
+                 drain_timeout_s: float | None = None,
+                 simulate_fn: Any = None) -> None:
         if max_jobs < 1:
             raise ServiceError("max_jobs must be positive")
+        if max_queued is not None and max_queued < 1:
+            raise ServiceError("max_queued must be positive (or None)")
         self.socket_path = Path(socket_path) if socket_path is not None \
             else default_socket_path()
         self.cache = cache
         self.results_dir = Path(results_dir) if results_dir is not None \
             else None
         self.drain_timeout_s = drain_timeout_s
-        self.scheduler = Scheduler(cache, workers=workers)
+        self.scheduler = Scheduler(cache, workers=workers,
+                                   exec_timeout_s=exec_timeout_s,
+                                   retry=retry, simulate_fn=simulate_fn)
         self.ledger = JobLedger.for_cache(cache)
         self.jobs: dict[str, JobRecord] = {}
         self.draining = False
         self.max_jobs = max_jobs
+        self.max_queued = max_queued if max_queued is not None \
+            else _env_max_queued()
+        self.heartbeat_s = heartbeat_s
         self._job_tasks: dict[str, asyncio.Task[None]] = {}
         self._job_conds: dict[str, asyncio.Condition] = {}
+        self._exec_tasks: dict[str, list[asyncio.Task[Any]]] = {}
         self._conn_tasks: set[asyncio.Task[None]] = set()
-        self._sem: asyncio.Semaphore | None = None
+        self._queue: FairShareQueue | None = None
+        self._reaper: asyncio.Task[None] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self._started_at = time.time()
         self._n_resumed = 0
+        self._n_rejected = 0
+        self._n_expired = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    async def _socket_alive(self) -> bool:
+        """Connect-probe an existing socket file: is a server home?
+
+        Accepting the connection is not proof of life — a forked pool
+        worker that inherited the old listening fd keeps the kernel
+        accepting into a backlog nobody reads.  A live server greets
+        every connection with a hello frame immediately, so the probe
+        demands one within the timeout.
+        """
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(str(self.socket_path)), 2.0)
+        except (ConnectionRefusedError, FileNotFoundError,
+                asyncio.TimeoutError, OSError):
+            return False
+        try:
+            greeting = await asyncio.wait_for(reader.readline(), 2.0)
+        except (asyncio.TimeoutError, ConnectionResetError, OSError):
+            greeting = b""
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        return bool(greeting)
+
     async def start(self) -> None:
-        """Bind the socket and resume ledgered jobs."""
-        self._sem = asyncio.Semaphore(self.max_jobs)
+        """Bind the socket and resume ledgered jobs.
+
+        An existing socket file is connect-probed first: a live server
+        answering it means refusing to start (unlinking it would orphan
+        that server's clients); only a dead socket — connection refused
+        — is removed as stale.
+        """
+        self._queue = FairShareQueue(self.max_jobs)
         self._stop_event = asyncio.Event()
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            self.socket_path.unlink()  # stale socket from a dead server
-        except OSError:
-            pass
+        if self.socket_path.exists():
+            if await self._socket_alive():
+                raise ServiceError(
+                    f"socket {self.socket_path} is owned by a live "
+                    f"server; refusing to start (stop it first, or "
+                    f"serve on a different --socket)")
+            try:
+                self.socket_path.unlink()  # stale socket, dead server
+            except OSError:
+                pass
         self._server = await asyncio.start_unix_server(
             self._on_connection, path=str(self.socket_path),
             limit=protocol.MAX_FRAME_BYTES)
         self._started_at = time.time()
+        self._reaper = asyncio.ensure_future(self._reap_expired())
         for spec in self.ledger.incomplete():
             if spec.job_id in self.jobs:
                 continue
@@ -160,6 +251,8 @@ class SweepService:
             return
         self._stopped = True
         self.draining = True
+        if self._reaper is not None:
+            self._reaper.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -184,6 +277,38 @@ class SweepService:
             self.socket_path.unlink()
         except OSError:
             pass
+
+    async def abort(self) -> None:
+        """Hard stop: the closest an in-process server can get to
+        SIGKILL (the chaos harness's crash primitive).
+
+        No drain, no ledger writes, and — deliberately — the socket
+        file is **left behind**, exactly like a killed process leaves
+        it; the restart path must connect-probe and reclaim it.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.draining = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+        if self._server is not None:
+            self._server.close()
+        doomed: list[asyncio.Task[Any]] = [
+            t for t in (*self._job_tasks.values(), *self._conn_tasks)
+            if not t.done()]
+        for task in doomed:
+            task.cancel()
+        if doomed:
+            # Bounded wait: a worker stuck in an executor cannot be
+            # interrupted; abandon it like a killed process would.
+            await asyncio.wait(doomed, timeout=2.0)
+        for task in doomed:
+            if task.done() and not task.cancelled():
+                task.exception()  # retrieved: crash-path noise is ours
+        self.scheduler.close(wait=False)
+        if self._stop_event is not None:
+            self._stop_event.set()
 
     def run(self) -> int:
         """Synchronous entrypoint (``repro serve``): serve until
@@ -210,8 +335,17 @@ class SweepService:
         self._job_conds[job.job_id] = asyncio.Condition()
         task = asyncio.ensure_future(self._run_job(job))
         self._job_tasks[job.job_id] = task
-        task.add_done_callback(
-            lambda _t, j=job.job_id: self._job_tasks.pop(j, None))
+
+        def _done(t: "asyncio.Task[None]", j: str = job.job_id) -> None:
+            self._job_tasks.pop(j, None)
+            if not t.cancelled():
+                # Retrieve (don't re-raise) so a task killed by the
+                # chaos harness's SimulatedKill never logs as lost;
+                # ordinary failures were already converted to a
+                # terminal job state inside _run_job.
+                t.exception()
+
+        task.add_done_callback(_done)
         return job
 
     def find_job(self, job_id: str) -> JobRecord | None:
@@ -233,10 +367,52 @@ class SweepService:
             "draining": self.draining,
             "workers": self.scheduler.workers,
             "max_jobs": self.max_jobs,
+            "max_queued": self.max_queued,
             "jobs_total": len(self.jobs),
             "jobs_resumed": self._n_resumed,
+            "jobs_rejected": self._n_rejected,
+            "jobs_expired": self._n_expired,
             "jobs_by_state": by_state,
             **self.scheduler.stats,
+        }
+
+    def pending_jobs(self) -> int:
+        """Jobs admitted but not yet terminal (the admission measure)."""
+        return sum(1 for job in self.jobs.values() if not job.terminal)
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` op payload: liveness-probe essentials.
+
+        Unlike :meth:`stats` (cumulative counters), this is the
+        *operational snapshot* a fleet monitor scrapes: queue state,
+        pool state, ledger lag, and the knobs that shape admission.
+        """
+        now = time.time()
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        queue = self._queue
+        ledger_lag = None if not self.ledger.last_append_at \
+            else round(now - self.ledger.last_append_at, 3)
+        return {
+            "status": "draining" if self.draining else "ok",
+            "pid": os.getpid(),
+            "version": repro.__version__,
+            "uptime_s": round(now - self._started_at, 3),
+            "queue_depth": queue.depth if queue is not None else 0,
+            "running": queue.in_service if queue is not None else 0,
+            "pending": self.pending_jobs(),
+            "inflight_executions": self.scheduler.inflight,
+            "pool_state": self.scheduler.pool_state,
+            "max_jobs": self.max_jobs,
+            "max_queued": self.max_queued,
+            "heartbeat_s": self.heartbeat_s,
+            "ledger_lag_s": ledger_lag,
+            "jobs_by_state": by_state,
+            "rejected": self._n_rejected,
+            "expired": self._n_expired,
+            "watchdog_kills": self.scheduler.stats["watchdog_kills"],
+            "fair_share": queue.stats() if queue is not None else {},
         }
 
     # ------------------------------------------------------------------
@@ -259,17 +435,71 @@ class SweepService:
     # ------------------------------------------------------------------
     # job execution
     # ------------------------------------------------------------------
+    async def _reap_expired(self) -> None:
+        """Deadline reaper: expire jobs whose wall-clock budget ran
+        out, queued or running alike."""
+        while True:
+            now = time.time()
+            nearest: float | None = None
+            for job in list(self.jobs.values()):
+                if job.terminal:
+                    continue
+                deadline = job.deadline_at
+                if deadline is None:
+                    continue
+                if now >= deadline:
+                    await self._expire(job)
+                elif nearest is None or deadline < nearest:
+                    nearest = deadline
+            if nearest is None:
+                await asyncio.sleep(0.25)
+            else:
+                await asyncio.sleep(min(0.25, max(0.01, nearest - now)))
+
+    async def _expire(self, job: JobRecord) -> None:
+        """Move one overdue job to ``expired``.
+
+        A queued job just leaves the fair-share queue.  A running job
+        has its per-config subscriptions cancelled — the scheduler's
+        reference counts then cancel each underlying execution *only
+        if no other job still awaits it* (shared work survives).
+        """
+        if job.terminal:
+            return
+        was_queued = job.state == QUEUED
+        job.transition(
+            EXPIRED,
+            error=f"deadline of {job.spec.deadline_s}s exceeded")
+        self.ledger.record_state(job)
+        self._n_expired += 1
+        telemetry.count("service.jobs.expired")
+        if was_queued:
+            if self._queue is not None:
+                self._queue.drop(job)
+            await self._publish(job, {"type": "done",
+                                      "job": job.to_dict()})
+        else:
+            for task in self._exec_tasks.get(job.job_id, []):
+                task.cancel()
+
     async def _run_job(self, job: JobRecord) -> None:
-        assert self._sem is not None
-        async with self._sem:
+        assert self._queue is not None
+        try:
+            await self._queue.acquire(job)
+        except asyncio.CancelledError:
+            # Expired (or dropped) while queued: the reaper already
+            # journaled the transition and closed the stream.
+            return
+        try:
             if job.state != QUEUED:
-                return  # cancelled while waiting its turn
+                return  # cancelled/expired while waiting its turn
             if self.draining:
                 return  # stays queued in the ledger for the next server
             job.transition(RUNNING)
             self.ledger.record_state(job)
             run_ctx = self._open_run(job)
             queue_wait = time.time() - job.submitted_at
+            telemetry.observe("service.queue_wait_seconds", queue_wait)
             if run_ctx is not None:
                 run_ctx.metrics.observe("service.queue_wait_seconds",
                                         queue_wait)
@@ -280,6 +510,14 @@ class SweepService:
             status, error = COMPLETED, ""
             try:
                 status, error = await self._execute_job(job, run_ctx)
+            except asyncio.CancelledError:
+                # Config subscriptions were torn down under us.  Job
+                # expiry does that deliberately (the reaper already
+                # journaled the terminal state); anything else is a
+                # genuine teardown and must keep propagating.
+                if job.state != EXPIRED:
+                    raise
+                status, error = job.state, job.error
             except Exception as exc:  # noqa: BLE001 - job must terminate
                 status, error = FAILED, f"{type(exc).__name__}: {exc}"
             transitioned = False
@@ -291,6 +529,8 @@ class SweepService:
             await self._publish(job, {"type": "done",
                                       "job": job.to_dict()})
             self._finalize_run(run_ctx, job)
+        finally:
+            self._queue.release()
 
     async def _execute_job(self, job: JobRecord,
                            run_ctx: RunContext | None
@@ -336,6 +576,7 @@ class SweepService:
             return i, time.perf_counter() - t0, source, ok, value
 
         tasks = [asyncio.ensure_future(one(i, c)) for i, c in runnable]
+        self._exec_tasks[job.job_id] = tasks
         try:
             for fut in asyncio.as_completed(tasks):
                 i, dt, source, ok, value = await fut
@@ -364,6 +605,7 @@ class SweepService:
                     await self._publish(job, protocol.row_error_frame(
                         i, err.error, err.message))
         finally:
+            self._exec_tasks.pop(job.job_id, None)
             for task in tasks:
                 task.cancel()
             if run_ctx is not None and exec_span is not None:
@@ -456,6 +698,11 @@ class SweepService:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
             pass  # server teardown: drop the connection quietly
+        except BaseException:  # noqa: BLE001 - a connection handler
+            # must never take the server down (and the chaos harness's
+            # SimulatedKill deliberately detonates here); the client
+            # sees the closed socket either way.
+            pass
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
@@ -500,6 +747,9 @@ class SweepService:
         if op == "status":
             return await self._send(writer, {"type": "status",
                                              "stats": self.stats()})
+        if op == "health":
+            return await self._send(writer, {"type": "health",
+                                             "health": self.health()})
         if op == "jobs":
             ordered = sorted(self.jobs.values(),
                              key=lambda j: j.submitted_at)
@@ -522,7 +772,7 @@ class SweepService:
     async def _op_submit(self, frame: dict[str, Any],
                          writer: asyncio.StreamWriter) -> bool:
         try:
-            name, configs, engine, watch = protocol.parse_submit(frame)
+            req = protocol.parse_submit(frame)
         except ProtocolError as exc:
             return await self._send(writer, protocol.error_frame(
                 "bad-request", str(exc)))
@@ -531,14 +781,36 @@ class SweepService:
                 "unavailable",
                 "service is draining for shutdown; retry against the "
                 "next server"))
+        pending = self.pending_jobs()
+        telemetry.gauge("service.pending_jobs", pending)
+        if self.max_queued is not None and pending >= self.max_queued:
+            # Admission control: refuse *before* registering or
+            # journaling anything, so a rejected submission leaves no
+            # trace to lose.  The hint scales with the backlog each
+            # execution slot must clear.
+            self._n_rejected += 1
+            telemetry.count("service.jobs.rejected")
+            retry_after = round(
+                0.05 * (1 + pending / max(1, self.max_jobs)), 3)
+            return await self._send(writer, protocol.error_frame(
+                "overloaded",
+                f"admission queue is full ({pending} pending >= "
+                f"--max-queued {self.max_queued}); retry with backoff",
+                queue_depth=pending, max_queued=self.max_queued,
+                retry_after_s=retry_after))
         job = self._register(JobRecord(JobSpec(
-            job_id=new_job_id(), name=name, engine=engine,
-            configs=tuple(configs))))
+            job_id=new_job_id(), name=req.name, engine=req.engine,
+            configs=tuple(req.configs), priority=req.priority,
+            deadline_s=req.deadline_s, client=req.client,
+            submitted_at=time.time())))
+        # Durability order matters: ledger append *before* the ack
+        # frame, so a crash in between loses an un-acked submission
+        # (client retries) — never an acked one.
         self.ledger.record_submit(job)
         if not await self._send(writer, {"type": "job",
                                          "job": job.to_dict()}):
             return False
-        if watch:
+        if req.watch:
             return await self._stream_job(job, writer)
         return True
 
@@ -564,8 +836,10 @@ class SweepService:
             job.transition(CANCELLED, error="cancelled by client")
             self.ledger.record_state(job)
             if was_queued:
-                # the job task will exit without publishing; close the
-                # stream for any watcher
+                # the job task will exit without publishing; free its
+                # fair-share waiter and close the stream for watchers
+                if self._queue is not None:
+                    self._queue.drop(job)
                 await self._publish(job, {"type": "done",
                                           "job": job.to_dict()})
         return await self._send(writer, {"type": "job",
@@ -575,7 +849,19 @@ class SweepService:
                           writer: asyncio.StreamWriter) -> bool:
         index = 0
         while True:
-            event = await self._next_event(job, index)
+            if self.heartbeat_s is None:
+                event = await self._next_event(job, index)
+            else:
+                try:
+                    event = await asyncio.wait_for(
+                        self._next_event(job, index), self.heartbeat_s)
+                except asyncio.TimeoutError:
+                    # Silent stream: prove liveness so the client's
+                    # read timeout means "dead server", not "slow job".
+                    if not await self._send(writer,
+                                            protocol.heartbeat_frame()):
+                        return False
+                    continue
             if not await self._send(writer, event):
                 return False  # watcher went away; the job carries on
             if event.get("type") == "done":
@@ -626,6 +912,22 @@ class ServiceThread:
         """Drain and join (idempotent)."""
         if self._loop is not None and self._thread.is_alive():
             self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(timeout_s)
+
+    def abort(self, timeout_s: float = 30.0) -> None:
+        """Crash-stop the hosted service: no drain, no ledger writes,
+        socket file left behind (the chaos harness's SIGKILL stand-in).
+        Idempotent, joins the thread."""
+        import concurrent.futures
+
+        if self._loop is not None and self._thread.is_alive():
+            fut = asyncio.run_coroutine_threadsafe(
+                self.service.abort(), self._loop)
+            try:
+                fut.result(timeout_s)
+            except (concurrent.futures.TimeoutError,
+                    concurrent.futures.CancelledError, RuntimeError):
+                pass
         self._thread.join(timeout_s)
 
     def __enter__(self) -> "ServiceThread":

@@ -108,6 +108,77 @@ def test_ledger_tolerates_torn_lines(tmp_path):
     assert [s.job_id for s in survivors] == [keeper.job_id]
 
 
+def test_ledger_counts_line_torn_mid_multibyte_utf8(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = JobLedger(path)
+    survivor = spec("survivor")
+    ledger.record_submit(JobRecord(survivor))
+    # crash mid-write: a record containing "café" truncated inside the
+    # two-byte é sequence — undecodable, not merely unparsable
+    victim = spec("café")
+    line = json.dumps({"format": jobs_mod.LEDGER_FORMAT,
+                       "event": "submitted",
+                       "job": victim.to_dict()},
+                      ensure_ascii=False).encode()
+    cut = line.index("é".encode()) + 1
+    with open(path, "ab") as fh:
+        fh.write(line[:cut] + b"\n")
+    fresh = JobLedger(path)
+    replayed = fresh.replay()
+    assert fresh.torn_lines == 1
+    assert set(replayed) == {survivor.job_id}
+
+
+def test_ledger_torn_tail_merges_with_next_append(tmp_path):
+    # a torn line with NO newline (the realistic crash shape) merges
+    # with the next append into one undecodable line; that one merged
+    # line is counted torn and later records survive
+    path = tmp_path / "ledger.jsonl"
+    ledger = JobLedger(path)
+    with open(path, "ab") as fh:
+        fh.write(b'{"format":1,"event":"submitted","job":{"na\xe2\x82')
+    after = spec("after-the-crash")
+    ledger.record_submit(JobRecord(after))
+    keeper = spec("keeper")
+    ledger.record_submit(JobRecord(keeper))
+    fresh = JobLedger(path)
+    replayed = fresh.replay()
+    assert fresh.torn_lines == 1
+    assert set(replayed) == {keeper.job_id}  # merged line ate "after"
+
+
+def test_ledger_tolerates_duplicate_terminal_transition(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = JobLedger(path)
+    job = JobRecord(spec("twice"))
+    ledger.record_submit(job)
+    job.transition(RUNNING)
+    ledger.record_state(job)
+    job.transition(CANCELLED)
+    ledger.record_state(job)
+    # crash between append and ack, replayed on restart as COMPLETED
+    clone = JobRecord(job.spec)
+    clone.state = COMPLETED
+    ledger.record_state(clone)
+    fresh = JobLedger(path)
+    replayed = fresh.replay()
+    assert fresh.duplicate_transitions == 1
+    # first terminal state wins; the duplicate is observed, not applied
+    assert replayed[job.job_id][1] == CANCELLED
+    assert fresh.incomplete() == []
+
+
+def test_replay_resets_tolerance_counters(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = JobLedger(path)
+    ledger.record_submit(JobRecord(spec()))
+    with open(path, "ab") as fh:
+        fh.write(b"\xff\xfe broken\n")
+    assert ledger.replay() and ledger.torn_lines == 1
+    # counters describe the *last* replay, they do not accumulate
+    assert ledger.replay() and ledger.torn_lines == 1
+
+
 def test_memory_only_ledger_is_silent(tmp_path):
     ledger = JobLedger.for_cache({})  # plain dict: no directory
     ledger.record_submit(JobRecord(spec()))

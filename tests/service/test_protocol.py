@@ -48,9 +48,23 @@ def test_submit_frame_round_trip():
     frame = protocol.submit_frame("f1", configs, "event", watch=False)
     # survives the actual wire encoding
     frame = protocol.decode_frame(protocol.encode_frame(frame))
-    name, parsed, engine, watch = protocol.parse_submit(frame)
-    assert (name, engine, watch) == ("f1", "event", False)
-    assert parsed == configs
+    req = protocol.parse_submit(frame)
+    assert (req.name, req.engine, req.watch) == ("f1", "event", False)
+    assert req.configs == configs
+    # defaults: the pre-deadline wire format decodes unchanged
+    assert (req.priority, req.deadline_s, req.client) \
+        == ("normal", None, "")
+
+
+def test_submit_frame_scheduling_fields_round_trip():
+    configs = [ExperimentConfig(app="ffvc", n_ranks=2, n_threads=2)]
+    frame = protocol.submit_frame("f1", configs, "event", watch=False,
+                                  priority="high", deadline_s=12.5,
+                                  client="bench-7")
+    frame = protocol.decode_frame(protocol.encode_frame(frame))
+    req = protocol.parse_submit(frame)
+    assert (req.priority, req.deadline_s, req.client) \
+        == ("high", 12.5, "bench-7")
 
 
 def test_parse_submit_rejects_bad_specs():
@@ -58,7 +72,9 @@ def test_parse_submit_rejects_bad_specs():
         "f1", [ExperimentConfig(app="ffvc")], "event")
     for breakage in (
             {"name": ""}, {"engine": "warp"}, {"configs": []},
-            {"configs": "nope"}, {"configs": [{"app": "no-such-app"}]}):
+            {"configs": "nope"}, {"configs": [{"app": "no-such-app"}]},
+            {"priority": "urgent"}, {"deadline_s": -1},
+            {"deadline_s": "soon"}):
         frame = {**good, **breakage}
         with pytest.raises(ProtocolError):
             protocol.parse_submit(frame)
